@@ -1,0 +1,101 @@
+"""C-MINI — Section 4/5 claim: miniatures make result browsing cheap.
+
+"Miniatures of qualifying objects may be returned to the user using a
+sequential browsing interface in order to facilitate browsing through a
+large number of objects that may qualify...  The representation of the
+image is much smaller than the image itself, and thus it is easily
+transferable to main memory."
+
+Compares shipping miniature cards against shipping full objects for a
+content-query result set, and sweeps miniature scale for the
+size/usefulness trade-off.
+"""
+
+import pytest
+
+from repro.ids import ImageId
+from repro.images.miniature import make_miniature
+from repro.scenarios import build_object_library
+from repro.server import Archiver, NetworkLink, QueryInterface
+
+
+@pytest.fixture(scope="module")
+def library():
+    archiver = Archiver()
+    objects = build_object_library(archiver, visual_count=10, audio_count=5)
+    return archiver, objects
+
+
+def test_miniature_stream_vs_full_objects(library, results):
+    archiver, _ = library
+    interface = QueryInterface(archiver, link=NetworkLink())
+    ids = interface.select(kind="document")
+    cards = list(interface.miniature_stream(ids))
+    full = list(interface.full_object_stream(ids))
+
+    card_bytes = sum(c.nbytes for c in cards)
+    full_bytes = sum(n for _, n, _ in full)
+    card_done = cards[-1].available_at_s
+    full_done = full[-1][2]
+    results.record(
+        "C-MINI miniature browsing",
+        f"{len(ids)} qualifying objects: miniatures {card_bytes:,}B / "
+        f"{card_done:.3f}s vs full objects {full_bytes:,}B / {full_done:.3f}s "
+        f"({full_bytes / card_bytes:.0f}x bytes, {full_done / card_done:.1f}x time)",
+    )
+    assert card_bytes * 5 < full_bytes
+    assert card_done < full_done
+
+
+def test_first_result_latency(library, results):
+    archiver, _ = library
+    interface = QueryInterface(archiver, link=NetworkLink())
+    ids = interface.select(kind="document")
+    first_card = next(iter(interface.miniature_stream(ids)))
+    first_full = next(iter(interface.full_object_stream(ids)))
+    results.record(
+        "C-MINI miniature browsing",
+        f"first result on screen: miniature {first_card.available_at_s * 1000:.1f}ms "
+        f"vs full object {first_full[2] * 1000:.1f}ms",
+    )
+    assert first_card.available_at_s < first_full[2]
+
+
+def test_audio_cards_carry_voice_samples(library, results):
+    archiver, _ = library
+    interface = QueryInterface(archiver)
+    ids = interface.select(kind="dictation")
+    cards = list(interface.miniature_stream(ids))
+    results.record(
+        "C-MINI miniature browsing",
+        f"audio-mode cards: {len(cards)} with "
+        f"{cards[0].voice_sample.duration:.1f}s voice samples "
+        "('an indication that an object is an audio mode object and "
+        "some voice segments which are played as the miniature passes')",
+    )
+    assert all(c.voice_sample is not None for c in cards)
+
+
+def test_query_evaluation_latency(benchmark, library):
+    archiver, _ = library
+    interface = QueryInterface(archiver)
+    benchmark(interface.select, terms=["budget"], kind="document")
+
+
+def test_miniature_scale_sweep(library, results):
+    """Ablation: miniature resolution vs size."""
+    archiver, objects = library
+    source = next(
+        o for o in objects if o.driving_mode.value == "visual"
+    ).images[0]
+    for scale in (4, 8, 16, 32):
+        mini = make_miniature(source, scale, ImageId(f"sweep-{scale}"))
+        ratio = source.nbytes / max(mini.nbytes, 1)
+        results.record(
+            "C-MINI miniature browsing",
+            f"scale {scale}: miniature {mini.width}x{mini.height}, "
+            f"{mini.nbytes:,}B ({ratio:.0f}x smaller)",
+        )
+    small = make_miniature(source, 4, ImageId("sweep-a"))
+    large = make_miniature(source, 32, ImageId("sweep-b"))
+    assert large.nbytes < small.nbytes

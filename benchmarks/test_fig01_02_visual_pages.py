@@ -1,0 +1,110 @@
+"""F1-2 — Figures 1 and 2: visual pages with text, graphics and bitmaps.
+
+The figures demonstrate mixed visual pages and the adaptive menu.  The
+benchmark measures page-program compilation and page-turn latency as
+the document grows, verifying that browsing cost is independent of
+document length (page turns are O(1) lookups plus screen updates).
+"""
+
+import pytest
+
+from repro.core.compile import compile_visual_program
+from repro.core.manager import LocalStore, PresentationManager
+from repro.scenarios import build_office_document
+from repro.workstation.station import Workstation
+
+
+def _session(chapters):
+    obj = build_office_document(chapters=chapters, paragraphs_per_chapter=6)
+    store = LocalStore()
+    store.add(obj)
+    manager = PresentationManager(store, Workstation())
+    return manager.open(obj.object_id), obj
+
+
+@pytest.fixture(scope="module")
+def small_session():
+    return _session(chapters=3)
+
+
+@pytest.fixture(scope="module")
+def large_session():
+    return _session(chapters=30)
+
+
+def test_compile_page_program(benchmark, results):
+    """Compiling the office document into its page program."""
+    obj = build_office_document(chapters=6, paragraphs_per_chapter=6)
+    program = benchmark(compile_visual_program, obj)
+    results.record(
+        "F1-2 visual pages",
+        f"compile: {len(program)} pages from {len(obj.text_segments[0].markup)} "
+        "bytes of markup",
+    )
+    assert len(program) >= 3
+
+
+def test_page_turn_latency(benchmark, small_session):
+    """One next-page/previous-page cycle."""
+    session, _ = small_session
+
+    def turn():
+        session.next_page()
+        session.previous_page()
+
+    benchmark(turn)
+
+
+def test_page_turn_independent_of_document_length(
+    small_session, large_session, results
+):
+    """Page turns must not slow down with document size."""
+    import time
+
+    def measure(session, rounds=200):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            session.next_page()
+            session.previous_page()
+        return (time.perf_counter() - start) / rounds
+
+    small, _ = small_session
+    large, _ = large_session
+    t_small = measure(small)
+    t_large = measure(large)
+    ratio = t_large / t_small
+    results.record(
+        "F1-2 visual pages",
+        f"page turn: {t_small * 1e6:.0f}us (9 pages) vs {t_large * 1e6:.0f}us "
+        f"({large.page_count} pages); ratio {ratio:.2f}",
+    )
+    assert ratio < 3.0  # O(1) page turns, generous slack
+
+
+def test_menu_reflects_object_structure(small_session, results):
+    """The adaptive menu of Figures 1-2."""
+    session, obj = small_session
+    commands = session.menu.commands
+    results.record(
+        "F1-2 visual pages",
+        f"menu options on page {session.current_page_number}: "
+        + ", ".join(commands),
+    )
+    assert "next_page" in commands
+    assert "next_chapter" in commands
+    assert "find_pattern" in commands
+
+
+def test_mixed_page_content(small_session, results):
+    """Pages intermix text with embedded graphics and bitmap images."""
+    session, obj = small_session
+    image_pages = [
+        p.number
+        for p in session.program.pages
+        if p.visual is not None and p.visual.image_tags
+    ]
+    results.record(
+        "F1-2 visual pages",
+        f"{session.page_count} pages; images embedded on pages {image_pages}",
+    )
+    assert image_pages  # the org chart and the halftone are embedded

@@ -1,0 +1,90 @@
+"""F3-4 — Figures 3 and 4: a visual logical message on a visual object.
+
+"By pressing a mouse button various parts of the text associated with
+the image are displayed in the same page with the image...  Three pages
+are needed in this particular example to fit all the related text...
+The image is only stored once."
+
+The benchmark verifies the paging behaviour and quantifies the storage
+claim: pinning the image once versus the naive alternative of copying
+the bitmap into every related page.
+"""
+
+import pytest
+
+from repro.core.compile import compile_visual_program
+from repro.core.manager import LocalStore, PresentationManager
+from repro.formatter.builder import ObjectFormatter
+from repro.scenarios import build_visual_report_with_xray
+from repro.workstation.station import Workstation
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_visual_report_with_xray()
+
+
+@pytest.fixture(scope="module")
+def session(report):
+    store = LocalStore()
+    store.add(report)
+    manager = PresentationManager(store, Workstation())
+    return manager.open(report.object_id)
+
+
+def test_related_text_flows_under_pinned_image(session, results, report):
+    pinned = [p.number for p in session.program.pages if p.pinned_message_id]
+    results.record(
+        "F3-4 visual logical message",
+        f"{session.page_count} pages total; the x-ray is pinned on pages "
+        f"{pinned} while related text flows in the lower region",
+    )
+    assert len(pinned) >= 2
+    assert pinned == list(range(pinned[0], pinned[-1] + 1))
+    # The page after the related span "does not contain the image".
+    following = pinned[-1] + 1
+    if following <= session.page_count:
+        assert session.program.page(following).pinned_message_id is None
+
+
+def test_image_stored_once_storage_ratio(report, results):
+    formed = ObjectFormatter().form(report)
+    stored = len(formed.composition)
+    image_tag = f"image/{report.images[0].image_id}"
+    image_bytes = formed.descriptor.location(image_tag).length
+    pinned_pages = sum(
+        1 for p in compile_visual_program(report).pages if p.pinned_message_id
+    )
+    naive = stored + image_bytes * (pinned_pages - 1)
+    saving = naive / stored
+    results.record(
+        "F3-4 visual logical message",
+        f"stored once: {stored:,}B; naive per-page copies would need "
+        f"{naive:,}B ({saving:.2f}x) for {pinned_pages} related pages",
+    )
+    assert pinned_pages >= 2
+    assert naive > stored
+
+
+def test_page_turn_through_related_section(benchmark, session):
+    """Turning pages while the message stays pinned."""
+    pinned = [p.number for p in session.program.pages if p.pinned_message_id]
+
+    def walk():
+        for number in pinned:
+            session.goto_page(number)
+
+    benchmark(walk)
+
+
+def test_pin_state_updates_without_redundant_events(session):
+    """The pinned region persists across related pages (re-pinned per
+    display), and drops exactly once after the span."""
+    workstation = session.workstation
+    pinned = [p.number for p in session.program.pages if p.pinned_message_id]
+    session.goto_page(pinned[0])
+    assert workstation.screen.pinned is not None
+    session.goto_page(pinned[-1])
+    assert workstation.screen.pinned is not None
+    session.next_page()
+    assert workstation.screen.pinned is None

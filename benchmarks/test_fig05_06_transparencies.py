@@ -1,0 +1,96 @@
+"""F5-6 — Figures 5 and 6: transparencies over an x-ray.
+
+"Transparencies may be superimposed on the top of a bitmap as the user
+presses the next page button.  Each transparency contains some graphics
+information (circle) to identify a section on the x-ray, and some text
+information related to it."
+
+Measures superimposition cost and verifies both display methods plus
+the user-selected subset.
+"""
+
+import pytest
+
+from repro.core.manager import LocalStore, PresentationManager
+from repro.objects import TransparencyMode
+from repro.scenarios import build_xray_transparency_object
+from repro.workstation.station import Workstation
+
+
+def _open(mode=TransparencyMode.STACKED, overlays=3):
+    obj = build_xray_transparency_object(overlays=overlays, mode=mode)
+    store = LocalStore()
+    store.add(obj)
+    manager = PresentationManager(store, Workstation())
+    return manager.open(obj.object_id)
+
+
+@pytest.fixture(scope="module")
+def stacked():
+    return _open(TransparencyMode.STACKED)
+
+
+def test_stacked_superimposition(benchmark, stacked, results):
+    """Turning through the whole stacked transparency set."""
+
+    def show_all():
+        stacked.goto_page(1)
+        for _ in range(3):
+            stacked.next_page()
+
+    benchmark(show_all)
+    depths = []
+    stacked.goto_page(1)
+    for _ in range(3):
+        stacked.next_page()
+        depths.append(stacked.workstation.screen.transparency_depth)
+    results.record(
+        "F5-6 transparencies",
+        f"stacked mode: depth after each page turn = {depths}",
+    )
+    assert depths == [1, 2, 3]
+
+
+def test_separate_mode(results):
+    session = _open(TransparencyMode.SEPARATE)
+    depths = []
+    for number in (2, 3, 4):
+        session.goto_page(number)
+        depths.append(session.workstation.screen.transparency_depth)
+    results.record(
+        "F5-6 transparencies",
+        f"separate mode: depth on each transparency page = {depths}",
+    )
+    assert depths == [1, 1, 1]
+
+
+def test_user_selected_subset(stacked, results):
+    stacked.goto_page(2)
+    stacked.select_transparencies(positions=[0, 2])
+    depth = stacked.workstation.screen.transparency_depth
+    results.record(
+        "F5-6 transparencies",
+        f"user-selected subset [0, 2] superimposed: depth = {depth}",
+    )
+    assert depth == 2
+
+
+def test_overlays_pinpoint_distinct_regions(stacked, results):
+    """Each transparency changes a different region of the x-ray."""
+    import numpy as np
+
+    session = stacked
+    session.goto_page(1)
+    base = session.workstation.screen.composite.pixels.copy()
+    masks = []
+    for number in (2, 3, 4):
+        session.goto_page(1)
+        session.goto_page(number)  # separate-style recompute via STACKED prefix
+        current = session.workstation.screen.composite.pixels
+        masks.append(current != base)
+    changed = [int(m.sum()) for m in masks]
+    results.record(
+        "F5-6 transparencies",
+        f"pixels changed by cumulative overlays: {changed} (monotone)",
+    )
+    assert changed[0] < changed[1] < changed[2]

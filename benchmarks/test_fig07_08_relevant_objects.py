@@ -1,0 +1,85 @@
+"""F7-8 — Figures 7 and 8: relevant objects on the subway map.
+
+"Relevant objects which are transparencies are superimposed on a subway
+map when the relevant object indicator is selected."
+
+Measures branch-into/return cost and verifies the superimposition and
+the mode re-establishment on return.
+"""
+
+import pytest
+
+from repro.core.manager import LocalStore, PresentationManager
+from repro.scenarios import build_subway_map_with_relevants
+from repro.trace import EventKind
+from repro.workstation.station import Workstation
+
+
+@pytest.fixture()
+def rig():
+    workstation = Workstation()
+    store = LocalStore()
+    parent, overlays = build_subway_map_with_relevants()
+    store.add(parent)
+    for overlay in overlays:
+        store.add(overlay)
+    manager = PresentationManager(store, workstation)
+    session = manager.open(parent.object_id)
+    return manager, session, workstation
+
+
+def test_branch_and_return_cycle(benchmark, rig):
+    manager, session, _ = rig
+    indicator = session.visible_indicators()[1]["indicator"]
+
+    def cycle():
+        child = manager.select_relevant(session, indicator)
+        manager.return_from_relevant(child)
+
+    benchmark(cycle)
+
+
+def test_overlay_superimposed_on_map(rig, results):
+    manager, session, workstation = rig
+    indicators = session.visible_indicators()
+    base = workstation.screen.composite.pixels.copy()
+    for indicator in indicators:
+        child = manager.select_relevant(session, indicator["indicator"])
+        changed = int(
+            (workstation.screen.composite.pixels != base).sum()
+        )
+        results.record(
+            "F7-8 relevant objects",
+            f"selecting {indicator['label']!r} superimposes the overlay: "
+            f"{changed} map pixels change",
+        )
+        assert changed > 0
+        manager.return_from_relevant(child)
+        # Return re-establishes the bare map.
+        restored = int((workstation.screen.composite.pixels != base).sum())
+        assert restored == 0
+
+
+def test_explicit_navigation_is_enforced(rig, results):
+    """The user must explicitly select and explicitly return — the
+    design keeps the user 'confident on where he is'."""
+    manager, session, workstation = rig
+    indicator = session.visible_indicators()[0]["indicator"]
+    child = manager.select_relevant(session, indicator)
+    enters = workstation.trace.of_kind(EventKind.ENTER_RELEVANT)
+    assert len(enters) == 1
+    assert manager.nesting_depth == 1
+    manager.return_from_relevant(child)
+    returns = workstation.trace.of_kind(EventKind.RETURN_RELEVANT)
+    assert len(returns) == 1
+    assert manager.nesting_depth == 0
+    results.record(
+        "F7-8 relevant objects",
+        "explicit enter/return enforced; nesting depth restored to 0",
+    )
+
+
+def test_indicator_scoped_to_parent_section(rig):
+    """Indicators display only while browsing the related section."""
+    _, session, _ = rig
+    assert len(session.visible_indicators()) == 2

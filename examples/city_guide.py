@@ -1,0 +1,114 @@
+"""The tourist-information scenarios of Figures 7-10.
+
+1. Figures 7-8 — a subway map with relevant-object indicators; selecting
+   "Hospitals" superimposes the hospital overlay on the map, and an
+   explicit *return* re-establishes the parent's browsing mode.
+2. Figures 9-10 — a guided city walk as a process simulation: overwrite
+   pages blank the route walked so far, each with a voice message.
+3. A designer tour: the view window jumps across the map automatically,
+   playing the guide's voice at each stop; the user interrupts it and
+   moves the window freely.
+
+    python examples/city_guide.py
+"""
+
+from repro import (
+    BrowseCommand,
+    EventKind,
+    LocalStore,
+    PresentationManager,
+    Workstation,
+)
+from repro.scenarios import (
+    build_city_walk_simulation,
+    build_map_tour_object,
+    build_subway_map_with_relevants,
+)
+
+
+def relevant_objects() -> None:
+    print("=== Figures 7-8: relevant objects on the subway map ===")
+    workstation = Workstation()
+    store = LocalStore()
+    parent, overlays = build_subway_map_with_relevants()
+    store.add(parent)
+    for overlay in overlays:
+        store.add(overlay)
+
+    manager = PresentationManager(store, workstation)
+    session = manager.open(parent.object_id)
+    indicators = session.visible_indicators()
+    print("indicators:", ", ".join(i["label"] for i in indicators))
+
+    hospitals = next(i for i in indicators if i["label"] == "Hospitals")
+    child = session.execute(
+        BrowseCommand.SELECT_RELEVANT, indicator=hospitals["indicator"]
+    )
+    print(
+        "selected 'Hospitals' -> overlay superimposed "
+        f"(depth {workstation.screen.transparency_depth}), "
+        f"nesting depth {manager.nesting_depth}"
+    )
+    child.execute(BrowseCommand.RETURN_FROM_RELEVANT)
+    print(f"returned to the map (nesting depth {manager.nesting_depth})")
+
+
+def city_walk() -> None:
+    print("\n=== Figures 9-10: guided walk as process simulation ===")
+    workstation = Workstation()
+    store = LocalStore()
+    walk = build_city_walk_simulation(interval_s=1.0)
+    store.add(walk)
+    manager = PresentationManager(store, workstation)
+    session = manager.open(walk.object_id)
+
+    started = workstation.clock.now
+    session.execute(BrowseCommand.NEXT_PAGE)  # turning into the simulation runs it
+    sim_pages = workstation.trace.of_kind(EventKind.SIM_PAGE)
+    messages = workstation.trace.of_kind(EventKind.PLAY_MESSAGE)
+    print(
+        f"simulation ran {len(sim_pages)} overwrite pages with "
+        f"{len(messages)} voice messages in "
+        f"{workstation.clock.now - started:.1f}s of simulated time"
+    )
+
+    # Run it again faster: the user may alter the speed.
+    session.goto_page(1)
+    session.set_simulation_speed(4.0)
+    started = workstation.clock.now
+    session.run_simulation(group=1)
+    print(f"at 4x speed (voice messages still gate): "
+          f"{workstation.clock.now - started:.1f}s")
+
+
+def map_tour() -> None:
+    print("\n=== A designer tour over the map ===")
+    workstation = Workstation()
+    store = LocalStore()
+    tour_object = build_map_tour_object()
+    store.add(tour_object)
+    manager = PresentationManager(store, workstation)
+    session = manager.open(tour_object.object_id)
+
+    controller = session.execute(BrowseCommand.START_TOUR)
+    controller.step()
+    controller.step()
+    print("visited 2 stops; interrupting the tour...")
+    view = session.interrupt_tour()
+    view.move(40, 0)
+    print(
+        "user moved the window freely; tour stops on trace: "
+        f"{len(workstation.trace.of_kind(EventKind.TOUR_STOP))}, "
+        f"voice messages: "
+        f"{len(workstation.trace.of_kind(EventKind.PLAY_MESSAGE))}"
+    )
+
+
+def main() -> None:
+    relevant_objects()
+    city_walk()
+    map_tour()
+
+
+if __name__ == "__main__":
+    main()

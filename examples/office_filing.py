@@ -1,0 +1,101 @@
+"""The office filing environment: formation, archiving, query, browsing.
+
+Walks the full Section 4 + Section 5 pipeline:
+
+1. Interactive object formation with a synthesis file (live miniature
+   preview, data directory, final-form checks).
+2. Archiving onto the optical-disk server and content indexing.
+3. A content query whose results arrive as a miniature stream.
+4. Selecting a miniature and browsing the object (Figures 1-2 style),
+   while the presentation manager ships only the needed bytes.
+5. Mailing an object outside the organization (archiver pointers are
+   resolved into a self-contained composition file).
+
+    python examples/office_filing.py
+"""
+
+from repro import PresentationManager, Workstation
+from repro.formatter import SynthesisFile, mail_outside, rebuild_object
+from repro.ids import IdGenerator
+from repro.images.bitmap import Bitmap
+from repro.images.image import Image
+from repro.scenarios import build_object_library
+from repro.server import Archiver
+
+MEMO = """@title{Budget Memo Q3}
+@abstract
+Spending on optical storage exceeded the projection.
+
+@chapter{Numbers}
+The archive group requested two additional optical platters this
+quarter. The projected budget covered one.
+
+@image{IMAGE_TAG}
+
+@chapter{Action}
+Approve the revised budget or defer the second platter purchase.
+"""
+
+
+def main() -> None:
+    generator = IdGenerator("office-ex")
+
+    # 1. Interactive formation: synthesis file + live miniature preview.
+    synthesis = SynthesisFile(generator.object_id())
+    chart = Image(
+        image_id=generator.image_id(),
+        width=200,
+        height=120,
+        bitmap=Bitmap.from_function(200, 120, lambda x, y: (x * 2 + y) % 256),
+    )
+    synthesis.register_image(chart.image_id.value, chart)
+    synthesis.update_markup(MEMO.replace("IMAGE_TAG", chart.image_id.value))
+    preview = synthesis.miniature_pages()
+    print(f"miniature preview: {len(preview)} pages "
+          f"(rebuilds so far: {synthesis.rebuild_count})")
+
+    memo = synthesis.build_object().archive()
+
+    # 2. Archive a small library plus the memo onto the server.
+    archiver = Archiver()
+    build_object_library(archiver, visual_count=5, audio_count=2)
+    archiver.store(memo)
+    print(f"archiver holds {len(archiver)} objects, "
+          f"{archiver.disk.used_bytes:,} bytes on optical disk")
+
+    # 3. Query by content; results arrive as a miniature stream.
+    workstation = Workstation()
+    manager = PresentationManager(archiver, workstation)
+    print("\nquery: objects mentioning 'budget'")
+    cards = list(manager.browse_by_content(terms=["budget"]))
+    for card in cards:
+        print(
+            f"  miniature of {card.object_id} [{card.driving_mode}] "
+            f"{card.nbytes}B, on screen at t={card.available_at_s:.3f}s"
+        )
+
+    # 4. Select the memo's miniature and browse it.
+    target = next(c for c in cards if c.object_id == memo.object_id)
+    session = manager.open(target.object_id)
+    print(f"\nopened {target.object_id}: {session.page_count} pages, "
+          f"menu: {', '.join(session.menu.commands[:6])}, ...")
+    session.next_page()
+
+    # 5. Mail the memo outside the organization.
+    result = archiver.fetch(memo.object_id)
+    mailed_descriptor, mailed_composition = mail_outside(
+        result.descriptor,
+        result.composition,
+        lambda offset, length: archiver.read_absolute(offset, length)[0],
+    )
+    print(
+        f"\nmailed object: {len(mailed_composition):,}B composition, "
+        f"{len(mailed_descriptor.archiver_tags())} archiver pointers remain"
+    )
+    rebuilt = rebuild_object(mailed_descriptor, mailed_composition)
+    print(f"recipient rebuilt object with {len(rebuilt.text_segments)} text "
+          f"segment(s) and {len(rebuilt.images)} image(s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Quickstart: build, archive, and browse one multimedia object.
+
+Runs in seconds and prints the workstation trace, which is the
+observable surface of the presentation manager ("what the user saw and
+heard", stamped with simulated time).
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    BrowseCommand,
+    LocalStore,
+    PresentationManager,
+    Workstation,
+)
+from repro.audio import VocabularyRecognizer, synthesize_speech
+from repro.ids import IdGenerator
+from repro.objects import (
+    AttributeSet,
+    DrivingMode,
+    MultimediaObject,
+    PresentationSpec,
+    TextFlow,
+    TextSegment,
+)
+from repro.objects.parts import VoiceSegment
+
+MARKUP = """@title{A First MINOS Object}
+@abstract
+A multimedia object combines attributes, text, voice and images.
+
+@chapter{Symmetric Browsing}
+Text and voice present just two alternative ways of representing the
+same information. The presentation manager therefore offers matching
+capabilities for both: pages, logical units, and pattern matching.
+
+This second paragraph exists so the chapter spans real content and the
+pattern search below has something to find. The keyword optical occurs
+exactly here.
+
+@chapter{What Happens Next}
+Archive the object, open it through the presentation manager, and
+drive it with menu commands.
+
+Every observable action lands on the workstation trace with a
+simulated timestamp. Tests and benchmarks in this repository assert
+against that trace, because the screen and the speaker are the only
+outputs a presentation manager has.
+
+The server side is equally simulated: an optical disk archiver with
+seek and transfer timing, a magnetic staging cache, content indexes
+over text terms and recognized voice utterances, and an Ethernet-era
+network link between the workstation and the server.
+
+Voice browsing gets the symmetric treatment. Audio pages partition a
+dictation into constant-length units, pause detection recovers word
+and paragraph boundaries from the waveform itself, and recognized
+utterances collected at insertion time make speech searchable with
+the same index structure that serves text.
+
+This final paragraph pads the document past one visual page so the
+page navigation commands appear on the menu, exactly as the adaptive
+menus of the paper would offer them only when they are meaningful.
+"""
+
+
+def main() -> None:
+    generator = IdGenerator("quickstart")
+
+    # 1. Build an object: one text segment plus one dictated note.
+    obj = MultimediaObject(
+        object_id=generator.object_id(),
+        driving_mode=DrivingMode.VISUAL,
+        attributes=AttributeSet.of(author="you", kind="demo"),
+    )
+    text = TextSegment(segment_id=generator.segment_id(), markup=MARKUP)
+    obj.add_text_segment(text)
+
+    recording = synthesize_speech(
+        "remember to review the optical disk budget", seed=1
+    )
+    recognizer = VocabularyRecognizer(["optical", "budget"], seed=1)
+    obj.add_voice_segment(
+        VoiceSegment(
+            segment_id=generator.segment_id(),
+            recording=recording,
+            utterances=recognizer.recognize(recording),
+        )
+    )
+    obj.presentation = PresentationSpec(items=[TextFlow(text.segment_id)])
+
+    # 2. Archive it (objects must be archived before presentation).
+    obj.archive()
+
+    # 3. Present it on a workstation.
+    workstation = Workstation()
+    store = LocalStore()
+    store.add(obj)
+    manager = PresentationManager(store, workstation)
+    session = manager.open(obj.object_id)
+
+    print(f"object has {session.page_count} visual pages")
+    print("menu:", ", ".join(session.menu.commands))
+
+    # 4. Browse: pages, logical units, pattern search.
+    session.execute(BrowseCommand.NEXT_PAGE)
+    session.execute(BrowseCommand.PREVIOUS_PAGE)
+    session.execute(BrowseCommand.NEXT_CHAPTER)
+    hit_page = session.execute(BrowseCommand.FIND_PATTERN, pattern="optical")
+    print(f"pattern 'optical' found on page {hit_page}")
+
+    # 5. The trace is what the user saw and heard.
+    print("\n--- workstation trace ---")
+    print(workstation.trace.dump())
+
+
+if __name__ == "__main__":
+    main()

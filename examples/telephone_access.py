@@ -1,0 +1,64 @@
+"""Telephone access to the multimedia data bank.
+
+Section 1 of the paper: voice "allows users to access information using
+telephones."  A telephone has only a keypad and an earpiece, so the
+interface drives a browsing session entirely through audio:
+
+* the dictated radiology report plays directly, with keypad control
+  over interrupt/resume, voice pages, and pause-based rewind;
+* the office document — a *visual* object — is read aloud page by page
+  by the same speech synthesizer that models dictation, the symmetric
+  trick the paper's thesis enables.
+
+    python examples/telephone_access.py
+"""
+
+from repro.core.telephone import KEYPAD, TelephoneSession
+from repro.scenarios import build_audio_mode_report, build_office_document
+from repro.trace import EventKind
+from repro.workstation.station import Workstation
+
+
+def call_dictation() -> None:
+    print("=== Calling the dictated radiology report ===")
+    workstation = Workstation()
+    call = TelephoneSession(build_audio_mode_report(), workstation)
+    call.answer()
+    workstation.clock.advance(8.0)  # listen for 8 seconds
+    call.press("5")  # interrupt
+    print(f"listened to {workstation.clock.now:.1f}s, pressed 5 (interrupt)")
+    call.press("4")  # replay from one long pause back
+    print("pressed 4: replaying from one long pause back")
+    workstation.clock.advance(3.0)
+    call.press("5")
+    call.press("3")  # next voice page
+    print("pressed 3: jumped to the next voice page")
+    events = workstation.trace.of_kind(
+        EventKind.PLAY_VOICE, EventKind.SEEK_VOICE
+    )
+    print(f"{len(events)} audio events on the phone line")
+
+
+def call_document() -> None:
+    print("\n=== Calling the office document (visual object, read aloud) ===")
+    workstation = Workstation()
+    call = TelephoneSession(build_office_document(), workstation)
+    call.answer()
+    print(f"page 1 read aloud; call time {workstation.clock.now:.0f}s")
+    call.press("3")
+    print(f"pressed 3: page 2 read aloud; call time {workstation.clock.now:.0f}s")
+    call.press("9")
+    print(f"pressed 9: next chapter; call time {workstation.clock.now:.0f}s")
+
+
+def main() -> None:
+    print("keypad layout:")
+    for key, action in sorted(KEYPAD.items()):
+        print(f"  {key}: {action}")
+    print()
+    call_dictation()
+    call_document()
+
+
+if __name__ == "__main__":
+    main()

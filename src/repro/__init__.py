@@ -1,0 +1,57 @@
+"""Reproduction of the MINOS multimedia object presentation manager.
+
+S. Christodoulakis, F. Ho, M. Theodoridou: "The Multimedia Object
+Presentation Manager of MINOS: A Symmetric Approach", SIGMOD 1986.
+
+Public API tour
+---------------
+* Build objects with :mod:`repro.objects` (parts, messages, links,
+  presentation specs) or interactively with
+  :class:`repro.formatter.SynthesisFile`.
+* Synthesize voice with :func:`repro.audio.synthesize_speech`; run
+  insertion-time recognition with
+  :class:`repro.audio.VocabularyRecognizer`.
+* Archive objects into a :class:`repro.server.Archiver` (optical-disk
+  backed) and query them with :class:`repro.server.QueryInterface`.
+* Present and browse with :class:`repro.core.PresentationManager` on a
+  :class:`repro.workstation.Workstation`; assert on the workstation
+  trace.
+"""
+
+from repro.clock import SimClock
+from repro.trace import EventKind, Trace, TraceEvent
+from repro.ids import IdGenerator, ObjectId
+from repro.core import (
+    AudioSession,
+    BrowseCommand,
+    LocalStore,
+    PresentationManager,
+    VisualSession,
+)
+from repro.objects import DrivingMode, MultimediaObject, ObjectState
+from repro.server import Archiver, NetworkLink, QueryInterface
+from repro.workstation import Workstation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Archiver",
+    "AudioSession",
+    "BrowseCommand",
+    "DrivingMode",
+    "EventKind",
+    "IdGenerator",
+    "LocalStore",
+    "MultimediaObject",
+    "NetworkLink",
+    "ObjectId",
+    "ObjectState",
+    "PresentationManager",
+    "QueryInterface",
+    "SimClock",
+    "Trace",
+    "TraceEvent",
+    "VisualSession",
+    "Workstation",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Audio substrate: synthetic digitized voice and everything built on it.
+
+The original MINOS ran against voice digitization hardware on a SUN-3.
+We substitute a synthesizer (:mod:`repro.audio.signal`) that produces
+sampled waveforms with speech-like syllable envelopes and controlled
+inter-word / inter-sentence / inter-paragraph silences, carrying ground
+truth annotations.  Everything downstream — pause detection, audio
+paging, playback, recognition — operates on the sampled data exactly as
+it would on real digitized voice, and the ground truth lets benchmarks
+*measure* how well the paper's pause heuristics track real boundaries.
+"""
+
+from repro.audio.signal import Recording, SpeakerProfile, TimedWord, synthesize_speech
+from repro.audio.pauses import (
+    AdaptivePauseClassifier,
+    FixedPauseClassifier,
+    Pause,
+    PauseIndex,
+    PauseKind,
+    detect_silences,
+)
+from repro.audio.pages import AudioPage, AudioPager
+from repro.audio.recognition import RecognizedUtterance, VocabularyRecognizer
+from repro.audio.player import AudioPlayer, PlayerState
+from repro.audio.codec import mu_law_decode, mu_law_encode
+
+__all__ = [
+    "AdaptivePauseClassifier",
+    "AudioPage",
+    "AudioPager",
+    "AudioPlayer",
+    "FixedPauseClassifier",
+    "Pause",
+    "PauseIndex",
+    "PauseKind",
+    "PlayerState",
+    "RecognizedUtterance",
+    "Recording",
+    "SpeakerProfile",
+    "TimedWord",
+    "VocabularyRecognizer",
+    "detect_silences",
+    "mu_law_decode",
+    "mu_law_encode",
+    "synthesize_speech",
+]

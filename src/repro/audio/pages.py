@@ -1,0 +1,99 @@
+"""Audio pages.
+
+The paper: "Audio pages (or voice pages) in a speech are consecutive
+partitions of the audio object part which are of approximately constant
+time length.  The user can advance several voice pages at a time...
+A difference that we would like to accept is that speech is not
+interrupted at the end of each voice page" — pages are navigation
+units, not playback units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.audio.signal import Recording
+from repro.errors import AudioError
+
+
+@dataclass(frozen=True, slots=True)
+class AudioPage:
+    """One voice page: a time interval of the object voice part."""
+
+    number: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Page length in seconds."""
+        return self.end - self.start
+
+
+class AudioPager:
+    """Partitions a recording into approximately constant-length pages.
+
+    The final page absorbs any remainder shorter than half a page, so
+    no page is degenerately small.
+    """
+
+    def __init__(self, recording: Recording, page_seconds: float = 10.0) -> None:
+        if page_seconds <= 0:
+            raise AudioError(f"page length must be positive: {page_seconds}")
+        self._recording = recording
+        self._page_seconds = page_seconds
+        self._pages = self._build_pages()
+
+    def _build_pages(self) -> list[AudioPage]:
+        duration = self._recording.duration
+        pages: list[AudioPage] = []
+        start = 0.0
+        number = 1
+        while start < duration:
+            end = start + self._page_seconds
+            remainder = duration - end
+            if 0 < remainder < self._page_seconds / 2:
+                end = duration  # absorb the short tail
+            end = min(end, duration)
+            pages.append(AudioPage(number=number, start=start, end=end))
+            start = end
+            number += 1
+        if not pages:
+            raise AudioError("cannot page an empty recording")
+        return pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def pages(self) -> list[AudioPage]:
+        """All pages in order."""
+        return list(self._pages)
+
+    @property
+    def page_seconds(self) -> float:
+        """Nominal page duration."""
+        return self._page_seconds
+
+    def page(self, number: int) -> AudioPage:
+        """Look up a page by 1-based number.
+
+        Raises
+        ------
+        AudioError
+            If the number is out of range.
+        """
+        if not 1 <= number <= len(self._pages):
+            raise AudioError(
+                f"audio page {number} out of range 1..{len(self._pages)}"
+            )
+        return self._pages[number - 1]
+
+    def page_at(self, position: float) -> AudioPage:
+        """The page containing time ``position`` (clamped to the ends)."""
+        if position <= 0:
+            return self._pages[0]
+        for page in self._pages:
+            if page.start <= position < page.end:
+                return page
+        return self._pages[-1]

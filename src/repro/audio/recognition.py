@@ -1,0 +1,109 @@
+"""Limited-vocabulary voice recognition, simulated.
+
+The paper's design point: "Voice recognition is not taking place at the
+time of browsing.  Instead, some voice segments have been recognized at
+the time of voice insertion, or at machine's idle time, from the
+digitized voice.  The recognized voice segments are used to provide
+content addressibility and browsing by using the same access methods
+as in text."
+
+We cannot run a 1986 recognition device, so :class:`VocabularyRecognizer`
+simulates one: it consumes the recording's transcript annotations (the
+stand-in for the acoustic signal the device would hear), keeps only
+words inside its limited vocabulary, and injects misses and confusions
+at configurable rates with a seeded RNG.  What matters for the paper —
+*when* recognition runs, *what* it yields (term + time offset pairs),
+and how recognition quality bounds browse-time search recall — is fully
+reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.audio.signal import Recording
+from repro.errors import RecognitionError
+
+
+@dataclass(frozen=True, slots=True)
+class RecognizedUtterance:
+    """One recognized word, anchored at a point of the voice part."""
+
+    term: str
+    time: float
+
+
+class VocabularyRecognizer:
+    """Simulated limited-vocabulary, speaker-independent recognizer.
+
+    Parameters
+    ----------
+    vocabulary:
+        The closed set of words the device can recognize.
+    miss_rate:
+        Probability that an in-vocabulary spoken word is not detected.
+    confusion_rate:
+        Probability that a detected in-vocabulary word is reported as a
+        *different* vocabulary word (substitution error).
+    seed:
+        RNG seed; recognition of the same recording is reproducible.
+    """
+
+    def __init__(
+        self,
+        vocabulary: list[str],
+        miss_rate: float = 0.05,
+        confusion_rate: float = 0.02,
+        seed: int = 0,
+    ) -> None:
+        if not vocabulary:
+            raise RecognitionError("recognizer vocabulary must be non-empty")
+        if not 0 <= miss_rate < 1:
+            raise RecognitionError(f"miss rate must be in [0, 1): {miss_rate}")
+        if not 0 <= confusion_rate < 1:
+            raise RecognitionError(
+                f"confusion rate must be in [0, 1): {confusion_rate}"
+            )
+        self._vocabulary = sorted({w.lower() for w in vocabulary})
+        self._vocab_set = set(self._vocabulary)
+        self._miss_rate = miss_rate
+        self._confusion_rate = confusion_rate
+        self._seed = seed
+
+    @property
+    def vocabulary(self) -> list[str]:
+        """The recognizer's closed vocabulary, sorted."""
+        return list(self._vocabulary)
+
+    def recognize(self, recording: Recording) -> list[RecognizedUtterance]:
+        """Run recognition over a recording (insertion/idle-time step).
+
+        Raises
+        ------
+        RecognitionError
+            If the recording has no transcript annotations — i.e. no
+            simulated acoustic content to recognize.
+        """
+        if not recording.words:
+            raise RecognitionError(
+                "recording carries no transcript; nothing to recognize"
+            )
+        rng = np.random.default_rng(self._seed)
+        utterances: list[RecognizedUtterance] = []
+        for word in recording.words:
+            token = word.word.lower()
+            if token not in self._vocab_set:
+                continue
+            if rng.random() < self._miss_rate:
+                continue  # device failed to detect the word
+            term = token
+            if len(self._vocabulary) > 1 and rng.random() < self._confusion_rate:
+                term = self._confuse(token, rng)
+            utterances.append(RecognizedUtterance(term=term, time=word.start))
+        return utterances
+
+    def _confuse(self, token: str, rng: np.random.Generator) -> str:
+        others = [w for w in self._vocabulary if w != token]
+        return others[int(rng.integers(len(others)))]

@@ -1,0 +1,40 @@
+"""The MINOS multimedia object presentation manager — the paper's
+contribution.
+
+"The multimedia object presentation manager resides in the user's
+workstation and requests the appropriate pieces of information from the
+multimedia object server subsystems."
+
+:class:`~repro.core.manager.PresentationManager` opens archived objects
+onto a :class:`~repro.workstation.station.Workstation` and returns a
+browsing session — visual or audio, per the object's driving mode —
+exposing the symmetric browsing vocabulary of Section 2: page
+navigation, logical-unit navigation, pattern search, pause-based
+rewind, logical messages, relevant objects, transparencies, overwrites,
+views, tours and process simulation.
+"""
+
+from repro.core.browsing import BrowseCommand
+from repro.core.compile import CompiledPage, PageKind, compile_visual_program
+from repro.core.manager import LocalStore, PresentationManager
+from repro.core.visual import VisualSession
+from repro.core.audio import AudioSession
+from repro.core.spoken import find_spoken_pattern, recognize_pattern
+from repro.core.telephone import TelephoneSession
+from repro.core.query_session import QueryBrowser, QueryState
+
+__all__ = [
+    "AudioSession",
+    "TelephoneSession",
+    "QueryBrowser",
+    "QueryState",
+    "find_spoken_pattern",
+    "recognize_pattern",
+    "BrowseCommand",
+    "CompiledPage",
+    "LocalStore",
+    "PageKind",
+    "PresentationManager",
+    "VisualSession",
+    "compile_visual_program",
+]

@@ -1,0 +1,83 @@
+"""The browsing command vocabulary.
+
+Commands are the currency between menus and sessions: a session's menu
+is a set of :class:`BrowseCommand` values derived from the object's
+descriptor ("the menu options which are displayed define the set of
+available operations"), and executing a command not on the menu is an
+error — exactly like clicking a menu option that is not there.
+
+The table makes the paper's symmetry explicit: every text-browsing
+command has an audio counterpart.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class BrowseCommand(enum.Enum):
+    """Every browsing operation a MINOS menu can offer."""
+
+    # -- page browsing, symmetric between visual and audio pages -------
+    NEXT_PAGE = "next_page"
+    PREVIOUS_PAGE = "previous_page"
+    ADVANCE_PAGES = "advance_pages"  # forth and back by a count
+    GOTO_PAGE = "goto_page"
+
+    # -- voice output control (audio mode) ------------------------------
+    INTERRUPT = "interrupt"
+    RESUME = "resume"
+    RESUME_PAGE_START = "resume_page_start"
+    REWIND_SHORT_PAUSES = "rewind_short_pauses"
+    REWIND_LONG_PAUSES = "rewind_long_pauses"
+
+    # -- logical-unit browsing, symmetric --------------------------------
+    NEXT_CHAPTER = "next_chapter"
+    PREVIOUS_CHAPTER = "previous_chapter"
+    NEXT_SECTION = "next_section"
+    PREVIOUS_SECTION = "previous_section"
+    NEXT_PARAGRAPH = "next_paragraph"
+    PREVIOUS_PARAGRAPH = "previous_paragraph"
+
+    # -- pattern matching, symmetric --------------------------------------
+    FIND_PATTERN = "find_pattern"
+
+    # -- relevant objects ---------------------------------------------------
+    SELECT_RELEVANT = "select_relevant"
+    RETURN_FROM_RELEVANT = "return_from_relevant"
+    NEXT_RELEVANT_VOICE = "next_relevant_voice"
+
+    # -- transparencies -----------------------------------------------------
+    SELECT_TRANSPARENCIES = "select_transparencies"
+
+    # -- images: labels and views --------------------------------------------
+    SELECT_OBJECT = "select_object"
+    HIGHLIGHT_LABELS = "highlight_labels"
+    PLAY_ALL_LABELS = "play_all_labels"
+    DEFINE_VIEW = "define_view"
+    MOVE_VIEW = "move_view"
+    JUMP_VIEW = "jump_view"
+    RESIZE_VIEW = "resize_view"
+    TOGGLE_VOICE_OPTION = "toggle_voice_option"
+
+    # -- automatic presentations ----------------------------------------------
+    START_TOUR = "start_tour"
+    INTERRUPT_TOUR = "interrupt_tour"
+    RUN_SIMULATION = "run_simulation"
+    SET_SIMULATION_SPEED = "set_simulation_speed"
+
+
+#: Visual↔audio command symmetry, as the paper frames it: text and
+#: voice "present just two alternative ways of representing
+#: information" and get the same capabilities.
+SYMMETRIC_PAIRS: list[tuple[BrowseCommand, BrowseCommand]] = [
+    (BrowseCommand.NEXT_PAGE, BrowseCommand.NEXT_PAGE),
+    (BrowseCommand.PREVIOUS_PAGE, BrowseCommand.PREVIOUS_PAGE),
+    (BrowseCommand.ADVANCE_PAGES, BrowseCommand.ADVANCE_PAGES),
+    (BrowseCommand.GOTO_PAGE, BrowseCommand.GOTO_PAGE),
+    (BrowseCommand.NEXT_CHAPTER, BrowseCommand.NEXT_CHAPTER),
+    (BrowseCommand.FIND_PATTERN, BrowseCommand.FIND_PATTERN),
+    # Re-reading a word/sentence/paragraph from the text page "cache"
+    # maps to pause-based rewind in voice:
+    (BrowseCommand.PREVIOUS_PARAGRAPH, BrowseCommand.REWIND_LONG_PAUSES),
+]

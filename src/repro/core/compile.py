@@ -1,0 +1,286 @@
+"""Compiling a presentation specification into a concrete page program.
+
+The presentation manager turns the designer's ordered
+:class:`~repro.objects.presentation.PresentationSpec` plus the object's
+parts into a flat sequence of :class:`CompiledPage` entries — the thing
+"next page" walks over.  Text flows are paginated here, including the
+visual-logical-message interaction of Figures 3-4: pages whose text
+falls inside a message's anchored span reserve the top region for the
+pinned message, and pagination breaks at span boundaries so a page
+never mixes related and unrelated text.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import DescriptorError, PaginationError
+from repro.ids import ImageId, MessageId, SegmentId
+from repro.objects.messages import VisualMessage
+from repro.objects.model import MultimediaObject
+from repro.objects.presentation import (
+    ImagePage,
+    OverwritePage,
+    ProcessSimulation,
+    SimStep,
+    TextFlow,
+    Tour,
+    TransparencyMode,
+    TransparencySet,
+)
+from repro.text.formatter import FormattedLine, LineKind, TextFormatter
+from repro.text.pagination import Paginator, VisualPage
+
+
+class PageKind(enum.Enum):
+    """What a compiled page is."""
+
+    TEXT = "text"
+    IMAGE = "image"
+    TRANSPARENCY = "transparency"
+    OVERWRITE = "overwrite"
+    SIM_STEP = "sim_step"
+    TOUR = "tour"
+
+
+@dataclass
+class CompiledPage:
+    """One page of the compiled program.
+
+    Attributes
+    ----------
+    number:
+        1-based global page number.
+    kind:
+        Page classification.
+    visual:
+        For TEXT pages, the paginated content.
+    segment_id:
+        For TEXT pages, the text segment the content comes from.
+    image_id:
+        For image-bearing pages, the image shown/composited.
+    pinned_message_id:
+        Visual logical message pinned at the top of this page, if any.
+    transparency_group, transparency_position, transparency_mode:
+        Grouping info for members of a transparency set.
+    sim_group, sim_step, sim_interval_s:
+        Grouping info for process-simulation steps.
+    tour:
+        For TOUR pages, the tour specification.
+    """
+
+    number: int
+    kind: PageKind
+    visual: VisualPage | None = None
+    segment_id: SegmentId | None = None
+    image_id: ImageId | None = None
+    pinned_message_id: MessageId | None = None
+    transparency_group: int | None = None
+    transparency_position: int = 0
+    transparency_mode: TransparencyMode | None = None
+    sim_group: int | None = None
+    sim_step: SimStep | None = None
+    sim_interval_s: float = 0.0
+    tour: Tour | None = None
+
+    @property
+    def char_span(self) -> tuple[int, int]:
+        """Plain-text span of a TEXT page (``(0, 0)`` otherwise)."""
+        if self.visual is None:
+            return (0, 0)
+        return (self.visual.char_start, self.visual.char_end)
+
+
+@dataclass
+class VisualProgram:
+    """The full compiled page program of a visual mode object."""
+
+    pages: list[CompiledPage] = field(default_factory=list)
+    #: Page number of the first page of each text segment.
+    segment_first_page: dict[SegmentId, int] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def page(self, number: int) -> CompiledPage:
+        """Look up a page by 1-based number.
+
+        Raises
+        ------
+        PaginationError
+            If out of range.
+        """
+        if not 1 <= number <= len(self.pages):
+            raise PaginationError(
+                f"page {number} out of range 1..{len(self.pages)}"
+            )
+        return self.pages[number - 1]
+
+    def page_for_offset(self, segment_id: SegmentId, offset: float) -> int:
+        """The page showing character ``offset`` of a text segment."""
+        best: int | None = None
+        for page in self.pages:
+            if page.kind is not PageKind.TEXT or page.segment_id != segment_id:
+                continue
+            start, end = page.char_span
+            if start <= offset < end:
+                return page.number
+            if start <= offset:
+                best = page.number
+        if best is not None:
+            return best
+        raise PaginationError(
+            f"no page covers offset {offset} of segment {segment_id}"
+        )
+
+
+#: Height (in lines) the pinned message region occupies on a page.
+PINNED_REGION_LINES = 14
+
+
+def compile_visual_program(
+    obj: MultimediaObject,
+    page_height: int = 40,
+    width: int = 72,
+) -> VisualProgram:
+    """Compile the object's presentation spec into a page program."""
+    program = VisualProgram()
+    formatter = TextFormatter(width=width)
+    transparency_group = 0
+    sim_group = 0
+
+    def image_lines(tag: str) -> int:
+        try:
+            image = obj.image(ImageId(tag))
+        except DescriptorError:
+            # The tag names data outside the object (e.g. captured
+            # externally); reserve a default placeholder region.
+            return 12
+        # One text line stands for ~20 pixels of image height, capped to
+        # fit a page with a couple of lines to spare.
+        return min(max(image.height // 20, 4), page_height - 4)
+
+    for item in obj.presentation.items:
+        if isinstance(item, TextFlow):
+            segment = obj.text_segment(item.segment_id)
+            lines = formatter.format(segment.document)
+            messages = [
+                m
+                for m in obj.visual_messages
+                if any(
+                    getattr(a, "segment_id", None) == item.segment_id
+                    for a in m.anchors
+                )
+            ]
+            pages = _paginate_text_flow(
+                lines, messages, item.segment_id, page_height, image_lines
+            )
+            first = len(program.pages) + 1
+            program.segment_first_page.setdefault(item.segment_id, first)
+            program.pages.extend(pages)
+        elif isinstance(item, ImagePage):
+            program.pages.append(
+                CompiledPage(number=0, kind=PageKind.IMAGE, image_id=item.image_id)
+            )
+        elif isinstance(item, TransparencySet):
+            transparency_group += 1
+            for position, member in enumerate(item.members):
+                program.pages.append(
+                    CompiledPage(
+                        number=0,
+                        kind=PageKind.TRANSPARENCY,
+                        image_id=member,
+                        transparency_group=transparency_group,
+                        transparency_position=position,
+                        transparency_mode=item.mode,
+                    )
+                )
+        elif isinstance(item, OverwritePage):
+            program.pages.append(
+                CompiledPage(
+                    number=0, kind=PageKind.OVERWRITE, image_id=item.image_id
+                )
+            )
+        elif isinstance(item, ProcessSimulation):
+            sim_group += 1
+            for step_index, step in enumerate(item.steps):
+                program.pages.append(
+                    CompiledPage(
+                        number=0,
+                        kind=PageKind.SIM_STEP,
+                        image_id=step.image_id,
+                        sim_group=sim_group,
+                        sim_step=step,
+                        sim_interval_s=item.interval_s,
+                    )
+                )
+        elif isinstance(item, Tour):
+            program.pages.append(
+                CompiledPage(
+                    number=0, kind=PageKind.TOUR, image_id=item.image_id, tour=item
+                )
+            )
+        else:  # pragma: no cover - exhaustive over PresentationItem
+            raise PaginationError(f"unknown presentation item {type(item).__name__}")
+
+    for index, page in enumerate(program.pages, start=1):
+        page.number = index
+    return program
+
+
+def _paginate_text_flow(
+    lines: list[FormattedLine],
+    messages: list[VisualMessage],
+    segment_id: SegmentId,
+    page_height: int,
+    image_lines,
+) -> list[CompiledPage]:
+    """Paginate one text flow, honouring pinned visual messages.
+
+    The line stream is cut wherever the *pinned state* changes (a
+    visual message's anchored span begins or ends); each run is then
+    paginated with the top region reserved when a message is pinned.
+    This reproduces Figures 3-4: the related text flows through the
+    lower region over as many pages as needed, and the page after the
+    related span "does not contain the image".
+    """
+
+    def pinned_for(line: FormattedLine) -> MessageId | None:
+        if line.end <= line.start:
+            return None
+        for message in messages:
+            if message.covers_text(segment_id, line.start, line.end):
+                return message.message_id
+        return None
+
+    runs: list[tuple[MessageId | None, list[FormattedLine]]] = []
+    current_pin: MessageId | None = None
+    current_run: list[FormattedLine] = []
+    for line in lines:
+        pin = pinned_for(line) if line.kind is not LineKind.BLANK else current_pin
+        if pin != current_pin and current_run:
+            runs.append((current_pin, current_run))
+            current_run = []
+        current_pin = pin
+        current_run.append(line)
+    if current_run:
+        runs.append((current_pin, current_run))
+
+    compiled: list[CompiledPage] = []
+    for pin, run_lines in runs:
+        reserved = PINNED_REGION_LINES if pin is not None else 0
+        paginator = Paginator(page_height=page_height, image_lines=image_lines)
+        for visual in paginator.paginate(run_lines, reserved_top=reserved):
+            if not visual.elements:
+                continue
+            compiled.append(
+                CompiledPage(
+                    number=0,
+                    kind=PageKind.TEXT,
+                    visual=visual,
+                    segment_id=segment_id,
+                    pinned_message_id=pin,
+                )
+            )
+    return compiled

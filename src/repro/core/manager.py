@@ -1,0 +1,426 @@
+"""The presentation manager.
+
+"When the user selects the miniature of an object the multimedia object
+presentation manager undertakes the responsibility to present the
+information of the selected object.  The multimedia object presentation
+manager will also facilitate the user in navigating from the current
+object to other related objects...  The multimedia object presentation
+manager resides in the user's workstation and requests the appropriate
+pieces of information from the multimedia object server subsystems."
+
+Two store backends are supported: a :class:`LocalStore` (objects held
+in workstation memory — the editing-state preview path of Section 4)
+and the :class:`~repro.server.archiver.Archiver`, in which case opening
+an object moves real bytes over the :class:`~repro.server.network
+.NetworkLink`, advancing the simulated clock — and, crucially, the
+bitmaps of images that have an on-screen *representation* are **not**
+shipped: views defined on the representation fetch only their window's
+rows from the server (the C-VIEW claim).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Iterator, Protocol, Union
+
+import numpy as np
+
+from repro.core.audio import AudioSession
+from repro.core.visual import VisualSession
+from repro.errors import BrowsingError, ObjectNotFoundError
+from repro.ids import ImageId, ObjectId
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Rect
+from repro.objects.model import DrivingMode, MultimediaObject, ObjectState
+from repro.objects.relationships import RelevanceKind, RelevantLink
+from repro.server.archiver import Archiver, _all_archiver
+from repro.server.network import NetworkLink
+from repro.server.query import MiniatureCard, QueryInterface
+from repro.trace import EventKind
+from repro.workstation.station import Workstation
+
+Session = Union[VisualSession, AudioSession]
+
+
+class ObjectStore(Protocol):
+    """Anything the manager can fetch archived objects from."""
+
+    def fetch_object(
+        self, object_id: ObjectId
+    ) -> tuple[MultimediaObject, float]:  # pragma: no cover - protocol
+        ...
+
+
+class LocalStore:
+    """In-memory store: archived objects held at the workstation.
+
+    Also usable for previewing editing-state objects with the same
+    browsing software ("duplication of software is not required").
+    """
+
+    def __init__(self) -> None:
+        self._objects: dict[ObjectId, MultimediaObject] = {}
+
+    def add(self, obj: MultimediaObject) -> None:
+        """Register an object for presentation."""
+        self._objects[obj.object_id] = obj
+
+    def __contains__(self, object_id: ObjectId) -> bool:
+        return object_id in self._objects
+
+    def fetch_object(self, object_id: ObjectId) -> tuple[MultimediaObject, float]:
+        """Fetch with zero simulated cost (local memory).
+
+        Raises
+        ------
+        ObjectNotFoundError
+            If the object was never added.
+        """
+        obj = self._objects.get(object_id)
+        if obj is None:
+            raise ObjectNotFoundError(f"local store has no object {object_id}")
+        return obj, 0.0
+
+
+@dataclass
+class _DeferredImage:
+    """A source image whose bitmap stays on the server."""
+
+    tag: str
+    width: int
+    height: int
+
+
+@dataclass
+class _StackEntry:
+    """One level of relevant-object nesting."""
+
+    session: Session
+    link: RelevantLink | None = None
+    parent_composite: Bitmap | None = field(default=None, repr=False)
+
+
+class PresentationManager:
+    """Presents archived objects onto a workstation.
+
+    Parameters
+    ----------
+    store:
+        Where objects come from: a :class:`LocalStore` or an
+        :class:`~repro.server.archiver.Archiver`.
+    workstation:
+        The user's workstation.
+    link:
+        Network model used when the store is a remote archiver.
+    """
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        workstation: Workstation,
+        link: NetworkLink | None = None,
+    ) -> None:
+        self._store = store
+        self._ws = workstation
+        self._link = link or NetworkLink()
+        self._stack: list[_StackEntry] = []
+        self._deferred: dict[ObjectId, dict[ImageId, _DeferredImage]] = {}
+        self.bytes_shipped = 0
+
+    @property
+    def workstation(self) -> Workstation:
+        """The workstation the manager presents onto."""
+        return self._ws
+
+    @property
+    def current_session(self) -> Session | None:
+        """The session the user is currently browsing (top of stack)."""
+        return self._stack[-1].session if self._stack else None
+
+    @property
+    def nesting_depth(self) -> int:
+        """How many relevant objects deep the user currently is."""
+        return max(len(self._stack) - 1, 0)
+
+    # ------------------------------------------------------------------
+    # opening objects
+    # ------------------------------------------------------------------
+
+    def open(self, object_id: ObjectId) -> Session:
+        """Open an object as the root browsing session and display it."""
+        session = self._make_session(object_id)
+        self._stack = [_StackEntry(session=session)]
+        session.open()
+        # The menu options "are presented in the form of menu options"
+        # alongside the object; record what the user was offered.
+        self._ws.trace.record(
+            self._ws.clock.now,
+            EventKind.MENU_SHOWN,
+            object=str(object_id),
+            options=len(session.menu),
+        )
+        return session
+
+    def _make_session(self, object_id: ObjectId) -> Session:
+        obj, cost = self._fetch(object_id)
+        if obj.state is not ObjectState.ARCHIVED:
+            raise BrowsingError(
+                f"object {object_id} is not archived; archive before presenting"
+            )
+        if obj.driving_mode is DrivingMode.AUDIO:
+            return AudioSession(obj, self._ws, manager=self)
+        return VisualSession(obj, self._ws, manager=self)
+
+    def _fetch(self, object_id: ObjectId) -> tuple[MultimediaObject, float]:
+        if not isinstance(self._store, Archiver):
+            obj, cost = self._store.fetch_object(object_id)
+            return obj, cost
+
+        # Archiver path: fetch pieces selectively, deferring the
+        # bitmaps of images that have a representation in the object —
+        # views over the representation fetch windows later.
+        from repro.formatter.builder import rebuild_object
+
+        record = self._store.record(object_id)
+        descriptor = _all_archiver(record.descriptor)
+        extra = copy.deepcopy(descriptor.extra)
+        deferred: dict[ImageId, _DeferredImage] = {}
+        represented = {
+            payload["source_image_id"]
+            for payload in extra.get("images", [])
+            if payload.get("is_representation") and "source_image_id" in payload
+        }
+        for payload in extra.get("images", []):
+            if payload["image_id"] in represented and "bitmap_tag" in payload:
+                deferred[ImageId(payload["image_id"])] = _DeferredImage(
+                    tag=payload.pop("bitmap_tag"),
+                    width=payload["width"],
+                    height=payload["height"],
+                )
+        descriptor.extra.clear()
+        descriptor.extra.update(extra)
+
+        total_cost = 0.0
+        shipped = 0
+
+        def archiver_read(offset: int, length: int) -> bytes:
+            nonlocal total_cost, shipped
+            data, service = self._store.read_absolute(offset, length)
+            total_cost += service
+            shipped += length
+            return data
+
+        obj = rebuild_object(descriptor, b"", archiver_read=archiver_read)
+        side_table = self._store.recognition_for(object_id)
+        if side_table:
+            for segment in obj.voice_segments:
+                extra = side_table.get(segment.segment_id)
+                if extra and not segment.utterances:
+                    segment.utterances = list(extra)
+        network = self._link.transfer_time(shipped)
+        self._ws.clock.advance(total_cost + network)
+        self._ws.trace.record(
+            self._ws.clock.now,
+            EventKind.TRANSFER,
+            object=str(object_id),
+            bytes=shipped,
+            service_s=round(total_cost, 4),
+            network_s=round(network, 4),
+        )
+        self.bytes_shipped += shipped
+        self._deferred[object_id] = deferred
+        return obj, total_cost + network
+
+    # ------------------------------------------------------------------
+    # server-backed views
+    # ------------------------------------------------------------------
+
+    def view_data_source(self, obj: MultimediaObject, image):
+        """A window-fetching data source for views on ``image``.
+
+        Returns None when the image's data is local (the view crops the
+        in-memory bitmap).  For representations of deferred source
+        images, returns a callable that reads only the window's rows
+        from the archiver and charges disk + network time.
+        """
+        if not isinstance(self._store, Archiver):
+            return None
+        if not image.is_representation or image.source_image_id is None:
+            return None
+        deferred = self._deferred.get(obj.object_id, {})
+        info = deferred.get(image.source_image_id)
+        if info is None:
+            return None
+        archiver: Archiver = self._store
+        object_id = obj.object_id
+
+        def fetch_window(rect: Rect) -> Bitmap:
+            ranges = [
+                ((rect.y + row) * info.width + rect.x, rect.width)
+                for row in range(rect.height)
+            ]
+            rows, service = archiver.read_piece_rows(object_id, info.tag, ranges)
+            payload = b"".join(rows)
+            network = self._link.transfer_time(len(payload))
+            self._ws.clock.advance(service + network)
+            self.bytes_shipped += len(payload)
+            self._ws.trace.record(
+                self._ws.clock.now,
+                EventKind.TRANSFER,
+                object=str(object_id),
+                piece=info.tag,
+                bytes=len(payload),
+                service_s=round(service, 4),
+                network_s=round(network, 4),
+            )
+            pixels = np.frombuffer(payload, dtype=np.uint8).reshape(
+                rect.height, rect.width
+            )
+            return Bitmap(pixels.copy())
+
+        return fetch_window
+
+    # ------------------------------------------------------------------
+    # relevant-object navigation
+    # ------------------------------------------------------------------
+
+    def in_relevant(self, session: Session) -> bool:
+        """Whether ``session`` is a relevant object (non-root level)."""
+        for depth, entry in enumerate(self._stack):
+            if entry.session is session:
+                return depth > 0
+        return False
+
+    def select_relevant(self, session: Session, indicator: str) -> Session:
+        """Branch into a relevant object via its indicator.
+
+        The child session browses "by using the driving mode of the
+        relevant object"; relevances are materialized on it (text
+        highlight events, image polygons, queued voice segments).
+        When the child's presentation is a transparency over the
+        parent's display (Figures 7-8), the parent's raster seeds the
+        child's compositing base.
+
+        Raises
+        ------
+        BrowsingError
+            If the indicator is not currently visible, or ``session``
+            is not the top of the navigation stack.
+        """
+        if not self._stack or self._stack[-1].session is not session:
+            raise BrowsingError("only the current session can branch")
+        link = self._find_visible_link(session, indicator)
+        parent_composite = self._ws.screen.composite
+        child = self._make_session(link.target_object_id)
+        self._materialize_relevances(child, link)
+        if isinstance(child, VisualSession) and parent_composite is not None:
+            child.inherited_base = parent_composite
+        self._ws.trace.record(
+            self._ws.clock.now,
+            EventKind.ENTER_RELEVANT,
+            indicator=indicator,
+            target=str(link.target_object_id),
+            depth=len(self._stack),
+        )
+        self._stack.append(
+            _StackEntry(
+                session=child, link=link, parent_composite=parent_composite
+            )
+        )
+        child.open()
+        return child
+
+    def return_from_relevant(self, session: Session) -> Session:
+        """Return to the parent object, re-establishing its browsing mode.
+
+        Raises
+        ------
+        BrowsingError
+            If ``session`` is not the current relevant object.
+        """
+        if len(self._stack) < 2 or self._stack[-1].session is not session:
+            raise BrowsingError("not inside a relevant object")
+        entry = self._stack.pop()
+        parent = self._stack[-1].session
+        self._ws.trace.record(
+            self._ws.clock.now,
+            EventKind.RETURN_RELEVANT,
+            target=str(parent.object.object_id),
+            depth=len(self._stack) - 1,
+        )
+        if isinstance(parent, VisualSession):
+            if parent.current_page_number:
+                parent.goto_page(parent.current_page_number)
+        else:
+            parent._update_visual_message(parent.position)
+        __ = entry
+        return parent
+
+    def _find_visible_link(self, session: Session, indicator: str) -> RelevantLink:
+        visible = {d["indicator"] for d in session.visible_indicators()}
+        for link in session.object.relevant_links:
+            if link.indicator_id.value == indicator:
+                if indicator not in visible:
+                    raise BrowsingError(
+                        f"indicator {indicator!r} is not currently displayed"
+                    )
+                return link
+        raise BrowsingError(f"object has no relevant-object indicator {indicator!r}")
+
+    def _materialize_relevances(self, child: Session, link: RelevantLink) -> None:
+        for relevance in link.relevances:
+            if relevance.kind is RelevanceKind.TEXT:
+                self._ws.trace.record(
+                    self._ws.clock.now,
+                    EventKind.HIGHLIGHT,
+                    relevance="text",
+                    segment=str(relevance.segment_id),
+                    span=f"{relevance.text_start}-{relevance.text_end}",
+                )
+            elif relevance.kind is RelevanceKind.IMAGE:
+                if isinstance(child, VisualSession):
+                    child.relevance_regions.setdefault(
+                        relevance.image_id, []
+                    ).append(relevance.region)
+            elif relevance.kind is RelevanceKind.VOICE:
+                child.relevant_voice_queue.append(
+                    (
+                        relevance.segment_id,
+                        relevance.voice_start,
+                        relevance.voice_end,
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # miniature browsing interface
+    # ------------------------------------------------------------------
+
+    def browse_by_content(
+        self, terms: list[str] | None = None, **criteria
+    ) -> Iterator[MiniatureCard]:
+        """Query the server and stream miniatures of qualifying objects.
+
+        Each yielded card is also traced as MINIATURE_SHOWN and the
+        clock advances to the card's arrival time.  Select a card with
+        :meth:`open` on its ``object_id``.
+
+        Raises
+        ------
+        BrowsingError
+            If the store is not a server archiver.
+        """
+        if not isinstance(self._store, Archiver):
+            raise BrowsingError("content queries need an archiver store")
+        interface = QueryInterface(self._store, link=self._link)
+        object_ids = interface.select(terms=terms, **criteria)
+        for card in interface.miniature_stream(object_ids):
+            self._ws.clock.advance_to(card.available_at_s)
+            self._ws.trace.record(
+                self._ws.clock.now,
+                EventKind.MINIATURE_SHOWN,
+                object=str(card.object_id),
+                mode=card.driving_mode,
+                bytes=card.nbytes,
+            )
+            yield card

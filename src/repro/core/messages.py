@@ -1,0 +1,145 @@
+"""The logical-message triggering engine.
+
+Voice logical messages "will be played when the user first branches
+into the corresponding segments during browsing": the engine compares
+the previous browsing position with the new one and fires a message
+only on transitions from *outside* an anchor to *inside* it.  Leaving
+and re-entering re-arms the trigger.
+
+Visual logical messages pin to the top region while the related content
+is displayed; with ``display_once`` set, the pin happens only on the
+first branch into the related section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ids import ImageId, MessageId, SegmentId
+from repro.objects.anchors import ImageAnchor, TextAnchor, VoiceAnchor, VoicePointAnchor
+from repro.objects.messages import VisualMessage, VoiceMessage
+from repro.objects.model import MultimediaObject
+
+
+@dataclass(frozen=True, slots=True)
+class TextPosition:
+    """A browsing position within a text flow: the page's char span."""
+
+    segment_id: SegmentId
+    start: int
+    end: int
+
+
+@dataclass(frozen=True, slots=True)
+class ImagePosition:
+    """A browsing position on an image page."""
+
+    image_id: ImageId
+
+
+@dataclass(frozen=True, slots=True)
+class VoicePosition:
+    """A browsing position within the object voice part."""
+
+    segment_id: SegmentId
+    time: float
+
+
+Position = TextPosition | ImagePosition | VoicePosition | None
+
+
+class MessageEngine:
+    """Decides which logical messages fire on each position change."""
+
+    def __init__(self, obj: MultimediaObject) -> None:
+        self._obj = obj
+        self._shown_once: set[MessageId] = set()
+
+    # ------------------------------------------------------------------
+    # voice messages
+    # ------------------------------------------------------------------
+
+    def voice_messages_entering(
+        self, previous: Position, current: Position
+    ) -> list[VoiceMessage]:
+        """Voice messages triggered by moving from ``previous`` to
+        ``current`` — anchors covering the new position but not the old."""
+        triggered: list[VoiceMessage] = []
+        for message in self._obj.voice_messages:
+            if self._covers(message, current) and not self._covers(message, previous):
+                triggered.append(message)
+        return triggered
+
+    # ------------------------------------------------------------------
+    # visual messages
+    # ------------------------------------------------------------------
+
+    def visual_message_to_pin(
+        self, message_id: MessageId, previous: Position, current: Position
+    ) -> VisualMessage | None:
+        """Whether the page's pinned visual message should display.
+
+        Honors ``display_once``: once a once-only message has been
+        pinned, branching back into the related section does not pin it
+        again — but *staying* inside the section (turning pages within
+        the related span) keeps it pinned.
+        """
+        message = self._obj.message(message_id)
+        if not isinstance(message, VisualMessage):
+            return None
+        if not message.display_once:
+            return message
+        stayed_inside = self._covers(message, previous) and self._covers(
+            message, current
+        )
+        if stayed_inside:
+            return message
+        if message_id in self._shown_once:
+            return None
+        self._shown_once.add(message_id)
+        return message
+
+    def visual_messages_for_voice(
+        self, segment_id: SegmentId, time: float
+    ) -> list[VisualMessage]:
+        """Visual messages that must stay on display at a voice position.
+
+        "The visual logical message will stay on display for the
+        duration of the play of each voice segment to which it is
+        attached."
+        """
+        return [
+            m
+            for m in self._obj.visual_messages
+            if m.covers_voice(segment_id, time)
+        ]
+
+    # ------------------------------------------------------------------
+    # coverage
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _anchor_covers(anchor, position: Position) -> bool:
+        if position is None:
+            return False
+        if isinstance(position, TextPosition) and isinstance(anchor, TextAnchor):
+            return anchor.segment_id == position.segment_id and anchor.overlaps(
+                position.start, position.end
+            )
+        if isinstance(position, ImagePosition) and isinstance(anchor, ImageAnchor):
+            return anchor.image_id == position.image_id
+        if isinstance(position, VoicePosition):
+            if isinstance(anchor, VoiceAnchor):
+                return anchor.segment_id == position.segment_id and anchor.covers(
+                    position.time
+                )
+            if isinstance(anchor, VoicePointAnchor):
+                return (
+                    anchor.segment_id == position.segment_id
+                    and 0 <= position.time - anchor.time < 1.0
+                )
+        return False
+
+    @classmethod
+    def _covers(cls, message: VoiceMessage | VisualMessage, position: Position) -> bool:
+        return any(cls._anchor_covers(a, position) for a in message.anchors)

@@ -1,0 +1,59 @@
+"""Process simulation execution.
+
+"Process simulation is an ordered set of consecutive visual pages which
+is displayed one after the other automatically (without pressing the
+next page button)...  When audio messages are attached the next visual
+page is only shown after the logical audio message has been played.
+The relative speed by which pages are placed one on the top of another
+is set at object creation time but it may be altered by the user."
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.compile import CompiledPage
+from repro.objects.messages import VoiceMessage
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard
+    from repro.core.visual import VisualSession
+
+
+def run_simulation_group(
+    session: "VisualSession",
+    steps: list[CompiledPage],
+    speed_factor: float,
+) -> CompiledPage:
+    """Play every step of one simulation group; returns the last page.
+
+    Each step is composited per its kind (new page / transparency /
+    overwrite); the clock advances by the designer interval scaled by
+    the user's speed factor, and any attached audio message plays to
+    completion *before* the next page appears.
+    """
+    workstation = session.workstation
+    for step_page in steps:
+        session._display_sim_step(step_page)
+        step = step_page.sim_step
+        assert step is not None
+        if step.message_id is not None:
+            message = session.object.message(step.message_id)
+            if isinstance(message, VoiceMessage):
+                workstation.audio.play_message(
+                    message.recording, str(message.message_id)
+                )
+            else:
+                bitmap = None
+                if message.content.image_ids:
+                    from repro.images.canvas import render_image
+
+                    bitmap = render_image(
+                        session.object.image(message.content.image_ids[0])
+                    )
+                workstation.screen.pin(
+                    str(message.message_id),
+                    text=message.content.text,
+                    bitmap=bitmap,
+                )
+        workstation.clock.advance(step_page.sim_interval_s / speed_factor)
+    return steps[-1]

@@ -1,0 +1,51 @@
+"""Spoken pattern input.
+
+"A user types a text pattern **or speaks a voice pattern which is
+recognized**, and the system returns the next page with the occurrence
+of this pattern in the object's text or voice."
+
+Unlike content recognition (which happens at insertion time), the
+user's *query utterance* is recognized at browse time — it is a few
+words against a limited vocabulary, which 1986 devices handled
+interactively.  The recognized terms become an ordinary pattern for
+either session type.
+"""
+
+from __future__ import annotations
+
+from repro.audio.recognition import VocabularyRecognizer
+from repro.audio.signal import Recording
+from repro.errors import RecognitionError
+
+
+def recognize_pattern(
+    utterance: Recording, recognizer: VocabularyRecognizer
+) -> str:
+    """Turn a spoken query into a text pattern.
+
+    Returns the recognized terms joined in spoken order.
+
+    Raises
+    ------
+    RecognitionError
+        If nothing in the utterance is recognizable.
+    """
+    recognized = recognizer.recognize(utterance)
+    if not recognized:
+        raise RecognitionError(
+            "no vocabulary word recognized in the spoken pattern"
+        )
+    ordered = sorted(recognized, key=lambda u: u.time)
+    return " ".join(u.term for u in ordered)
+
+
+def find_spoken_pattern(session, utterance: Recording,
+                        recognizer: VocabularyRecognizer):
+    """Recognize a spoken pattern and search the session for it.
+
+    Works symmetrically on :class:`~repro.core.visual.VisualSession`
+    and :class:`~repro.core.audio.AudioSession` — both expose
+    ``find_pattern``.
+    """
+    pattern = recognize_pattern(utterance, recognizer)
+    return session.find_pattern(pattern)

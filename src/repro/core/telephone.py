@@ -1,0 +1,215 @@
+"""Telephone access to the multimedia data bank.
+
+Section 1: voice "allows users to access information using
+telephones."  A telephone has no screen and no mouse — only a keypad
+and an earpiece — so this interface drives a browsing session entirely
+through audio:
+
+* audio mode objects play their voice part directly;
+* **visual mode objects are read aloud**: each visual page's plain text
+  is rendered to speech by the same synthesizer that models dictation
+  (the symmetric trick — text and voice are interchangeable carriers);
+* keypad digits map to the browsing vocabulary, and short spoken
+  prompts announce state changes.
+
+The phone line is modelled by the same clock/trace pair as the
+workstation speaker, so tests can assert exactly what a caller heard.
+"""
+
+from __future__ import annotations
+
+from repro.audio.signal import Recording, SpeakerProfile, synthesize_speech
+from repro.core.audio import AudioSession
+from repro.core.visual import VisualSession
+from repro.errors import BrowsingError, MinosError
+from repro.objects.model import DrivingMode, MultimediaObject
+from repro.trace import EventKind
+from repro.workstation.station import Workstation
+
+#: Keypad layout, announced by the HELP key.
+KEYPAD = {
+    "1": "previous page",
+    "2": "play / resume",
+    "3": "next page",
+    "4": "replay from one long pause back",
+    "5": "interrupt",
+    "6": "replay from one short pause back",
+    "7": "previous chapter",
+    "9": "next chapter",
+    "0": "help",
+}
+
+_PROMPT_PROFILE = SpeakerProfile(
+    name="operator",
+    syllable_duration=0.12,
+    word_gap=0.08,
+    sentence_gap=0.3,
+    paragraph_gap=0.8,
+    jitter=0.0,
+)
+
+
+class TelephoneSession:
+    """One caller browsing one archived object over the phone.
+
+    Parameters
+    ----------
+    obj:
+        The object to present (either driving mode).
+    workstation:
+        Supplies the clock, trace and audio path (the "phone line");
+        the screen stays dark.
+    """
+
+    def __init__(self, obj: MultimediaObject, workstation: Workstation) -> None:
+        self._obj = obj
+        self._ws = workstation
+        self._page_speech: dict[int, Recording] = {}
+        if obj.driving_mode is DrivingMode.AUDIO:
+            self._audio: AudioSession | None = AudioSession(obj, workstation)
+            self._visual: VisualSession | None = None
+        else:
+            self._audio = None
+            self._visual = VisualSession(obj, workstation)
+
+    @property
+    def is_reading_visual_object(self) -> bool:
+        """Whether this call reads a visual object aloud."""
+        return self._visual is not None
+
+    # ------------------------------------------------------------------
+    # call control
+    # ------------------------------------------------------------------
+
+    def answer(self) -> None:
+        """Start the call: announce the object and begin playing."""
+        title = self._obj.attributes.get("kind", "object")
+        self._announce(f"connected to {title}")
+        if self._audio is not None:
+            self._audio.open()
+        else:
+            self._visual.open()
+            self._read_current_page()
+
+    def press(self, digit: str) -> None:
+        """Handle one keypad press.
+
+        Raises
+        ------
+        BrowsingError
+            On an unmapped digit.
+        """
+        if digit not in KEYPAD:
+            raise BrowsingError(f"telephone keypad has no key {digit!r}")
+        self._ws.trace.record(
+            self._ws.clock.now, EventKind.COMMAND, command=f"keypad:{digit}"
+        )
+        handler = {
+            "0": self._help,
+            "1": self._previous_page,
+            "2": self._play,
+            "3": self._next_page,
+            "4": self._rewind_long,
+            "5": self._interrupt,
+            "6": self._rewind_short,
+            "7": lambda: self._chapter(-1),
+            "9": lambda: self._chapter(+1),
+        }[digit]
+        handler()
+
+    # ------------------------------------------------------------------
+    # keypad handlers
+    # ------------------------------------------------------------------
+
+    def _help(self) -> None:
+        spoken = ". ".join(f"key {k}. {v}" for k, v in sorted(KEYPAD.items()))
+        self._announce(spoken)
+
+    def _play(self) -> None:
+        if self._audio is not None:
+            if not self._audio.is_playing:
+                self._audio.resume()
+        else:
+            self._read_current_page()
+
+    def _interrupt(self) -> None:
+        if self._audio is not None and self._audio.is_playing:
+            self._audio.interrupt()
+        # Reading a visual page aloud completes synchronously; nothing
+        # to interrupt afterwards.
+
+    def _next_page(self) -> None:
+        self._ensure_quiet()
+        if self._audio is not None:
+            self._audio.next_page()
+        else:
+            self._visual.next_page()
+            self._announce(f"page {self._visual.current_page_number}")
+            self._read_current_page()
+
+    def _previous_page(self) -> None:
+        self._ensure_quiet()
+        if self._audio is not None:
+            self._audio.previous_page()
+        else:
+            self._visual.previous_page()
+            self._announce(f"page {self._visual.current_page_number}")
+            self._read_current_page()
+
+    def _rewind_long(self) -> None:
+        if self._audio is None:
+            self._announce("not available for this object")
+            return
+        self._ensure_quiet()
+        self._audio.rewind_long_pauses(1)
+
+    def _rewind_short(self) -> None:
+        if self._audio is None:
+            self._announce("not available for this object")
+            return
+        self._ensure_quiet()
+        self._audio.rewind_short_pauses(1)
+
+    def _chapter(self, direction: int) -> None:
+        from repro.objects.logical import LogicalUnitKind
+
+        self._ensure_quiet()
+        try:
+            if self._audio is not None:
+                self._audio.goto_unit(LogicalUnitKind.CHAPTER, direction)
+            else:
+                self._visual.goto_unit(LogicalUnitKind.CHAPTER, direction)
+                self._announce(f"page {self._visual.current_page_number}")
+                self._read_current_page()
+        except MinosError:
+            self._announce("no more chapters")
+
+    # ------------------------------------------------------------------
+    # audio rendering
+    # ------------------------------------------------------------------
+
+    def _ensure_quiet(self) -> None:
+        if self._audio is not None and self._audio.is_playing:
+            self._audio.interrupt()
+
+    def _announce(self, text: str) -> None:
+        prompt = synthesize_speech(text, profile=_PROMPT_PROFILE, seed=0)
+        self._ws.audio.play_to_end(prompt, f"phone-prompt:{text[:24]}")
+
+    def _read_current_page(self) -> None:
+        """Read the current visual page's text aloud (cached per page)."""
+        assert self._visual is not None
+        number = self._visual.current_page_number
+        speech = self._page_speech.get(number)
+        if speech is None:
+            page = self._visual.current_page
+            text = ""
+            if page is not None and page.visual is not None:
+                # Strip layout: speak the words.
+                text = " ".join(page.visual.rendered_text().split())
+            if not text.strip():
+                self._announce("this page has no readable text")
+                return
+            speech = synthesize_speech(text, profile=_PROMPT_PROFILE, seed=number)
+            self._page_speech[number] = speech
+        self._ws.audio.play_to_end(speech, f"phone-page:{number}")

@@ -1,0 +1,24 @@
+"""The MINOS editors (Section 4).
+
+"There is a number of editors in MINOS.  These editors are responsible
+for the interactive generation and editing of text, image and voice
+data."  The paper does not detail their operation ("their functionality
+is similar to other editors described in the literature"), so this
+package provides the operations the rest of the paper *depends on*:
+
+* :class:`~repro.editors.text.TextEditor` — line/region editing of
+  markup with undo, preserving directive structure;
+* :class:`~repro.editors.voice.VoiceEditor` — cut/splice of digitized
+  voice, and the manual identification of logical components "by
+  pressing the appropriate buttons (or at some later point in time)";
+* :class:`~repro.editors.image.ImageEditor` — adding and labelling
+  graphics objects on an image, producing its final (archival) form.
+
+All editors operate on objects in the EDITING state only.
+"""
+
+from repro.editors.text import TextEditor
+from repro.editors.voice import VoiceEditor
+from repro.editors.image import ImageEditor
+
+__all__ = ["ImageEditor", "TextEditor", "VoiceEditor"]

@@ -1,0 +1,132 @@
+"""The image editor.
+
+Adds, removes and labels graphics objects on an image, and produces the
+image's *final form* — "when the editing of an image is completed its
+archival form (which is device and software package independent) is
+produced.  The presentation interface of the archiver expects always
+the data in its final form."
+"""
+
+from __future__ import annotations
+
+from repro.audio.signal import Recording
+from repro.errors import FormationError, ImageError
+from repro.images.geometry import Point
+from repro.images.graphics import GraphicsObject, Label, LabelKind
+from repro.images.image import Image
+
+
+class ImageEditor:
+    """Edits one image's graphics objects and labels."""
+
+    def __init__(self, image: Image) -> None:
+        if image.is_representation:
+            raise ImageError("representations are derived; edit the source image")
+        self._image = image
+        self._graphics: list[GraphicsObject] = list(image.graphics)
+        self._final = False
+
+    @property
+    def is_final(self) -> bool:
+        """Whether :meth:`finalize` has produced the archival form."""
+        return self._final
+
+    @property
+    def object_names(self) -> list[str]:
+        """Names of all graphics objects in the working copy."""
+        return [g.name for g in self._graphics]
+
+    # ------------------------------------------------------------------
+    # graphics editing
+    # ------------------------------------------------------------------
+
+    def add_object(self, obj: GraphicsObject) -> None:
+        """Add a graphics object.
+
+        Raises
+        ------
+        FormationError
+            On a duplicate name or after finalization.
+        """
+        self._require_editable()
+        if any(g.name == obj.name for g in self._graphics):
+            raise FormationError(f"object {obj.name!r} already exists")
+        self._graphics.append(obj)
+
+    def remove_object(self, name: str) -> GraphicsObject:
+        """Remove a graphics object by name."""
+        self._require_editable()
+        for index, obj in enumerate(self._graphics):
+            if obj.name == name:
+                return self._graphics.pop(index)
+        raise FormationError(f"no graphics object {name!r}")
+
+    def attach_text_label(
+        self, name: str, text: str, position: Point, invisible: bool = False
+    ) -> None:
+        """Attach (or replace with) a text label."""
+        self._require_editable()
+        kind = LabelKind.INVISIBLE_TEXT if invisible else LabelKind.TEXT
+        self._replace_label(name, Label(kind, text, position))
+
+    def attach_voice_label(
+        self,
+        name: str,
+        transcript: str,
+        position: Point,
+        recording: Recording,
+        invisible: bool = False,
+    ) -> None:
+        """Attach (or replace with) a voice label."""
+        self._require_editable()
+        kind = LabelKind.INVISIBLE_VOICE if invisible else LabelKind.VOICE
+        self._replace_label(
+            name, Label(kind, transcript, position, voice=recording)
+        )
+
+    def remove_label(self, name: str) -> None:
+        """Strip the label from an object."""
+        self._require_editable()
+        self._replace_label(name, None)
+
+    # ------------------------------------------------------------------
+    # finalization
+    # ------------------------------------------------------------------
+
+    def finalize(self) -> Image:
+        """Produce the archival (final-form) image.
+
+        The editor becomes read-only afterwards; further edits need a
+        fresh editor on the returned image.
+        """
+        self._final = True
+        return Image(
+            image_id=self._image.image_id,
+            width=self._image.width,
+            height=self._image.height,
+            bitmap=self._image.bitmap.copy() if self._image.bitmap else None,
+            graphics=list(self._graphics),
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _require_editable(self) -> None:
+        if self._final:
+            raise FormationError(
+                "image already finalized; its archival form is immutable"
+            )
+
+    def _replace_label(self, name: str, label: Label | None) -> None:
+        for index, obj in enumerate(self._graphics):
+            if obj.name == name:
+                self._graphics[index] = GraphicsObject(
+                    name=obj.name,
+                    shape=obj.shape,
+                    label=label,
+                    intensity=obj.intensity,
+                    filled=obj.filled,
+                )
+                return
+        raise FormationError(f"no graphics object {name!r}")

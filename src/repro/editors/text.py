@@ -1,0 +1,126 @@
+"""The text editor: line-oriented markup editing with undo.
+
+Edits target a :class:`~repro.objects.parts.TextSegment`'s markup.
+Because the segment caches its parsed document, every commit replaces
+the segment's markup through :meth:`TextEditor.commit`, which returns a
+*fresh* segment — the formation workflow then re-derives pagination,
+exactly the "part of the descriptor file and the composition file may
+have to be deleted and recreated" behaviour of Section 4.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FormationError, MarkupError
+from repro.objects.parts import TextSegment
+from repro.text.markup import parse_markup
+
+
+class TextEditor:
+    """Edits the markup of one text segment.
+
+    The editor holds the working copy as a list of lines; every
+    mutating operation pushes an undo snapshot.
+    """
+
+    def __init__(self, segment: TextSegment) -> None:
+        self._segment = segment
+        self._lines = segment.markup.splitlines()
+        self._undo: list[list[str]] = []
+
+    @property
+    def line_count(self) -> int:
+        """Number of lines in the working copy."""
+        return len(self._lines)
+
+    @property
+    def text(self) -> str:
+        """The current working markup."""
+        return "\n".join(self._lines)
+
+    def line(self, index: int) -> str:
+        """Read one line (0-based).
+
+        Raises
+        ------
+        FormationError
+            If the index is out of range.
+        """
+        self._check(index)
+        return self._lines[index]
+
+    # ------------------------------------------------------------------
+    # mutations
+    # ------------------------------------------------------------------
+
+    def insert_line(self, index: int, text: str) -> None:
+        """Insert ``text`` as a new line before ``index``."""
+        if not 0 <= index <= len(self._lines):
+            raise FormationError(f"insert position {index} out of range")
+        self._snapshot()
+        self._lines.insert(index, text)
+
+    def delete_lines(self, start: int, count: int = 1) -> None:
+        """Delete ``count`` lines starting at ``start``."""
+        self._check(start)
+        if count < 1 or start + count > len(self._lines):
+            raise FormationError(
+                f"cannot delete {count} lines at {start} of {len(self._lines)}"
+            )
+        self._snapshot()
+        del self._lines[start: start + count]
+
+    def replace_line(self, index: int, text: str) -> None:
+        """Replace one line."""
+        self._check(index)
+        self._snapshot()
+        self._lines[index] = text
+
+    def append_paragraph(self, text: str) -> None:
+        """Append a paragraph (blank-line separated) at the end."""
+        self._snapshot()
+        if self._lines and self._lines[-1].strip():
+            self._lines.append("")
+        self._lines.append(text)
+
+    def insert_chapter(self, index: int, title: str) -> None:
+        """Insert a chapter directive before line ``index``."""
+        self.insert_line(index, f"@chapter{{{title}}}")
+
+    def undo(self) -> bool:
+        """Revert the last mutation; False if nothing to undo."""
+        if not self._undo:
+            return False
+        self._lines = self._undo.pop()
+        return True
+
+    # ------------------------------------------------------------------
+    # committing
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Parse the working copy, raising on malformed markup."""
+        parse_markup(self.text)
+
+    def commit(self) -> TextSegment:
+        """Produce a fresh segment with the edited markup.
+
+        Raises
+        ------
+        MarkupError
+            If the working copy does not parse.
+        """
+        self.validate()
+        return TextSegment(segment_id=self._segment.segment_id, markup=self.text)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _snapshot(self) -> None:
+        self._undo.append(list(self._lines))
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < len(self._lines):
+            raise FormationError(
+                f"line {index} out of range 0..{len(self._lines) - 1}"
+            )

@@ -1,0 +1,244 @@
+"""The voice editor.
+
+Supports the two editing activities the paper relies on:
+
+* **waveform editing** — cutting a span and splicing recordings, with
+  annotation bookkeeping (ground-truth word marks shift with the cut);
+* **logical marking** — "the logical components of voice may be
+  manually identified at the time of the insertion by pressing the
+  appropriate buttons (or at some later point in time)".  The editor
+  collects button presses (``mark_start``/``mark_end``) and builds the
+  segment's :class:`~repro.objects.logical.LogicalIndex`, honouring
+  the paper's point that "the degree of desired editing varies
+  according to the importance of information": mark only chapters, or
+  chapters and sections, or nothing at all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.audio.signal import Recording, TimedWord
+from repro.errors import AudioError, FormationError
+from repro.objects.logical import LogicalIndex, LogicalUnit, LogicalUnitKind
+from repro.objects.parts import VoiceSegment
+
+
+class VoiceEditor:
+    """Edits one voice segment's recording and logical marks."""
+
+    def __init__(self, segment: VoiceSegment) -> None:
+        self._segment = segment
+        self._recording = segment.recording
+        self._open_marks: dict[LogicalUnitKind, tuple[float, str]] = {}
+        self._units: list[LogicalUnit] = list(segment.logical_index.roots)
+
+    @property
+    def duration(self) -> float:
+        """Working-copy duration in seconds."""
+        return self._recording.duration
+
+    @property
+    def recording(self) -> Recording:
+        """The working-copy recording."""
+        return self._recording
+
+    # ------------------------------------------------------------------
+    # waveform editing
+    # ------------------------------------------------------------------
+
+    def cut(self, start: float, end: float) -> Recording:
+        """Remove ``[start, end)`` seconds; returns the removed clip.
+
+        Word/sentence/paragraph annotations inside the cut are dropped;
+        those after it shift left.
+
+        Raises
+        ------
+        AudioError
+            On an empty or out-of-range span.
+        """
+        if not 0 <= start < end <= self.duration + 1e-9:
+            raise AudioError(f"cut span [{start}, {end}) out of range")
+        removed = self._recording.slice(start, end)
+        rate = self._recording.sample_rate
+        i0, i1 = int(start * rate), int(end * rate)
+        samples = np.concatenate(
+            [self._recording.samples[:i0], self._recording.samples[i1:]]
+        )
+        shift = end - start
+
+        def keep_and_shift(time: float) -> float | None:
+            if time < start:
+                return time
+            if time >= end:
+                return time - shift
+            return None
+
+        words = []
+        for word in self._recording.words:
+            new_start = keep_and_shift(word.start)
+            new_end = keep_and_shift(word.end)
+            if new_start is not None and new_end is not None:
+                words.append(TimedWord(word.word, new_start, new_end))
+        self._recording = Recording(
+            samples=samples,
+            sample_rate=rate,
+            words=words,
+            sentence_ends=[
+                t for t in map(keep_and_shift, self._recording.sentence_ends)
+                if t is not None
+            ],
+            paragraph_ends=[
+                t for t in map(keep_and_shift, self._recording.paragraph_ends)
+                if t is not None
+            ],
+            speaker=self._recording.speaker,
+        )
+        return removed
+
+    def splice(self, position: float, clip: Recording) -> None:
+        """Insert ``clip`` at ``position`` seconds.
+
+        Raises
+        ------
+        AudioError
+            If sample rates differ or the position is out of range.
+        """
+        if clip.sample_rate != self._recording.sample_rate:
+            raise AudioError(
+                f"sample-rate mismatch: {clip.sample_rate} vs "
+                f"{self._recording.sample_rate}"
+            )
+        if not 0 <= position <= self.duration + 1e-9:
+            raise AudioError(f"splice position {position} out of range")
+        rate = self._recording.sample_rate
+        i = int(position * rate)
+        shift = clip.duration
+        samples = np.concatenate(
+            [
+                self._recording.samples[:i],
+                clip.samples,
+                self._recording.samples[i:],
+            ]
+        )
+
+        def shifted(time: float) -> float:
+            return time + shift if time >= position else time
+
+        words = [
+            TimedWord(w.word, shifted(w.start), shifted(w.end))
+            for w in self._recording.words
+        ]
+        words.extend(
+            TimedWord(w.word, w.start + position, w.end + position)
+            for w in clip.words
+        )
+        words.sort(key=lambda w: w.start)
+        self._recording = Recording(
+            samples=samples,
+            sample_rate=rate,
+            words=words,
+            sentence_ends=sorted(
+                [shifted(t) for t in self._recording.sentence_ends]
+                + [t + position for t in clip.sentence_ends]
+            ),
+            paragraph_ends=sorted(
+                [shifted(t) for t in self._recording.paragraph_ends]
+                + [t + position for t in clip.paragraph_ends]
+            ),
+            speaker=self._recording.speaker,
+        )
+
+    # ------------------------------------------------------------------
+    # logical marking ("pressing the appropriate buttons")
+    # ------------------------------------------------------------------
+
+    def mark_start(
+        self, kind: LogicalUnitKind, time: float, label: str = ""
+    ) -> None:
+        """Press the "start of <unit>" button at ``time``.
+
+        Raises
+        ------
+        FormationError
+            If a unit of this kind is already open.
+        """
+        if kind in self._open_marks:
+            raise FormationError(f"a {kind.value} is already open")
+        if not 0 <= time <= self.duration + 1e-9:
+            raise FormationError(f"mark time {time} out of range")
+        self._open_marks[kind] = (time, label)
+
+    def mark_end(self, kind: LogicalUnitKind, time: float) -> LogicalUnit:
+        """Press the "end of <unit>" button at ``time``.
+
+        Raises
+        ------
+        FormationError
+            If no unit of this kind is open, or the end precedes the
+            start.
+        """
+        if kind not in self._open_marks:
+            raise FormationError(f"no open {kind.value} to end")
+        start, label = self._open_marks.pop(kind)
+        if time < start:
+            raise FormationError(
+                f"{kind.value} end {time} precedes its start {start}"
+            )
+        unit = LogicalUnit(kind, start, min(time, self.duration), label)
+        self._units.append(unit)
+        return unit
+
+    def marked_units(self, kind: LogicalUnitKind | None = None) -> list[LogicalUnit]:
+        """Units marked so far (optionally of one kind), in time order."""
+        units = [
+            u for u in self._units if kind is None or u.kind is kind
+        ]
+        return sorted(units, key=lambda u: u.start)
+
+    # ------------------------------------------------------------------
+    # committing
+    # ------------------------------------------------------------------
+
+    def commit(self) -> VoiceSegment:
+        """Produce a fresh segment with the edits and marks applied.
+
+        Recognized utterances are *not* carried over: after waveform
+        edits the insertion-time recognition must be re-run (or done
+        at idle time), exactly as in the paper.
+
+        Raises
+        ------
+        FormationError
+            If any logical mark is still open.
+        """
+        if self._open_marks:
+            open_kinds = ", ".join(k.value for k in self._open_marks)
+            raise FormationError(f"unclosed logical marks: {open_kinds}")
+        roots = _nest_units(self.marked_units())
+        return VoiceSegment(
+            segment_id=self._segment.segment_id,
+            recording=self._recording,
+            logical_index=LogicalIndex(roots),
+            utterances=[],
+        )
+
+
+def _nest_units(units: list[LogicalUnit]) -> list[LogicalUnit]:
+    """Nest marked units by rank and containment (chapters > sections...)."""
+    roots: list[LogicalUnit] = []
+    stack: list[LogicalUnit] = []
+    for unit in sorted(units, key=lambda u: (u.start, u.kind.rank)):
+        fresh = LogicalUnit(unit.kind, unit.start, unit.end, unit.label)
+        while stack and (
+            stack[-1].end <= fresh.start
+            or stack[-1].kind.rank >= fresh.kind.rank
+        ):
+            stack.pop()
+        if stack:
+            stack[-1].children.append(fresh)
+        else:
+            roots.append(fresh)
+        stack.append(fresh)
+    return roots

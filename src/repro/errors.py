@@ -1,0 +1,100 @@
+"""Exception hierarchy for the MINOS reproduction.
+
+All library errors derive from :class:`MinosError` so that callers can
+catch any library failure with a single ``except`` clause while still
+being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class MinosError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ObjectStateError(MinosError):
+    """An operation was attempted in the wrong object state.
+
+    Archived objects are immutable; editing objects cannot be presented
+    through the archiver interface until they are archived.
+    """
+
+
+class DescriptorError(MinosError):
+    """The object descriptor is missing, malformed, or inconsistent."""
+
+
+class MarkupError(MinosError):
+    """The declarative text markup could not be parsed."""
+
+
+class PaginationError(MinosError):
+    """A presentation form could not be paginated."""
+
+
+class BrowsingError(MinosError):
+    """A browsing command was invalid in the current session state."""
+
+
+class UnknownCommandError(BrowsingError):
+    """A command was issued that is not on the current menu."""
+
+
+class NavigationError(BrowsingError):
+    """Page/logical-unit navigation went out of range."""
+
+
+class AudioError(MinosError):
+    """An audio substrate operation failed."""
+
+
+class PlaybackStateError(AudioError):
+    """A playback command was invalid for the player's state."""
+
+
+class RecognitionError(AudioError):
+    """The voice recognition simulator was misconfigured."""
+
+
+class ImageError(MinosError):
+    """An image substrate operation failed."""
+
+
+class ViewError(ImageError):
+    """A view rectangle is invalid for its image."""
+
+
+class StorageError(MinosError):
+    """A storage-device operation failed."""
+
+
+class WriteOnceViolationError(StorageError):
+    """An attempt was made to overwrite data on a write-once device."""
+
+
+class AllocationError(StorageError):
+    """A device has no room for the requested allocation."""
+
+
+class FormationError(MinosError):
+    """Multimedia object formation (synthesis/composition) failed."""
+
+
+class DataDirectoryError(FormationError):
+    """A data-directory entry is missing or inconsistent."""
+
+
+class ArchiverError(MinosError):
+    """The multimedia object server could not satisfy a request."""
+
+
+class ObjectNotFoundError(ArchiverError):
+    """No object with the requested identifier exists in the archiver."""
+
+
+class VersionError(ArchiverError):
+    """A version-control operation failed."""
+
+
+class QueryError(ArchiverError):
+    """A content query was malformed."""

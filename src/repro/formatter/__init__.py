@@ -1,0 +1,36 @@
+"""Multimedia object formation (Section 4 of the paper).
+
+"The multimedia object formatter is responsible for the creation of
+the multimedia object descriptor.  The formatter is declarative and
+interactive."  This package turns an in-memory
+:class:`~repro.objects.model.MultimediaObject` into its storable form —
+an object descriptor plus a composition file — and back, and implements
+the archive and mail pipelines with their offset-rebasing and
+archiver-pointer-resolution rules.
+"""
+
+from repro.formatter.composition import BlobRegistry, CompositionFile
+from repro.formatter.datadir import DataDirectory, DataEntry, DataStatus
+from repro.formatter.synthesis import SynthesisFile
+from repro.formatter.builder import ObjectFormatter, rebuild_object
+from repro.formatter.archive import (
+    ArchivedObjectBytes,
+    mail_outside,
+    pack_archived,
+    unpack_archived,
+)
+
+__all__ = [
+    "ArchivedObjectBytes",
+    "BlobRegistry",
+    "CompositionFile",
+    "DataDirectory",
+    "DataEntry",
+    "DataStatus",
+    "ObjectFormatter",
+    "SynthesisFile",
+    "mail_outside",
+    "pack_archived",
+    "rebuild_object",
+    "unpack_archived",
+]

@@ -1,0 +1,114 @@
+"""Archive and mail pipelines.
+
+"Archived or mailed within the organization multimedia objects are
+composed of the concatenation of the descriptor file with the
+composition file.  In the case that objects are archived the offsets of
+the descriptor have to be incremented by the offset where the
+composition file is placed within the archiver.  Finally when the
+multimedia object is mailed outside the organization the object
+descriptor is searched for pointers to information which exists in the
+archiver.  If such pointers exist, the relevant data is extracted from
+the archiver and appended to the composition [file].  The pointers of
+the descriptor which pointed to the archiver are changed to point
+within the composition file."
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.errors import FormationError
+from repro.objects.descriptor import DataSource, Descriptor
+
+_MAGIC = b"MNOS"
+_HEADER = struct.Struct(">4sI")  # magic, descriptor length
+
+
+@dataclass
+class ArchivedObjectBytes:
+    """The byte-level archived form: descriptor ‖ composition."""
+
+    data: bytes
+    descriptor_length: int
+
+    @property
+    def composition_offset(self) -> int:
+        """Offset of the composition file within the archived bytes."""
+        return _HEADER.size + self.descriptor_length
+
+
+def pack_archived(descriptor: Descriptor, composition: bytes) -> ArchivedObjectBytes:
+    """Concatenate descriptor and composition into the archived form."""
+    descriptor_bytes = descriptor.to_bytes()
+    data = _HEADER.pack(_MAGIC, len(descriptor_bytes)) + descriptor_bytes + composition
+    return ArchivedObjectBytes(data=data, descriptor_length=len(descriptor_bytes))
+
+
+def unpack_archived(data: bytes) -> tuple[Descriptor, bytes]:
+    """Split archived bytes back into descriptor and composition.
+
+    Raises
+    ------
+    FormationError
+        If the bytes do not start with a valid archived-object header.
+    """
+    if len(data) < _HEADER.size:
+        raise FormationError("archived object truncated before header")
+    magic, descriptor_length = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise FormationError(f"bad archived-object magic {magic!r}")
+    body = data[_HEADER.size :]
+    if len(body) < descriptor_length:
+        raise FormationError("archived object truncated inside descriptor")
+    descriptor = Descriptor.from_bytes(body[:descriptor_length])
+    return descriptor, body[descriptor_length:]
+
+
+def mail_outside(
+    descriptor: Descriptor,
+    composition: bytes,
+    archiver_read: Callable[[int, int], bytes],
+) -> tuple[Descriptor, bytes]:
+    """Make an object self-contained for mailing outside the organization.
+
+    Every ARCHIVER-source data location is resolved by reading the data
+    from the archiver, appending it to the composition file, and
+    repointing the location at the appended copy.  Objects without
+    archiver pointers are returned unchanged.
+    """
+    if not descriptor.archiver_tags():
+        return descriptor, composition
+
+    appended: list[bytes] = []
+    cursor = len(composition)
+    locations = []
+    for location in descriptor.locations:
+        if location.source is DataSource.ARCHIVER:
+            data = archiver_read(location.offset, location.length)
+            if len(data) != location.length:
+                raise FormationError(
+                    f"archiver returned {len(data)} bytes for {location.tag!r}; "
+                    f"expected {location.length}"
+                )
+            appended.append(data)
+            locations.append(
+                replace(
+                    location,
+                    source=DataSource.COMPOSITION,
+                    offset=cursor,
+                )
+            )
+            cursor += len(data)
+        else:
+            locations.append(location)
+
+    mailed_descriptor = Descriptor(
+        object_id=descriptor.object_id,
+        driving_mode=descriptor.driving_mode,
+        locations=locations,
+        attributes=dict(descriptor.attributes),
+        extra=dict(descriptor.extra),
+    )
+    return mailed_descriptor, composition + b"".join(appended)

@@ -1,0 +1,153 @@
+"""The composition file.
+
+"The composition file is the concatenation of several data files each
+one of which contains a certain part of the multimedia object (text
+parts, images, etc.).  The object descriptor indicates how these parts
+are presented in the physical object."
+
+:class:`BlobRegistry` collects binary data pieces during formation;
+:class:`CompositionFile` concatenates them and hands out the
+:class:`~repro.objects.descriptor.DataLocation` entries the descriptor
+records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import FormationError
+from repro.objects.descriptor import DataKind, DataLocation, DataSource
+
+_KIND_BY_NAME = {
+    "text": DataKind.TEXT,
+    "voice": DataKind.VOICE,
+    "image": DataKind.IMAGE,
+    "message_voice": DataKind.MESSAGE_VOICE,
+    "label_voice": DataKind.MESSAGE_VOICE,
+    "meta": DataKind.META,
+}
+
+
+@dataclass
+class _Blob:
+    tag: str
+    kind: DataKind
+    data: bytes
+
+
+class BlobRegistry:
+    """Collects the binary data pieces of an object under formation."""
+
+    def __init__(self) -> None:
+        self._blobs: list[_Blob] = []
+        self._tags: set[str] = set()
+
+    def add(self, tag: str, kind: str, data: bytes) -> None:
+        """Register one data piece.
+
+        Raises
+        ------
+        FormationError
+            On duplicate tags or unknown piece kinds.
+        """
+        if tag in self._tags:
+            raise FormationError(f"duplicate data tag {tag!r}")
+        data_kind = _KIND_BY_NAME.get(kind)
+        if data_kind is None:
+            raise FormationError(f"unknown data piece kind {kind!r}")
+        self._tags.add(tag)
+        self._blobs.append(_Blob(tag=tag, kind=data_kind, data=data))
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def __contains__(self, tag: str) -> bool:
+        return tag in self._tags
+
+    def blobs(self) -> list[tuple[str, DataKind, bytes]]:
+        """All registered pieces, in registration order."""
+        return [(b.tag, b.kind, b.data) for b in self._blobs]
+
+
+class CompositionFile:
+    """Concatenation of data pieces, with per-piece locations."""
+
+    def __init__(self) -> None:
+        self._chunks: list[bytes] = []
+        self._locations: list[DataLocation] = []
+        self._offset = 0
+        self._by_tag: dict[str, DataLocation] = {}
+
+    @classmethod
+    def from_registry(cls, registry: BlobRegistry) -> "CompositionFile":
+        """Build a composition file from every registered piece."""
+        composition = cls()
+        for tag, kind, data in registry.blobs():
+            composition.append(tag, kind, data)
+        return composition
+
+    def append(self, tag: str, kind: DataKind, data: bytes) -> DataLocation:
+        """Append one piece; returns its location within the file."""
+        if tag in self._by_tag:
+            raise FormationError(f"duplicate composition tag {tag!r}")
+        location = DataLocation(
+            tag=tag,
+            kind=kind,
+            source=DataSource.COMPOSITION,
+            offset=self._offset,
+            length=len(data),
+        )
+        self._chunks.append(data)
+        self._locations.append(location)
+        self._by_tag[tag] = location
+        self._offset += len(data)
+        return location
+
+    @property
+    def locations(self) -> list[DataLocation]:
+        """Locations of all pieces, in file order."""
+        return list(self._locations)
+
+    @property
+    def size(self) -> int:
+        """Total size in bytes."""
+        return self._offset
+
+    def to_bytes(self) -> bytes:
+        """The complete composition file."""
+        return b"".join(self._chunks)
+
+    def read(self, tag: str) -> bytes:
+        """Read one piece back by tag.
+
+        Raises
+        ------
+        FormationError
+            If no piece has that tag.
+        """
+        location = self._by_tag.get(tag)
+        if location is None:
+            raise FormationError(f"composition file has no tag {tag!r}")
+        index = self._locations.index(location)
+        return self._chunks[index]
+
+
+def composition_reader(data: bytes, locations: list[DataLocation]):
+    """A ``BlobSource`` reading pieces out of serialized composition bytes.
+
+    Only COMPOSITION-source locations can be resolved; ARCHIVER-source
+    pointers need the archiver itself (see the server package).
+    """
+    by_tag = {loc.tag: loc for loc in locations}
+
+    def read(tag: str) -> bytes:
+        location = by_tag.get(tag)
+        if location is None:
+            raise FormationError(f"no data location for tag {tag!r}")
+        if location.source is not DataSource.COMPOSITION:
+            raise FormationError(
+                f"tag {tag!r} points into the archiver; resolve it there"
+            )
+        return data[location.offset : location.offset + location.length]
+
+    return read

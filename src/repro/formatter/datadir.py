@@ -1,0 +1,98 @@
+"""The data directory file of an object under formation.
+
+"The data directory file contains information about the various data
+files as well as about data in the archiver that have been extracted
+but not copied.  Such information is the name, type, location, length,
+and status of data.  The status information describes if the data in a
+particular file is in its final form which is to be used for archiving
+or mailing."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import DataDirectoryError
+from repro.objects.descriptor import DataKind
+
+
+class DataStatus(enum.Enum):
+    """Whether a data piece is ready for archiving/mailing."""
+
+    DRAFT = "draft"
+    FINAL = "final"
+
+
+@dataclass
+class DataEntry:
+    """One data-directory record."""
+
+    name: str
+    kind: DataKind
+    location: str
+    length: int
+    status: DataStatus = DataStatus.DRAFT
+    in_archiver: bool = False
+
+    def __post_init__(self) -> None:
+        if self.length < 0:
+            raise DataDirectoryError(f"negative length for {self.name!r}")
+
+
+class DataDirectory:
+    """The set of data files making up an object under formation."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, DataEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def register(self, entry: DataEntry) -> None:
+        """Add or replace an entry."""
+        self._entries[entry.name] = entry
+
+    def entry(self, name: str) -> DataEntry:
+        """Look up an entry.
+
+        Raises
+        ------
+        DataDirectoryError
+            If the name is unknown.
+        """
+        entry = self._entries.get(name)
+        if entry is None:
+            raise DataDirectoryError(f"data directory has no entry {name!r}")
+        return entry
+
+    def mark_final(self, name: str) -> None:
+        """Flip an entry to FINAL (its archival form has been produced).
+
+        "When the editing of an image is completed its archival form
+        (which is device and software package independent) is produced.
+        The presentation interface of the archiver expects always the
+        data in its final form."
+        """
+        self.entry(name).status = DataStatus.FINAL
+
+    def drafts(self) -> list[DataEntry]:
+        """Entries not yet in final form."""
+        return [e for e in self._entries.values() if e.status is DataStatus.DRAFT]
+
+    def require_all_final(self) -> None:
+        """Raise unless every entry is FINAL (pre-archive check)."""
+        drafts = self.drafts()
+        if drafts:
+            names = ", ".join(sorted(e.name for e in drafts))
+            raise DataDirectoryError(
+                f"data pieces not in final form: {names}; the archiver "
+                "expects data in its final form"
+            )
+
+    def entries(self) -> list[DataEntry]:
+        """All entries, sorted by name."""
+        return [self._entries[name] for name in sorted(self._entries)]

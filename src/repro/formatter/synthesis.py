@@ -1,0 +1,163 @@
+"""The synthesis file: interactive, declarative object formation.
+
+"The object formation process starts when the user creates the
+synthesis file.  The synthesis file contains information about the
+presentation form of the multimedia object, tags with the names of
+various data files, and possibly text."
+
+"When the user inserts information in the synthesis file for visual
+mode objects a miniature of the current page of the formatted object is
+displayed...  This way the user can immediately see the results of his
+formatting actions."  :meth:`SynthesisFile.miniature_pages` is that
+live preview; every markup change invalidates the derived composition
+("part of the descriptor file and the composition file may have to be
+deleted and recreated"), which :attr:`SynthesisFile.rebuild_count`
+makes observable.
+"""
+
+from __future__ import annotations
+
+from repro.audio.signal import Recording
+from repro.errors import FormationError
+from repro.formatter.datadir import DataDirectory, DataEntry, DataStatus
+from repro.ids import ObjectId, SegmentId
+from repro.images.image import Image
+from repro.objects.descriptor import DataKind
+from repro.objects.model import DrivingMode, MultimediaObject
+from repro.objects.parts import TextSegment, VoiceSegment
+from repro.objects.presentation import PresentationSpec, TextFlow
+from repro.text.formatter import TextFormatter
+from repro.text.markup import parse_markup
+from repro.text.pagination import Paginator, VisualPage
+
+
+class SynthesisFile:
+    """One object under interactive formation.
+
+    The user edits markup (with ``@image{tag}`` references), registers
+    the referenced data files, previews the miniature, and finally
+    builds the :class:`~repro.objects.model.MultimediaObject` in the
+    editing state.
+    """
+
+    def __init__(
+        self,
+        object_id: ObjectId,
+        driving_mode: DrivingMode = DrivingMode.VISUAL,
+    ) -> None:
+        self._object_id = object_id
+        self._driving_mode = driving_mode
+        self._markup = ""
+        self._images: dict[str, Image] = {}
+        self._voices: dict[str, Recording] = {}
+        self.data_directory = DataDirectory()
+        self.rebuild_count = 0
+
+    @property
+    def markup(self) -> str:
+        """Current synthesis text."""
+        return self._markup
+
+    def update_markup(self, markup: str) -> None:
+        """Replace the synthesis text, invalidating derived artefacts."""
+        self._markup = markup
+        self.rebuild_count += 1
+        # Drop cached derived state so the next preview re-derives it.
+        self.__dict__.pop("_derived_pages", None)
+
+    def register_image(self, tag: str, image: Image) -> None:
+        """Register an image data file under ``tag``."""
+        self._images[tag] = image
+        self.data_directory.register(
+            DataEntry(
+                name=tag,
+                kind=DataKind.IMAGE,
+                location=f"file:{tag}",
+                length=image.nbytes,
+                status=DataStatus.FINAL,
+            )
+        )
+
+    def register_voice(self, tag: str, recording: Recording) -> None:
+        """Register a voice data file under ``tag``."""
+        self._voices[tag] = recording
+        self.data_directory.register(
+            DataEntry(
+                name=tag,
+                kind=DataKind.VOICE,
+                location=f"file:{tag}",
+                length=recording.nbytes,
+                status=DataStatus.FINAL,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # live preview
+    # ------------------------------------------------------------------
+
+    def miniature_pages(
+        self, width: int = 36, page_height: int = 20
+    ) -> list[VisualPage]:
+        """The miniature preview of the formatted object.
+
+        A reduced-size rendition ("displayed in the right hand side of
+        the screen, below the menu options") through which the user can
+        navigate while editing.
+        """
+        document = parse_markup(self._markup)
+        for tag in document.image_tags():
+            if tag not in self._images:
+                raise FormationError(
+                    f"synthesis file references unregistered image tag {tag!r}"
+                )
+        lines = TextFormatter(width=width).format(document)
+        return Paginator(page_height=page_height, image_lines=lambda _t: 4).paginate(
+            lines
+        )
+
+    # ------------------------------------------------------------------
+    # building
+    # ------------------------------------------------------------------
+
+    def build_object(self) -> MultimediaObject:
+        """Assemble the multimedia object (editing state).
+
+        Raises
+        ------
+        FormationError
+            If the markup references unregistered data tags.
+        DataDirectoryError
+            If any registered data piece is not in final form.
+        """
+        self.data_directory.require_all_final()
+        obj = MultimediaObject(
+            object_id=self._object_id, driving_mode=self._driving_mode
+        )
+        presentation = PresentationSpec()
+
+        if self._markup.strip():
+            segment_id = SegmentId(f"{self._object_id}-text-0")
+            document = parse_markup(self._markup)
+            for tag in document.image_tags():
+                if tag not in self._images:
+                    raise FormationError(
+                        f"synthesis file references unregistered image tag {tag!r}"
+                    )
+            obj.add_text_segment(
+                TextSegment(segment_id=segment_id, markup=self._markup)
+            )
+            presentation.items.append(TextFlow(segment_id))
+
+        for tag, image in self._images.items():
+            obj.add_image(image)
+        for tag, recording in self._voices.items():
+            segment = VoiceSegment(
+                segment_id=SegmentId(f"{self._object_id}-voice-{tag}"),
+                recording=recording,
+            )
+            obj.add_voice_segment(segment)
+            if self._driving_mode is DrivingMode.AUDIO:
+                presentation.audio_order.append(segment.segment_id)
+
+        obj.presentation = presentation
+        return obj

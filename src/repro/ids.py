@@ -1,0 +1,101 @@
+"""Identifier types for multimedia objects and their components.
+
+The paper requires that "a unique object identifier is associated with
+each multimedia object".  We implement deterministic, process-local
+identifier generation so that scenarios, tests and benchmarks are fully
+reproducible: an :class:`IdGenerator` seeded the same way always yields
+the same sequence of identifiers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectId:
+    """Unique identifier of a multimedia object."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class SegmentId:
+    """Identifier of a text or voice segment within an object."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class ImageId:
+    """Identifier of an image within an object."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class MessageId:
+    """Identifier of a voice or visual logical message."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class IndicatorId:
+    """Identifier of a relevant-object indicator on the screen."""
+
+    value: str
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class IdGenerator:
+    """Deterministic identifier factory.
+
+    Parameters
+    ----------
+    prefix:
+        A namespace prefix embedded in every generated identifier, so
+        that identifiers from different generators never collide.
+    """
+
+    prefix: str = "minos"
+    _counter: itertools.count = field(default_factory=itertools.count, repr=False)
+
+    def _next(self, kind: str) -> str:
+        return f"{self.prefix}-{kind}-{next(self._counter):06d}"
+
+    def object_id(self) -> ObjectId:
+        """Return a fresh object identifier."""
+        return ObjectId(self._next("obj"))
+
+    def segment_id(self) -> SegmentId:
+        """Return a fresh segment identifier."""
+        return SegmentId(self._next("seg"))
+
+    def image_id(self) -> ImageId:
+        """Return a fresh image identifier."""
+        return ImageId(self._next("img"))
+
+    def message_id(self) -> MessageId:
+        """Return a fresh logical-message identifier."""
+        return MessageId(self._next("msg"))
+
+    def indicator_id(self) -> IndicatorId:
+        """Return a fresh relevant-object indicator identifier."""
+        return IndicatorId(self._next("ind"))

@@ -1,0 +1,35 @@
+"""Image substrate: bitmaps, graphics objects, labels, views, miniatures.
+
+The paper distinguishes two kinds of images — bitmaps and graphics
+images — and attaches *labels* (text, voice, or invisible) to graphics
+objects.  Two-dimensional browsing is done with *views* (rectangular
+windows moved across a large image) and with *representations*
+(miniatures): small stand-ins for a large image on which a view can be
+defined before any of the full image's data is transferred.
+"""
+
+from repro.images.geometry import Circle, Point, PolyLine, Polygon, Rect
+from repro.images.bitmap import Bitmap
+from repro.images.graphics import GraphicsObject, Label, LabelKind
+from repro.images.image import Image
+from repro.images.canvas import Canvas
+from repro.images.spatial import SpatialGrid
+from repro.images.view import View
+from repro.images.miniature import make_miniature
+
+__all__ = [
+    "Bitmap",
+    "Canvas",
+    "Circle",
+    "GraphicsObject",
+    "Image",
+    "Label",
+    "LabelKind",
+    "Point",
+    "PolyLine",
+    "Polygon",
+    "Rect",
+    "SpatialGrid",
+    "View",
+    "make_miniature",
+]

@@ -1,0 +1,126 @@
+"""Bitmaps: dense raster images backed by numpy arrays.
+
+MINOS stored digitized images (x-rays, captured pages, maps) as large
+bitmaps on the optical archiver.  We use 8-bit greyscale rasters, which
+are cheap enough to synthesize procedurally at the sizes the benchmarks
+need (up to 4096x4096) while still exhibiting the transfer-volume
+behaviour the paper's *view* mechanism exists to avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ImageError
+from repro.images.geometry import Rect
+
+
+@dataclass
+class Bitmap:
+    """An 8-bit greyscale raster.
+
+    Attributes
+    ----------
+    pixels:
+        A 2-D ``uint8`` array of shape ``(height, width)``.
+    """
+
+    pixels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.pixels.ndim != 2:
+            raise ImageError(f"bitmap must be 2-D, got shape {self.pixels.shape}")
+        if self.pixels.dtype != np.uint8:
+            self.pixels = self.pixels.astype(np.uint8)
+
+    @classmethod
+    def blank(cls, width: int, height: int, fill: int = 0) -> "Bitmap":
+        """Create a uniform bitmap of the given size."""
+        if width <= 0 or height <= 0:
+            raise ImageError(f"bitmap size must be positive: {width}x{height}")
+        return cls(np.full((height, width), fill, dtype=np.uint8))
+
+    @classmethod
+    def from_function(cls, width: int, height: int, fn) -> "Bitmap":
+        """Create a bitmap by evaluating ``fn(x_grid, y_grid)``.
+
+        ``fn`` receives integer coordinate grids and must return an
+        array broadcastable to ``(height, width)`` with values in
+        ``[0, 255]``.
+        """
+        ys, xs = np.mgrid[0:height, 0:width]
+        values = np.clip(fn(xs, ys), 0, 255)
+        return cls(values.astype(np.uint8))
+
+    @property
+    def width(self) -> int:
+        """Width in pixels."""
+        return int(self.pixels.shape[1])
+
+    @property
+    def height(self) -> int:
+        """Height in pixels."""
+        return int(self.pixels.shape[0])
+
+    @property
+    def rect(self) -> Rect:
+        """Bounding rectangle anchored at the origin."""
+        return Rect(0, 0, self.width, self.height)
+
+    @property
+    def nbytes(self) -> int:
+        """Storage size in bytes (1 byte per pixel)."""
+        return int(self.pixels.nbytes)
+
+    def crop(self, rect: Rect) -> "Bitmap":
+        """Return the sub-bitmap covered by ``rect``.
+
+        Raises
+        ------
+        ImageError
+            If ``rect`` does not lie entirely within the bitmap.
+        """
+        if not self.rect.contains_rect(rect):
+            raise ImageError(f"crop rect {rect} exceeds bitmap {self.rect}")
+        return Bitmap(self.pixels[rect.y : rect.y2, rect.x : rect.x2].copy())
+
+    def paste(self, other: "Bitmap", x: int, y: int) -> None:
+        """Copy ``other`` into this bitmap with top-left corner at (x, y)."""
+        target = Rect(x, y, other.width, other.height)
+        if not self.rect.contains_rect(target):
+            raise ImageError(f"paste rect {target} exceeds bitmap {self.rect}")
+        self.pixels[y : y + other.height, x : x + other.width] = other.pixels
+
+    def downsample(self, factor: int) -> "Bitmap":
+        """Block-mean downsample by an integer ``factor``.
+
+        Trailing rows/columns that do not fill a complete block are
+        dropped, which matches how a miniature generator would quantise
+        a large capture.
+        """
+        if factor <= 0:
+            raise ImageError(f"downsample factor must be positive: {factor}")
+        if factor == 1:
+            return Bitmap(self.pixels.copy())
+        h = (self.height // factor) * factor
+        w = (self.width // factor) * factor
+        if h == 0 or w == 0:
+            raise ImageError(
+                f"bitmap {self.width}x{self.height} too small for factor {factor}"
+            )
+        blocks = self.pixels[:h, :w].reshape(h // factor, factor, w // factor, factor)
+        means = blocks.mean(axis=(1, 3))
+        return Bitmap(means.astype(np.uint8))
+
+    def equals(self, other: "Bitmap") -> bool:
+        """True if both bitmaps have identical pixels."""
+        return (
+            self.pixels.shape == other.pixels.shape
+            and bool(np.array_equal(self.pixels, other.pixels))
+        )
+
+    def copy(self) -> "Bitmap":
+        """Return an independent copy."""
+        return Bitmap(self.pixels.copy())

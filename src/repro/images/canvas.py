@@ -1,0 +1,186 @@
+"""Rasterisation and compositing.
+
+The :class:`Canvas` renders graphics objects onto a raster and
+implements the two page-compositing semantics the paper defines:
+
+* **transparency** — drawn pixels of the new page appear *on top of*
+  the previous content, everything else shows through;
+* **overwrite** — "the bitmaps, lines, and shades of the overwrite
+  image replace whatever existed in the previous page but they leave
+  anything else intact".
+
+Both reduce to masked assignment of the newly drawn pixels; they differ
+in what the caller does with the accumulated state (a transparency can
+later be peeled off, an overwrite is destructive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Circle, Point, PolyLine, Polygon, Rect
+from repro.images.graphics import GraphicsObject
+
+
+class Canvas:
+    """A mutable raster with drawing and compositing operations."""
+
+    def __init__(self, width: int, height: int, background: int = 0) -> None:
+        self._bitmap = Bitmap.blank(width, height, fill=background)
+        self._background = background
+
+    @classmethod
+    def from_bitmap(cls, bitmap: Bitmap) -> "Canvas":
+        """Create a canvas initialised with a copy of ``bitmap``."""
+        canvas = cls(bitmap.width, bitmap.height)
+        canvas._bitmap = bitmap.copy()
+        return canvas
+
+    @property
+    def width(self) -> int:
+        """Canvas width in pixels."""
+        return self._bitmap.width
+
+    @property
+    def height(self) -> int:
+        """Canvas height in pixels."""
+        return self._bitmap.height
+
+    @property
+    def pixels(self) -> np.ndarray:
+        """The underlying pixel array (mutable)."""
+        return self._bitmap.pixels
+
+    def snapshot(self) -> Bitmap:
+        """An independent copy of the current raster."""
+        return self._bitmap.copy()
+
+    # ------------------------------------------------------------------
+    # drawing primitives
+    # ------------------------------------------------------------------
+
+    def draw(self, obj: GraphicsObject) -> None:
+        """Rasterise one graphics object."""
+        shape = obj.shape
+        if isinstance(shape, Point):
+            self._set_pixel(int(shape.x), int(shape.y), obj.intensity)
+        elif isinstance(shape, PolyLine):
+            for a, b in zip(shape.points, shape.points[1:]):
+                self._draw_line(a, b, obj.intensity)
+        elif isinstance(shape, Polygon):
+            if obj.filled:
+                self._fill_polygon(shape, obj.intensity)
+            pts = list(shape.points) + [shape.points[0]]
+            for a, b in zip(pts, pts[1:]):
+                self._draw_line(a, b, obj.intensity)
+        elif isinstance(shape, Circle):
+            self._draw_circle(shape, obj.intensity, obj.filled)
+
+    def draw_all(self, objects: list[GraphicsObject]) -> None:
+        """Rasterise a list of graphics objects in order."""
+        for obj in objects:
+            self.draw(obj)
+
+    # ------------------------------------------------------------------
+    # compositing
+    # ------------------------------------------------------------------
+
+    def superimpose(self, overlay: Bitmap, transparent: int = 0) -> np.ndarray:
+        """Composite ``overlay`` on top, treating ``transparent`` pixels
+        as see-through.  Returns the boolean mask of replaced pixels.
+        """
+        mask = overlay.pixels != transparent
+        self._bitmap.pixels[mask] = overlay.pixels[mask]
+        return mask
+
+    def overwrite(self, overlay: Bitmap, transparent: int = 0) -> np.ndarray:
+        """Apply overwrite-page semantics.
+
+        Identical masked assignment to :meth:`superimpose`; kept as a
+        separate method because the trace and the presentation manager
+        distinguish the two page kinds.
+        """
+        return self.superimpose(overlay, transparent=transparent)
+
+    def changed_fraction(self, before: Bitmap) -> float:
+        """Fraction of pixels that differ from ``before``."""
+        diff = self._bitmap.pixels != before.pixels
+        return float(diff.mean())
+
+    # ------------------------------------------------------------------
+    # low-level rasterisation
+    # ------------------------------------------------------------------
+
+    def _set_pixel(self, x: int, y: int, intensity: int) -> None:
+        if 0 <= x < self.width and 0 <= y < self.height:
+            self._bitmap.pixels[y, x] = intensity
+
+    def _draw_line(self, a: Point, b: Point, intensity: int) -> None:
+        """Bresenham-style line drawing via dense interpolation."""
+        steps = int(max(abs(b.x - a.x), abs(b.y - a.y))) + 1
+        xs = np.linspace(a.x, b.x, steps).round().astype(int)
+        ys = np.linspace(a.y, b.y, steps).round().astype(int)
+        valid = (xs >= 0) & (xs < self.width) & (ys >= 0) & (ys < self.height)
+        self._bitmap.pixels[ys[valid], xs[valid]] = intensity
+
+    def _draw_circle(self, circle: Circle, intensity: int, filled: bool) -> None:
+        bounds = circle.bounding_rect().intersection(
+            Rect(0, 0, self.width, self.height)
+        )
+        if bounds is None:
+            return
+        ys, xs = np.mgrid[bounds.y : bounds.y2, bounds.x : bounds.x2]
+        dist = np.hypot(xs - circle.center.x, ys - circle.center.y)
+        if filled:
+            mask = dist <= circle.radius
+        else:
+            mask = np.abs(dist - circle.radius) <= 0.75
+        region = self._bitmap.pixels[bounds.y : bounds.y2, bounds.x : bounds.x2]
+        region[mask] = intensity
+
+    def _fill_polygon(self, polygon: Polygon, intensity: int) -> None:
+        bounds = polygon.bounding_rect().intersection(
+            Rect(0, 0, self.width, self.height)
+        )
+        if bounds is None:
+            return
+        for y in range(bounds.y, bounds.y2):
+            crossings = _scanline_crossings(polygon, y + 0.5)
+            for x0, x1 in crossings:
+                xa = max(int(np.ceil(x0)), bounds.x)
+                xb = min(int(np.floor(x1)) + 1, bounds.x2)
+                if xa < xb:
+                    self._bitmap.pixels[y, xa:xb] = intensity
+
+
+def _scanline_crossings(polygon: Polygon, y: float) -> list[tuple[float, float]]:
+    """Pairs of x-intersections of the polygon's edges with a scanline."""
+    xs: list[float] = []
+    pts = polygon.points
+    j = len(pts) - 1
+    for i in range(len(pts)):
+        yi, yj = pts[i].y, pts[j].y
+        if (yi > y) != (yj > y):
+            xi, xj = pts[i].x, pts[j].x
+            xs.append(xi + (y - yi) * (xj - xi) / (yj - yi))
+        j = i
+    xs.sort()
+    return list(zip(xs[0::2], xs[1::2]))
+
+
+def render_image(image) -> Bitmap:
+    """Rasterise a full :class:`~repro.images.image.Image`.
+
+    The bitmap (if any) forms the background; graphics objects are
+    drawn on top.  Text labels are not rasterised — the screen reports
+    them through DISPLAY_LABEL trace events instead, mirroring how the
+    original system drew text with a font engine the raster model does
+    not reproduce.
+    """
+    if image.bitmap is not None:
+        canvas = Canvas.from_bitmap(image.bitmap)
+    else:
+        canvas = Canvas(image.width, image.height)
+    canvas.draw_all(image.graphics)
+    return canvas.snapshot()

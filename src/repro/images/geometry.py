@@ -1,0 +1,214 @@
+"""Plane geometry used by graphics images and views.
+
+Coordinates follow raster convention: ``x`` grows rightwards, ``y``
+grows downwards, and all units are pixels.  Rectangles are half-open
+(``x + width`` and ``y + height`` are *excluded*), matching numpy
+slicing so that ``bitmap[rect.y:rect.y2, rect.x:rect.x2]`` extracts
+exactly the rectangle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in pixel coordinates."""
+
+    x: float
+    y: float
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return this point moved by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An axis-aligned, half-open rectangle."""
+
+    x: int
+    y: int
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError(f"rectangle sides must be non-negative: {self}")
+
+    @property
+    def x2(self) -> int:
+        """Exclusive right edge."""
+        return self.x + self.width
+
+    @property
+    def y2(self) -> int:
+        """Exclusive bottom edge."""
+        return self.y + self.height
+
+    @property
+    def area(self) -> int:
+        """Number of pixels covered."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Geometric centre of the rectangle."""
+        return Point(self.x + self.width / 2, self.y + self.height / 2)
+
+    def contains_point(self, point: Point) -> bool:
+        """True if ``point`` falls inside the rectangle."""
+        return self.x <= point.x < self.x2 and self.y <= point.y < self.y2
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely inside this rectangle."""
+        return (
+            self.x <= other.x
+            and self.y <= other.y
+            and other.x2 <= self.x2
+            and other.y2 <= self.y2
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the two rectangles share at least one pixel."""
+        return (
+            self.x < other.x2
+            and other.x < self.x2
+            and self.y < other.y2
+            and other.y < self.y2
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Return the overlapping rectangle, or ``None`` if disjoint."""
+        if not self.intersects(other):
+            return None
+        x = max(self.x, other.x)
+        y = max(self.y, other.y)
+        return Rect(x, y, min(self.x2, other.x2) - x, min(self.y2, other.y2) - y)
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        """Return this rectangle moved by ``(dx, dy)``."""
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)
+
+    def resized(self, dw: int, dh: int) -> "Rect":
+        """Return this rectangle grown (or shrunk) by ``(dw, dh)``.
+
+        The top-left corner stays fixed, matching the paper's
+        "dimensions of the view can be shrunk or expanded" operation.
+        """
+        return Rect(self.x, self.y, self.width + dw, self.height + dh)
+
+    def clamped_within(self, bounds: "Rect") -> "Rect":
+        """Return this rectangle shifted/shrunk to fit inside ``bounds``."""
+        width = min(self.width, bounds.width)
+        height = min(self.height, bounds.height)
+        x = min(max(self.x, bounds.x), bounds.x2 - width)
+        y = min(max(self.y, bounds.y), bounds.y2 - height)
+        return Rect(x, y, width, height)
+
+
+@dataclass(frozen=True)
+class PolyLine:
+    """An open chain of line segments."""
+
+    points: tuple[Point, ...]
+
+    def __init__(self, points: Iterable[Point]) -> None:
+        object.__setattr__(self, "points", tuple(points))
+        if len(self.points) < 2:
+            raise ValueError("a polyline needs at least two points")
+
+    @property
+    def length(self) -> float:
+        """Total length of the chain."""
+        return sum(a.distance_to(b) for a, b in zip(self.points, self.points[1:]))
+
+    def bounding_rect(self) -> Rect:
+        """Smallest rectangle containing every vertex."""
+        return _bounding_rect(self.points)
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """A closed polygon (vertices in order; the last edge closes it)."""
+
+    points: tuple[Point, ...]
+
+    def __init__(self, points: Iterable[Point]) -> None:
+        object.__setattr__(self, "points", tuple(points))
+        if len(self.points) < 3:
+            raise ValueError("a polygon needs at least three vertices")
+
+    def bounding_rect(self) -> Rect:
+        """Smallest rectangle containing every vertex."""
+        return _bounding_rect(self.points)
+
+    def contains_point(self, point: Point) -> bool:
+        """Ray-casting point-in-polygon test (boundary counts as inside)."""
+        inside = False
+        pts = self.points
+        j = len(pts) - 1
+        for i in range(len(pts)):
+            xi, yi = pts[i].x, pts[i].y
+            xj, yj = pts[j].x, pts[j].y
+            if (yi > point.y) != (yj > point.y):
+                x_cross = (xj - xi) * (point.y - yi) / (yj - yi) + xi
+                if point.x < x_cross:
+                    inside = not inside
+                elif point.x == x_cross:
+                    return True
+            j = i
+        return inside
+
+    @property
+    def area(self) -> float:
+        """Unsigned area via the shoelace formula."""
+        total = 0.0
+        pts = self.points
+        for i in range(len(pts)):
+            a, b = pts[i], pts[(i + 1) % len(pts)]
+            total += a.x * b.y - b.x * a.y
+        return abs(total) / 2
+
+
+@dataclass(frozen=True, slots=True)
+class Circle:
+    """A circle given by centre and radius."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError(f"circle radius must be positive: {self.radius}")
+
+    def bounding_rect(self) -> Rect:
+        """Smallest rectangle containing the circle."""
+        r = self.radius
+        return Rect(
+            int(math.floor(self.center.x - r)),
+            int(math.floor(self.center.y - r)),
+            int(math.ceil(2 * r)) + 1,
+            int(math.ceil(2 * r)) + 1,
+        )
+
+    def contains_point(self, point: Point) -> bool:
+        """True if ``point`` is inside or on the circle."""
+        return self.center.distance_to(point) <= self.radius
+
+
+def _bounding_rect(points: Sequence[Point]) -> Rect:
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    x0 = int(math.floor(min(xs)))
+    y0 = int(math.floor(min(ys)))
+    x1 = int(math.ceil(max(xs)))
+    y1 = int(math.ceil(max(ys)))
+    return Rect(x0, y0, max(x1 - x0, 1), max(y1 - y0, 1))

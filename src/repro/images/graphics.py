@@ -1,0 +1,149 @@
+"""Graphics objects and their labels.
+
+The paper: "Images with graphics contain graphics objects such as
+points, polygons, polylines, circles, etc.  Graphics objects may have a
+label associated with them...  The presentation form of a label may be
+invisible, text label, or voice label."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Union
+
+from repro.errors import ImageError
+from repro.images.geometry import Circle, Point, PolyLine, Polygon, Rect
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.audio.signal import Recording
+
+Shape = Union[Point, PolyLine, Polygon, Circle]
+
+
+class LabelKind(enum.Enum):
+    """Presentation form of a graphics-object label."""
+
+    TEXT = "text"
+    VOICE = "voice"
+    INVISIBLE_TEXT = "invisible_text"
+    INVISIBLE_VOICE = "invisible_voice"
+
+    @property
+    def is_visible(self) -> bool:
+        """Whether the label (or its indicator) is displayed by default."""
+        return self in (LabelKind.TEXT, LabelKind.VOICE)
+
+    @property
+    def is_voice(self) -> bool:
+        """Whether the label's content is voice."""
+        return self in (LabelKind.VOICE, LabelKind.INVISIBLE_VOICE)
+
+
+@dataclass
+class Label:
+    """Short information attached to a graphics object.
+
+    Text labels are displayed near the object at a designer-specified
+    position.  Voice labels display only an indicator there; the voice
+    itself plays when the user selects the indicator (or when a moving
+    view encounters the object with the voice option on).
+
+    Attributes
+    ----------
+    kind:
+        Presentation form of the label.
+    text:
+        The label text.  Always present — for voice labels it is the
+        transcript of the recording and is what pattern-based label
+        highlighting matches against.
+    voice:
+        The label's recording, required when ``kind.is_voice``.
+    position:
+        Designer-specified display position for the label or its
+        voice indicator.
+    """
+
+    kind: LabelKind
+    text: str
+    position: Point
+    voice: "Recording | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind.is_voice and self.voice is None:
+            raise ImageError(f"label kind {self.kind.value} requires a recording")
+        if not self.kind.is_voice and self.voice is not None:
+            raise ImageError(f"label kind {self.kind.value} must not carry voice")
+        if not self.text:
+            raise ImageError("label text (or transcript) must be non-empty")
+
+    def matches(self, pattern: str) -> bool:
+        """Case-insensitive substring match used for label highlighting."""
+        return pattern.lower() in self.text.lower()
+
+
+@dataclass
+class GraphicsObject:
+    """A shape on a graphics image, optionally labelled.
+
+    Attributes
+    ----------
+    name:
+        Stable name used in traces and highlighting reports.
+    shape:
+        The geometry of the object.
+    label:
+        Optional label; see :class:`Label`.
+    intensity:
+        Stroke intensity used when rasterising (0-255).
+    filled:
+        For polygons and circles, whether the interior is shaded.
+    """
+
+    name: str
+    shape: Shape
+    label: Label | None = None
+    intensity: int = 255
+    filled: bool = False
+    _cached_bounds: Rect | None = field(default=None, repr=False, compare=False)
+
+    def bounding_rect(self) -> Rect:
+        """Bounding rectangle of the shape (cached)."""
+        if self._cached_bounds is None:
+            shape = self.shape
+            if isinstance(shape, Point):
+                bounds = Rect(int(shape.x), int(shape.y), 1, 1)
+            else:
+                bounds = shape.bounding_rect()
+            self._cached_bounds = bounds
+        return self._cached_bounds
+
+    def hit(self, point: Point) -> bool:
+        """True if selecting ``point`` with the mouse picks this object."""
+        shape = self.shape
+        if isinstance(shape, Point):
+            return shape.distance_to(point) <= 3.0
+        if isinstance(shape, Circle):
+            return shape.contains_point(point)
+        if isinstance(shape, Polygon):
+            return shape.contains_point(point)
+        # Polylines are picked when the point is near any segment.
+        return _near_polyline(shape, point, tolerance=3.0)
+
+
+def _near_polyline(line: PolyLine, point: Point, tolerance: float) -> bool:
+    for a, b in zip(line.points, line.points[1:]):
+        if _point_segment_distance(point, a, b) <= tolerance:
+            return True
+    return False
+
+
+def _point_segment_distance(p: Point, a: Point, b: Point) -> float:
+    ax, ay, bx, by = a.x, a.y, b.x, b.y
+    dx, dy = bx - ax, by - ay
+    length_sq = dx * dx + dy * dy
+    if length_sq == 0:
+        return p.distance_to(a)
+    t = ((p.x - ax) * dx + (p.y - ay) * dy) / length_sq
+    t = max(0.0, min(1.0, t))
+    return p.distance_to(Point(ax + t * dx, ay + t * dy))

@@ -1,0 +1,140 @@
+"""The image unit stored in a multimedia object's image part.
+
+An :class:`Image` may carry a bitmap, graphics objects, or both, and
+may itself be a *representation* (miniature) of another image — in
+which case views defined on it are executed against the source image's
+data on the server, never against the miniature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ImageError
+from repro.ids import ImageId
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Point, Rect
+from repro.images.graphics import GraphicsObject, Label
+
+
+@dataclass
+class Image:
+    """A bitmap and/or graphics image.
+
+    Attributes
+    ----------
+    image_id:
+        Identifier unique within the owning object (and used as the
+        archiver data tag).
+    width, height:
+        Logical size in pixels.  When a bitmap is present it must match.
+    bitmap:
+        Optional raster content.
+    graphics:
+        Graphics objects drawn on top of (or instead of) the bitmap.
+    is_representation:
+        True when this image is a miniature standing in for another.
+    source_image_id:
+        For representations, the identifier of the full image.
+    scale:
+        For representations, the integer downsample factor relative to
+        the source image.
+    """
+
+    image_id: ImageId
+    width: int
+    height: int
+    bitmap: Bitmap | None = None
+    graphics: list[GraphicsObject] = field(default_factory=list)
+    is_representation: bool = False
+    source_image_id: ImageId | None = None
+    scale: int = 1
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ImageError(f"image size must be positive: {self.width}x{self.height}")
+        if self.bitmap is not None and (
+            self.bitmap.width != self.width or self.bitmap.height != self.height
+        ):
+            raise ImageError(
+                f"bitmap {self.bitmap.width}x{self.bitmap.height} does not match "
+                f"image {self.width}x{self.height}"
+            )
+        if self.is_representation and self.source_image_id is None:
+            raise ImageError("a representation must name its source image")
+
+    @property
+    def rect(self) -> Rect:
+        """Full-image rectangle anchored at the origin."""
+        return Rect(0, 0, self.width, self.height)
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate storage size: bitmap bytes plus graphics records.
+
+        Each graphics object is costed at a flat 64 bytes plus its label
+        text, which approximates a compact vector encoding.
+        """
+        total = self.bitmap.nbytes if self.bitmap is not None else 0
+        for obj in self.graphics:
+            total += 64
+            if obj.label is not None:
+                total += len(obj.label.text)
+                if obj.label.voice is not None:
+                    total += obj.label.voice.nbytes
+        return total
+
+    def labelled_objects(self) -> list[GraphicsObject]:
+        """All graphics objects that carry a label."""
+        return [g for g in self.graphics if g.label is not None]
+
+    def voice_labelled_objects(self) -> list[GraphicsObject]:
+        """All graphics objects whose label is voice."""
+        return [
+            g
+            for g in self.graphics
+            if g.label is not None and g.label.kind.is_voice
+        ]
+
+    def find_object(self, name: str) -> GraphicsObject:
+        """Look up a graphics object by name.
+
+        Raises
+        ------
+        ImageError
+            If no object has that name.
+        """
+        for obj in self.graphics:
+            if obj.name == name:
+                return obj
+        raise ImageError(f"image {self.image_id} has no graphics object {name!r}")
+
+    def objects_matching_label(self, pattern: str) -> list[GraphicsObject]:
+        """Objects whose label text contains ``pattern`` (case-insensitive).
+
+        This backs the paper's "highlight the objects in which this
+        pattern appears within their label" facility.
+        """
+        return [
+            g
+            for g in self.graphics
+            if g.label is not None and g.label.matches(pattern)
+        ]
+
+    def object_at(self, point: Point) -> GraphicsObject | None:
+        """The topmost graphics object picked by a mouse click at ``point``."""
+        for obj in reversed(self.graphics):
+            if obj.hit(point):
+                return obj
+        return None
+
+    def labels_within(self, rect: Rect) -> list[Label]:
+        """Labels whose designer position lies inside ``rect``.
+
+        Used by moving views to decide which voice labels to play.
+        """
+        return [
+            g.label
+            for g in self.graphics
+            if g.label is not None and rect.contains_point(g.label.position)
+        ]

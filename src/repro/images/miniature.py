@@ -1,0 +1,87 @@
+"""Representations (miniatures) of images and of whole objects.
+
+The paper: "A representation of the image is an image itself, where
+only a high level representation of the content of the image are
+presented in positions which correspond to the actual positions of the
+objects of the image (a miniature).  The representation of the image is
+much smaller than the image itself, and thus it is easily transferable
+to main memory."
+
+Views defined on a representation are executed against the *source*
+image's data, so the user pays only for the window, never the whole
+image.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ImageError
+from repro.ids import ImageId
+from repro.images.geometry import Circle, Point, PolyLine, Polygon
+from repro.images.graphics import GraphicsObject
+from repro.images.image import Image
+
+
+def make_miniature(image: Image, scale: int, miniature_id: ImageId) -> Image:
+    """Build a representation of ``image`` downsampled by ``scale``.
+
+    The bitmap (if any) is block-mean reduced; graphics objects are
+    geometrically scaled so that their positions "correspond to the
+    actual positions of the objects of the image".  Labels are dropped
+    from the miniature — they belong to the full image and would be
+    unreadable at miniature scale — but object names are preserved so
+    highlighting can still locate them.
+
+    Raises
+    ------
+    ImageError
+        If ``scale`` is less than 2 (a representation must actually be
+        smaller) or the image is itself a representation.
+    """
+    if scale < 2:
+        raise ImageError(f"miniature scale must be at least 2, got {scale}")
+    if image.is_representation:
+        raise ImageError("cannot make a representation of a representation")
+
+    width = max(image.width // scale, 1)
+    height = max(image.height // scale, 1)
+    bitmap = None
+    if image.bitmap is not None:
+        bitmap = image.bitmap.downsample(scale)
+        # Downsampling floors to whole blocks; adopt its exact size.
+        width, height = bitmap.width, bitmap.height
+
+    graphics = [_scale_object(obj, scale) for obj in image.graphics]
+    return Image(
+        image_id=miniature_id,
+        width=width,
+        height=height,
+        bitmap=bitmap,
+        graphics=graphics,
+        is_representation=True,
+        source_image_id=image.image_id,
+        scale=scale,
+    )
+
+
+def _scale_object(obj: GraphicsObject, scale: int) -> GraphicsObject:
+    shape = obj.shape
+    if isinstance(shape, Point):
+        scaled = Point(shape.x / scale, shape.y / scale)
+    elif isinstance(shape, Circle):
+        scaled = Circle(
+            Point(shape.center.x / scale, shape.center.y / scale),
+            max(shape.radius / scale, 0.5),
+        )
+    elif isinstance(shape, Polygon):
+        scaled = Polygon(Point(p.x / scale, p.y / scale) for p in shape.points)
+    elif isinstance(shape, PolyLine):
+        scaled = PolyLine(Point(p.x / scale, p.y / scale) for p in shape.points)
+    else:  # pragma: no cover - exhaustive over Shape union
+        raise ImageError(f"unknown shape type: {type(shape).__name__}")
+    return GraphicsObject(
+        name=obj.name,
+        shape=scaled,
+        label=None,
+        intensity=obj.intensity,
+        filled=obj.filled,
+    )

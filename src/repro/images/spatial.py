@@ -1,0 +1,74 @@
+"""A uniform-grid spatial index over graphics objects.
+
+Large images — the paper's examples include road maps and engineering
+designs — may carry many labelled objects.  Hit-testing and
+"which labels fall inside this view" queries would be linear scans
+without an index; the grid keeps both proportional to the query
+region's size.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.images.geometry import Point, Rect
+from repro.images.graphics import GraphicsObject
+
+
+class SpatialGrid:
+    """Buckets graphics objects by the grid cells their bounds touch."""
+
+    def __init__(self, bounds: Rect, cell_size: int = 128) -> None:
+        if cell_size <= 0:
+            raise ValueError(f"cell size must be positive: {cell_size}")
+        self._bounds = bounds
+        self._cell = cell_size
+        self._cells: dict[tuple[int, int], list[GraphicsObject]] = defaultdict(list)
+        self._count = 0
+
+    @classmethod
+    def for_objects(
+        cls, bounds: Rect, objects: list[GraphicsObject], cell_size: int = 128
+    ) -> "SpatialGrid":
+        """Build an index containing ``objects``."""
+        grid = cls(bounds, cell_size)
+        for obj in objects:
+            grid.insert(obj)
+        return grid
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _cell_range(self, rect: Rect) -> tuple[range, range]:
+        cx0 = rect.x // self._cell
+        cy0 = rect.y // self._cell
+        cx1 = max(rect.x2 - 1, rect.x) // self._cell
+        cy1 = max(rect.y2 - 1, rect.y) // self._cell
+        return range(cx0, cx1 + 1), range(cy0, cy1 + 1)
+
+    def insert(self, obj: GraphicsObject) -> None:
+        """Add an object to every cell its bounding rectangle touches."""
+        xs, ys = self._cell_range(obj.bounding_rect())
+        for cx in xs:
+            for cy in ys:
+                self._cells[(cx, cy)].append(obj)
+        self._count += 1
+
+    def query_rect(self, rect: Rect) -> list[GraphicsObject]:
+        """Objects whose bounds intersect ``rect`` (deduplicated, in
+        insertion order within each cell)."""
+        seen: set[int] = set()
+        result: list[GraphicsObject] = []
+        xs, ys = self._cell_range(rect)
+        for cx in xs:
+            for cy in ys:
+                for obj in self._cells.get((cx, cy), ()):
+                    if id(obj) not in seen and obj.bounding_rect().intersects(rect):
+                        seen.add(id(obj))
+                        result.append(obj)
+        return result
+
+    def query_point(self, point: Point) -> list[GraphicsObject]:
+        """Objects whose shape is picked by ``point``."""
+        probe = Rect(int(point.x), int(point.y), 1, 1)
+        return [obj for obj in self.query_rect(probe) if obj.hit(point)]

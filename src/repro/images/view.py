@@ -1,0 +1,193 @@
+"""Views: rectangular windows for browsing very large images.
+
+The paper: "In very large images the user may want to see a small
+portion of the image (window) at a time...  The system will only
+retrieve the relevant data."  A view supports small relative moves,
+non-contiguous jumps, and shrink/expand resizing; when the voice option
+is on, the voice labels *encountered* by the moving or growing view are
+played.
+
+A view tracks how many bytes of image data each operation required, so
+the C-VIEW benchmark can compare windowed retrieval against fetching
+the entire image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ViewError
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Rect
+from repro.images.graphics import Label
+from repro.images.image import Image
+from repro.images.spatial import SpatialGrid
+
+
+@dataclass
+class ViewMove:
+    """Record of one view operation, for traces and benchmarks."""
+
+    rect: Rect
+    bytes_fetched: int
+    new_labels: list[Label] = field(default_factory=list)
+    kind: str = "move"
+
+
+class View:
+    """A movable, resizable window over an image.
+
+    Parameters
+    ----------
+    image:
+        The image being browsed.  May be a full image or a
+        representation; when it is a representation, coordinates are
+        still expressed in *source image* pixels and ``data_source``
+        must supply the source data.
+    rect:
+        Initial window, in image coordinates.
+    data_source:
+        Callable ``(rect) -> Bitmap`` that retrieves the window's
+        pixels.  Defaults to cropping the image's own bitmap.  The
+        server-backed presentation manager passes a callable that also
+        accounts transfer costs.
+    voice_option:
+        When on, label encounters are reported so the caller can play
+        the voice labels the view sweeps over.
+    """
+
+    def __init__(
+        self,
+        image: Image,
+        rect: Rect,
+        data_source=None,
+        voice_option: bool = False,
+        label_image: Image | None = None,
+    ) -> None:
+        source_rect = self._source_rect(image)
+        if rect.width <= 0 or rect.height <= 0:
+            raise ViewError(f"view must have positive size: {rect}")
+        if not source_rect.contains_rect(rect):
+            raise ViewError(f"view {rect} exceeds image bounds {source_rect}")
+        self._image = image
+        self._bounds = source_rect
+        self._rect = rect
+        self._voice_option = voice_option
+        self._data_source = data_source or self._default_source
+        # Views on a representation report labels from the *source*
+        # image (miniatures drop labels; coordinates are source-space).
+        label_graphics = (label_image or image).graphics
+        self._grid = SpatialGrid.for_objects(source_rect, label_graphics)
+        self._bytes_fetched = 0
+        self._history: list[ViewMove] = []
+
+    @staticmethod
+    def _source_rect(image: Image) -> Rect:
+        if image.is_representation:
+            return Rect(0, 0, image.width * image.scale, image.height * image.scale)
+        return image.rect
+
+    def _default_source(self, rect: Rect) -> Bitmap:
+        if self._image.bitmap is None:
+            return Bitmap.blank(rect.width, rect.height)
+        return self._image.bitmap.crop(rect)
+
+    @property
+    def rect(self) -> Rect:
+        """Current window rectangle in image coordinates."""
+        return self._rect
+
+    @property
+    def voice_option(self) -> bool:
+        """Whether encountered voice labels are reported."""
+        return self._voice_option
+
+    @voice_option.setter
+    def voice_option(self, on: bool) -> None:
+        self._voice_option = on
+
+    @property
+    def bytes_fetched(self) -> int:
+        """Cumulative image bytes retrieved by this view."""
+        return self._bytes_fetched
+
+    @property
+    def history(self) -> list[ViewMove]:
+        """All operations performed, oldest first."""
+        return list(self._history)
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def fetch(self) -> Bitmap:
+        """Retrieve the current window's data (initial display)."""
+        return self._apply(self._rect, kind="fetch", previous=None).bitmap
+
+    def move(self, dx: int, dy: int) -> "ViewResult":
+        """Shift the window by ``(dx, dy)``, clamped to the image."""
+        target = self._rect.translated(dx, dy).clamped_within(self._bounds)
+        return self._apply(target, kind="move", previous=self._rect)
+
+    def jump(self, x: int, y: int) -> "ViewResult":
+        """Non-contiguous move: place the window's corner at ``(x, y)``."""
+        target = Rect(x, y, self._rect.width, self._rect.height).clamped_within(
+            self._bounds
+        )
+        return self._apply(target, kind="jump", previous=self._rect)
+
+    def resize(self, dw: int, dh: int) -> "ViewResult":
+        """Shrink or expand the window by small quantities.
+
+        The paper lets the user redefine the rectangle size relative to
+        the old size; growth may bring new labels into view, which are
+        then reported (and played if the voice option is on).
+        """
+        new_width = self._rect.width + dw
+        new_height = self._rect.height + dh
+        if new_width <= 0 or new_height <= 0:
+            raise ViewError(
+                f"resize by ({dw}, {dh}) would collapse view {self._rect}"
+            )
+        target = Rect(self._rect.x, self._rect.y, new_width, new_height)
+        target = target.clamped_within(self._bounds)
+        return self._apply(target, kind="resize", previous=self._rect)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _apply(self, target: Rect, kind: str, previous: Rect | None) -> "ViewResult":
+        bitmap = self._data_source(target)
+        self._bytes_fetched += bitmap.nbytes
+        new_labels = self._newly_visible_labels(previous, target)
+        self._rect = target
+        move = ViewMove(
+            rect=target, bytes_fetched=bitmap.nbytes, new_labels=new_labels, kind=kind
+        )
+        self._history.append(move)
+        return ViewResult(bitmap=bitmap, rect=target, new_labels=new_labels)
+
+    def _newly_visible_labels(
+        self, previous: Rect | None, current: Rect
+    ) -> list[Label]:
+        labels: list[Label] = []
+        for obj in self._grid.query_rect(current):
+            label = obj.label
+            if label is None or not label.kind.is_voice:
+                continue
+            if not current.contains_point(label.position):
+                continue
+            if previous is not None and previous.contains_point(label.position):
+                continue  # already in view before the operation
+            labels.append(label)
+        return labels
+
+
+@dataclass
+class ViewResult:
+    """Outcome of a view operation."""
+
+    bitmap: Bitmap
+    rect: Rect
+    new_labels: list[Label]

@@ -1,0 +1,81 @@
+"""The multimedia object model.
+
+"The unit of information in MINOS is a multimedia object.  Multimedia
+objects may be composed of attributes, an object text part (collection
+of text segments), an object voice part (collection of voice segments),
+and an object image part (collection of images)."
+
+This package defines that model: parts and segments, the logical
+structure tree (title/abstract/chapter/section/paragraph/sentence/word)
+shared symmetrically by text and voice, anchors, voice and visual
+logical messages, relevant-object links with relevances, the object
+descriptor, and the :class:`~repro.objects.model.MultimediaObject`
+container with its editing/archived state machine.
+"""
+
+from repro.objects.attributes import AttributeSet
+from repro.objects.logical import LogicalIndex, LogicalUnit, LogicalUnitKind
+from repro.objects.anchors import (
+    Anchor,
+    ImageAnchor,
+    TextAnchor,
+    VoiceAnchor,
+    VoicePointAnchor,
+)
+from repro.objects.parts import TextSegment, VoiceSegment
+from repro.objects.messages import VisualMessage, VisualMessageContent, VoiceMessage
+from repro.objects.relationships import Relevance, RelevanceKind, RelevantLink
+from repro.objects.presentation import (
+    ImagePage,
+    PresentationItem,
+    PresentationSpec,
+    ProcessSimulation,
+    SimStep,
+    SimStepKind,
+    TextFlow,
+    Tour,
+    TourStop,
+    TransparencyMode,
+    TransparencySet,
+    OverwritePage,
+)
+from repro.objects.descriptor import DataKind, DataLocation, DataSource, Descriptor
+from repro.objects.model import DrivingMode, MultimediaObject, ObjectState
+
+__all__ = [
+    "DataKind",
+    "DataLocation",
+    "DataSource",
+    "Descriptor",
+    "ImagePage",
+    "OverwritePage",
+    "PresentationItem",
+    "PresentationSpec",
+    "ProcessSimulation",
+    "SimStep",
+    "SimStepKind",
+    "TextFlow",
+    "Tour",
+    "TourStop",
+    "TransparencyMode",
+    "TransparencySet",
+    "VisualMessageContent",
+    "Anchor",
+    "AttributeSet",
+    "DrivingMode",
+    "ImageAnchor",
+    "LogicalIndex",
+    "LogicalUnit",
+    "LogicalUnitKind",
+    "MultimediaObject",
+    "ObjectState",
+    "Relevance",
+    "RelevanceKind",
+    "RelevantLink",
+    "TextAnchor",
+    "TextSegment",
+    "VisualMessage",
+    "VoiceAnchor",
+    "VoicePointAnchor",
+    "VoiceMessage",
+]

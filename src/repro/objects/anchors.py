@@ -1,0 +1,87 @@
+"""Anchors: the places inside an object that messages and links attach to.
+
+The paper is precise about this: voice logical messages on visual mode
+objects "may be associated with text segments or images.  (Text is
+linear.  Two points identify the beginning and the end of a text
+segment.  The two points may coincide.)  When attached to audio mode
+objects they may be associated with voice segments or with particular
+points within the object voice part."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.ids import ImageId, SegmentId
+
+
+@dataclass(frozen=True, slots=True)
+class TextAnchor:
+    """A span of a text segment, in character offsets.
+
+    ``start == end`` is legal — "the two points may coincide" — and
+    denotes a single insertion point.
+    """
+
+    segment_id: SegmentId
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid text anchor span [{self.start}, {self.end}]")
+
+    def covers(self, offset: float) -> bool:
+        """Whether a character offset falls inside the anchored span.
+
+        A zero-length anchor covers exactly its point.
+        """
+        if self.start == self.end:
+            return offset == self.start
+        return self.start <= offset < self.end
+
+    def overlaps(self, start: int, end: int) -> bool:
+        """Whether the anchored span intersects ``[start, end)``."""
+        if self.start == self.end:
+            return start <= self.start < end
+        return self.start < end and start < self.end
+
+
+@dataclass(frozen=True, slots=True)
+class ImageAnchor:
+    """Attachment to one image of the object image part."""
+
+    image_id: ImageId
+
+
+@dataclass(frozen=True, slots=True)
+class VoiceAnchor:
+    """A time span of a voice segment, in seconds."""
+
+    segment_id: SegmentId
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid voice anchor span [{self.start}, {self.end}]")
+
+    def covers(self, time: float) -> bool:
+        """Whether a playback position falls inside the anchored span."""
+        return self.start <= time < self.end
+
+
+@dataclass(frozen=True, slots=True)
+class VoicePointAnchor:
+    """A particular point within the object voice part."""
+
+    segment_id: SegmentId
+    time: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"invalid voice point anchor at {self.time}")
+
+
+Anchor = Union[TextAnchor, ImageAnchor, VoiceAnchor, VoicePointAnchor]

@@ -1,0 +1,65 @@
+"""Attribute part of a multimedia object.
+
+Attributes are the formatted-data component of an object (author, date,
+patient id, ...).  They are what traditional DBMS machinery handles
+well; here they feed the server's attribute index for content queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+AttributeValue = Union[str, int, float, bool]
+
+
+@dataclass
+class AttributeSet:
+    """An immutable-by-convention mapping of attribute names to values.
+
+    Values are restricted to scalar types so the set is trivially
+    serializable into the object descriptor.
+    """
+
+    _values: dict[str, AttributeValue] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, **values: AttributeValue) -> "AttributeSet":
+        """Build an attribute set from keyword arguments."""
+        instance = cls()
+        for name, value in values.items():
+            instance.set(name, value)
+        return instance
+
+    def set(self, name: str, value: AttributeValue) -> None:
+        """Set an attribute, validating the value type."""
+        if not isinstance(value, (str, int, float, bool)):
+            raise TypeError(
+                f"attribute {name!r} has unsupported type {type(value).__name__}"
+            )
+        self._values[name] = value
+
+    def get(self, name: str, default: AttributeValue | None = None):
+        """Read an attribute, returning ``default`` when absent."""
+        return self._values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[tuple[str, AttributeValue]]:
+        return iter(sorted(self._values.items()))
+
+    def names(self) -> list[str]:
+        """Attribute names, sorted."""
+        return sorted(self._values)
+
+    def as_dict(self) -> dict[str, AttributeValue]:
+        """A plain-dict copy, for the descriptor."""
+        return dict(self._values)
+
+    def matches(self, **criteria: AttributeValue) -> bool:
+        """Equality match on every criterion (used by attribute queries)."""
+        return all(self._values.get(name) == value for name, value in criteria.items())

@@ -1,0 +1,180 @@
+"""The multimedia object descriptor.
+
+"The data interrelationships that are useful for multimedia object
+presentation and browsing are encoded within the multimedia object
+descriptor...  Thus the object descriptor points either to offsets
+within the composition file or to offsets within the archiver."
+
+The descriptor is the only serialized metadata: it locates every data
+piece (text, voice, image, message recordings) either inside the
+object's own composition file or at an extent of the archiver (to avoid
+duplication for archived/mailed-within-organization objects).  Archiving
+rebases composition offsets; mailing outside the organization resolves
+archiver pointers by copying the data in.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field, replace
+
+from repro.errors import DescriptorError
+from repro.ids import ObjectId
+
+
+class DataSource(enum.Enum):
+    """Where a data piece physically lives."""
+
+    COMPOSITION = "composition"
+    ARCHIVER = "archiver"
+
+
+class DataKind(enum.Enum):
+    """What a data piece contains."""
+
+    TEXT = "text"
+    VOICE = "voice"
+    IMAGE = "image"
+    MESSAGE_VOICE = "message_voice"
+    META = "meta"
+
+
+@dataclass(frozen=True, slots=True)
+class DataLocation:
+    """One entry of the descriptor's data map.
+
+    ``offset``/``length`` address bytes in the composition file (for
+    COMPOSITION entries) or an extent of the archiver (for ARCHIVER
+    entries).
+    """
+
+    tag: str
+    kind: DataKind
+    source: DataSource
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length < 0:
+            raise DescriptorError(f"invalid data location: {self}")
+
+
+@dataclass
+class Descriptor:
+    """Serializable presentation metadata of one object."""
+
+    object_id: ObjectId
+    driving_mode: str
+    locations: list[DataLocation] = field(default_factory=list)
+    attributes: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    def location(self, tag: str) -> DataLocation:
+        """Find a data piece by tag.
+
+        Raises
+        ------
+        DescriptorError
+            If no piece has that tag.
+        """
+        for loc in self.locations:
+            if loc.tag == tag:
+                return loc
+        raise DescriptorError(f"descriptor has no data tag {tag!r}")
+
+    def has_tag(self, tag: str) -> bool:
+        """Whether a data piece with ``tag`` exists."""
+        return any(loc.tag == tag for loc in self.locations)
+
+    def archiver_tags(self) -> list[str]:
+        """Tags of all pieces still pointing into the archiver."""
+        return [l.tag for l in self.locations if l.source is DataSource.ARCHIVER]
+
+    def rebased(self, base_offset: int) -> "Descriptor":
+        """Composition offsets incremented by ``base_offset``.
+
+        "In the case that objects are archived the offsets of the
+        descriptor have to be incremented by the offset where the
+        composition file is placed within the archiver."  A negative
+        ``base_offset`` undoes a prior rebase (when shipping the stored
+        form back out as a composition-relative unit); offsets must not
+        go negative.
+
+        Raises
+        ------
+        DescriptorError
+            If any composition offset would become negative.
+        """
+        moved = []
+        for loc in self.locations:
+            if loc.source is DataSource.COMPOSITION:
+                new_offset = loc.offset + base_offset
+                if new_offset < 0:
+                    raise DescriptorError(
+                        f"rebase by {base_offset} drives {loc.tag!r} negative"
+                    )
+                moved.append(replace(loc, offset=new_offset))
+            else:
+                moved.append(loc)
+        return Descriptor(
+            object_id=self.object_id,
+            driving_mode=self.driving_mode,
+            locations=moved,
+            attributes=dict(self.attributes),
+            extra=dict(self.extra),
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the descriptor to a JSON byte string."""
+        payload = {
+            "object_id": self.object_id.value,
+            "driving_mode": self.driving_mode,
+            "locations": [
+                {
+                    "tag": loc.tag,
+                    "kind": loc.kind.value,
+                    "source": loc.source.value,
+                    "offset": loc.offset,
+                    "length": loc.length,
+                }
+                for loc in self.locations
+            ],
+            "attributes": self.attributes,
+            "extra": self.extra,
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Descriptor":
+        """Rebuild a descriptor from its serialized form.
+
+        Raises
+        ------
+        DescriptorError
+            If the bytes are not a valid descriptor.
+        """
+        try:
+            payload = json.loads(data.decode("utf-8"))
+            return cls(
+                object_id=ObjectId(payload["object_id"]),
+                driving_mode=payload["driving_mode"],
+                locations=[
+                    DataLocation(
+                        tag=entry["tag"],
+                        kind=DataKind(entry["kind"]),
+                        source=DataSource(entry["source"]),
+                        offset=entry["offset"],
+                        length=entry["length"],
+                    )
+                    for entry in payload["locations"]
+                ],
+                attributes=payload.get("attributes", {}),
+                extra=payload.get("extra", {}),
+            )
+        except (KeyError, ValueError, UnicodeDecodeError) as exc:
+            raise DescriptorError(f"malformed descriptor bytes: {exc}") from exc

@@ -1,0 +1,172 @@
+"""Logical structure of text and voice segments.
+
+"A text segment of a multimedia object in MINOS may be logically
+subdivided into title, abstract, chapters, and references.  Each
+chapter is subdivided into sections, sections into paragraphs,
+paragraphs into sentences and sentences into words.  A voice segment of
+a multimedia object in MINOS may also be subdivided into logical
+components as in text."
+
+The same tree type serves both media: positions are character offsets
+for text and seconds for voice.  The paper stresses that the *degree*
+of logical markup varies per object (only chapters for one object,
+chapters+sections+paragraphs for another); the tree simply contains
+whatever units were identified, and the browsing menus are derived from
+what is present.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class LogicalUnitKind(enum.Enum):
+    """Kinds of logical unit, from coarsest to finest."""
+
+    TITLE = "title"
+    ABSTRACT = "abstract"
+    CHAPTER = "chapter"
+    SECTION = "section"
+    PARAGRAPH = "paragraph"
+    SENTENCE = "sentence"
+    WORD = "word"
+    REFERENCES = "references"
+
+    @property
+    def rank(self) -> int:
+        """Nesting rank; smaller values nest outside larger ones."""
+        return _RANKS[self]
+
+
+_RANKS = {
+    LogicalUnitKind.TITLE: 0,
+    LogicalUnitKind.ABSTRACT: 0,
+    LogicalUnitKind.REFERENCES: 0,
+    LogicalUnitKind.CHAPTER: 1,
+    LogicalUnitKind.SECTION: 2,
+    LogicalUnitKind.PARAGRAPH: 3,
+    LogicalUnitKind.SENTENCE: 4,
+    LogicalUnitKind.WORD: 5,
+}
+
+
+@dataclass
+class LogicalUnit:
+    """One node of the logical structure tree.
+
+    ``start`` and ``end`` are character offsets for text segments and
+    seconds for voice segments; the tree code never interprets them
+    beyond ordering.
+    """
+
+    kind: LogicalUnitKind
+    start: float
+    end: float
+    label: str = ""
+    children: list["LogicalUnit"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"logical unit has negative extent: [{self.start}, {self.end})"
+            )
+
+    def contains(self, position: float) -> bool:
+        """Whether ``position`` falls inside this unit."""
+        return self.start <= position < self.end
+
+    def walk(self) -> Iterator["LogicalUnit"]:
+        """Pre-order traversal of this unit and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class LogicalIndex:
+    """Flat, queryable index over a forest of logical units.
+
+    Supports the browsing operations the paper derives from logical
+    structure: "see or hear the page with the next or previous start of
+    a logical unit (such as chapter, section, etc.)" — and reports
+    which unit kinds are present, which determines the menu options.
+    """
+
+    def __init__(self, roots: list[LogicalUnit]) -> None:
+        self._roots = list(roots)
+        self._by_kind: dict[LogicalUnitKind, list[LogicalUnit]] = {}
+        for root in self._roots:
+            for unit in root.walk():
+                self._by_kind.setdefault(unit.kind, []).append(unit)
+        for units in self._by_kind.values():
+            units.sort(key=lambda u: u.start)
+        self._starts: dict[LogicalUnitKind, list[float]] = {
+            kind: [u.start for u in units] for kind, units in self._by_kind.items()
+        }
+
+    @property
+    def roots(self) -> list[LogicalUnit]:
+        """Top-level units."""
+        return list(self._roots)
+
+    def kinds_present(self) -> set[LogicalUnitKind]:
+        """Unit kinds that were identified for this segment."""
+        return set(self._by_kind)
+
+    def units(self, kind: LogicalUnitKind) -> list[LogicalUnit]:
+        """All units of ``kind``, in position order."""
+        return list(self._by_kind.get(kind, ()))
+
+    def count(self, kind: LogicalUnitKind) -> int:
+        """Number of units of ``kind``."""
+        return len(self._by_kind.get(kind, ()))
+
+    def next_start(self, kind: LogicalUnitKind, position: float) -> LogicalUnit | None:
+        """First unit of ``kind`` starting strictly after ``position``."""
+        starts = self._starts.get(kind)
+        if not starts:
+            return None
+        i = bisect_right(starts, position)
+        if i >= len(starts):
+            return None
+        return self._by_kind[kind][i]
+
+    def previous_start(
+        self, kind: LogicalUnitKind, position: float
+    ) -> LogicalUnit | None:
+        """Last unit of ``kind`` starting strictly before ``position``."""
+        starts = self._starts.get(kind)
+        if not starts:
+            return None
+        i = bisect_right(starts, position) - 1
+        # bisect_right lands on units starting at or before `position`;
+        # step back once more when we are exactly at a unit start.
+        if i >= 0 and starts[i] == position:
+            i -= 1
+        if i < 0:
+            return None
+        return self._by_kind[kind][i]
+
+    def enclosing(self, kind: LogicalUnitKind, position: float) -> LogicalUnit | None:
+        """The unit of ``kind`` containing ``position``, if any."""
+        units = self._by_kind.get(kind)
+        if not units:
+            return None
+        starts = self._starts[kind]
+        i = bisect_right(starts, position) - 1
+        if i < 0:
+            return None
+        unit = units[i]
+        return unit if unit.contains(position) else None
+
+    @classmethod
+    def empty(cls) -> "LogicalIndex":
+        """An index with no logical structure at all.
+
+        Per the paper, "it may not be desirable to manually edit all
+        incoming information" — such objects still support page and
+        pause browsing, just no logical-unit options.
+        """
+        return cls([])

@@ -1,0 +1,126 @@
+"""Voice and visual logical messages.
+
+"Voice logical messages are unstructured audio segments (typically
+short).  They can be attached to either visual mode objects or audio
+mode objects...  The semantics are that the voice logical message will
+be played when the user first branches into the corresponding segments
+during browsing."
+
+"Visual logical messages are short (at most one visual page long)
+segments of visual information (text and/or images).  They are
+unstructured in the sense that they are always displayed in the same
+page of the presentation form (top part)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.audio.signal import Recording
+from repro.errors import DescriptorError
+from repro.ids import ImageId, MessageId
+from repro.objects.anchors import Anchor, TextAnchor, VoiceAnchor, VoicePointAnchor
+
+
+@dataclass
+class VoiceMessage:
+    """A short, unstructured audio annotation attached to anchors.
+
+    May be attached to overlapping text segments or images; each anchor
+    triggers independently.  On audio mode objects "the logical voice
+    message is played before the voice of the related segment".
+    """
+
+    message_id: MessageId
+    recording: Recording
+    #: Branch-trigger anchors.  May be empty for messages that are
+    #: played only when a tour stop or process-simulation step
+    #: references them by id.
+    anchors: list[Anchor] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Playback length in seconds."""
+        return self.recording.duration
+
+    def anchors_covering_text(self, segment_id, offset: int) -> list[TextAnchor]:
+        """Text anchors of this message covering a character offset."""
+        return [
+            a
+            for a in self.anchors
+            if isinstance(a, TextAnchor)
+            and a.segment_id == segment_id
+            and a.covers(offset)
+        ]
+
+    def anchors_covering_voice(self, segment_id, time: float) -> list[Anchor]:
+        """Voice anchors (span or point) of this message covering a time.
+
+        Point anchors trigger when playback enters a small neighbourhood
+        after the point — a point has zero measure, and the paper wants
+        the message to play when the user "branches into" that spot.
+        """
+        hits: list[Anchor] = []
+        for anchor in self.anchors:
+            if isinstance(anchor, VoiceAnchor):
+                if anchor.segment_id == segment_id and anchor.covers(time):
+                    hits.append(anchor)
+            elif isinstance(anchor, VoicePointAnchor):
+                if anchor.segment_id == segment_id and 0 <= time - anchor.time < 1.0:
+                    hits.append(anchor)
+        return hits
+
+
+@dataclass
+class VisualMessageContent:
+    """The content of a visual logical message: text and/or images.
+
+    Limited to one visual page; the paginator enforces the limit when
+    the message is rendered into the pinned (top) region.
+    """
+
+    text: str = ""
+    image_ids: list[ImageId] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.text and not self.image_ids:
+            raise DescriptorError("a visual message needs text and/or images")
+
+
+@dataclass
+class VisualMessage:
+    """A one-page visual annotation pinned to the top of the display.
+
+    On a visual mode object the message stays at the top of the page
+    while "the lower part of the screen is devoted to the display of
+    parts of the related visual segment" — exactly the x-ray example of
+    Figures 3 and 4.  ``display_once`` implements the user option that
+    the message "is displayed only once whenever the user branches
+    during browsing from a non-related segment at any position within a
+    related segment".
+    """
+
+    message_id: MessageId
+    content: VisualMessageContent
+    #: Branch-trigger anchors; may be empty for tour/simulation-step
+    #: messages (see :class:`VoiceMessage`).
+    anchors: list[Anchor] = field(default_factory=list)
+    display_once: bool = False
+
+    def covers_text(self, segment_id, start: int, end: int) -> bool:
+        """Whether any text anchor overlaps the span ``[start, end)``."""
+        return any(
+            isinstance(a, TextAnchor)
+            and a.segment_id == segment_id
+            and a.overlaps(start, end)
+            for a in self.anchors
+        )
+
+    def covers_voice(self, segment_id, time: float) -> bool:
+        """Whether any voice anchor covers playback position ``time``."""
+        return any(
+            isinstance(a, VoiceAnchor)
+            and a.segment_id == segment_id
+            and a.covers(time)
+            for a in self.anchors
+        )

@@ -1,0 +1,294 @@
+"""The multimedia object itself.
+
+"Multimedia objects may be in an editing state or in an archived state.
+Objects in an editing state are allowed to be modified.  Objects in the
+archived state are not allowed to be modified.  The presentation and
+browsing capabilities described in this paper are applicable to
+multimedia objects which are in the archived state."
+
+"Each multimedia object has a driving mode associated with it.  The
+driving mode is the principal way of presenting the information in the
+object, and it can be either visual or audio."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import DescriptorError, ObjectStateError
+from repro.ids import ImageId, MessageId, ObjectId, SegmentId
+from repro.images.image import Image
+from repro.objects.attributes import AttributeSet
+from repro.objects.messages import VisualMessage, VoiceMessage
+from repro.objects.parts import TextSegment, VoiceSegment
+from repro.objects.presentation import PresentationSpec
+from repro.objects.relationships import RelevantLink
+
+
+class DrivingMode(enum.Enum):
+    """Principal way of presenting the object."""
+
+    VISUAL = "visual"
+    AUDIO = "audio"
+
+
+class ObjectState(enum.Enum):
+    """Lifecycle state of a multimedia object."""
+
+    EDITING = "editing"
+    ARCHIVED = "archived"
+
+
+@dataclass
+class MultimediaObject:
+    """A complete multimedia object.
+
+    The object carries its parts, its logical messages, its
+    relationships to other objects ("information about the related
+    objects is kept within the object itself"), and its presentation
+    specification.  Mutation is only permitted while EDITING.
+    """
+
+    object_id: ObjectId
+    driving_mode: DrivingMode = DrivingMode.VISUAL
+    attributes: AttributeSet = field(default_factory=AttributeSet)
+    text_segments: list[TextSegment] = field(default_factory=list)
+    voice_segments: list[VoiceSegment] = field(default_factory=list)
+    images: list[Image] = field(default_factory=list)
+    voice_messages: list[VoiceMessage] = field(default_factory=list)
+    visual_messages: list[VisualMessage] = field(default_factory=list)
+    relevant_links: list[RelevantLink] = field(default_factory=list)
+    presentation: PresentationSpec = field(default_factory=PresentationSpec)
+    state: ObjectState = ObjectState.EDITING
+
+    # ------------------------------------------------------------------
+    # state machine
+    # ------------------------------------------------------------------
+
+    def _require_editing(self) -> None:
+        if self.state is not ObjectState.EDITING:
+            raise ObjectStateError(
+                f"object {self.object_id} is archived and cannot be modified"
+            )
+
+    def require_archived(self) -> None:
+        """Raise unless the object is archived (presentable)."""
+        if self.state is not ObjectState.ARCHIVED:
+            raise ObjectStateError(
+                f"object {self.object_id} is still being edited; archive it "
+                "before presenting through the archiver interface"
+            )
+
+    def archive(self) -> "MultimediaObject":
+        """Transition to the archived state.
+
+        Validates referential integrity first: every identifier named
+        by messages, links and the presentation spec must resolve.
+        """
+        self._require_editing()
+        self.validate()
+        self.state = ObjectState.ARCHIVED
+        return self
+
+    # ------------------------------------------------------------------
+    # mutation (editing state only)
+    # ------------------------------------------------------------------
+
+    def add_text_segment(self, segment: TextSegment) -> None:
+        """Append a text segment to the object text part."""
+        self._require_editing()
+        self.text_segments.append(segment)
+
+    def add_voice_segment(self, segment: VoiceSegment) -> None:
+        """Append a voice segment to the object voice part."""
+        self._require_editing()
+        self.voice_segments.append(segment)
+
+    def add_image(self, image: Image) -> None:
+        """Append an image to the object image part."""
+        self._require_editing()
+        self.images.append(image)
+
+    def attach_voice_message(self, message: VoiceMessage) -> None:
+        """Attach a voice logical message."""
+        self._require_editing()
+        self.voice_messages.append(message)
+
+    def attach_visual_message(self, message: VisualMessage) -> None:
+        """Attach a visual logical message."""
+        self._require_editing()
+        self.visual_messages.append(message)
+
+    def add_relevant_link(self, link: RelevantLink) -> None:
+        """Record a relationship to a relevant object."""
+        self._require_editing()
+        self.relevant_links.append(link)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def text_segment(self, segment_id: SegmentId) -> TextSegment:
+        """Find a text segment by id.
+
+        Raises
+        ------
+        DescriptorError
+            If the segment does not exist.
+        """
+        for segment in self.text_segments:
+            if segment.segment_id == segment_id:
+                return segment
+        raise DescriptorError(
+            f"object {self.object_id} has no text segment {segment_id}"
+        )
+
+    def voice_segment(self, segment_id: SegmentId) -> VoiceSegment:
+        """Find a voice segment by id."""
+        for segment in self.voice_segments:
+            if segment.segment_id == segment_id:
+                return segment
+        raise DescriptorError(
+            f"object {self.object_id} has no voice segment {segment_id}"
+        )
+
+    def image(self, image_id: ImageId) -> Image:
+        """Find an image by id."""
+        for image in self.images:
+            if image.image_id == image_id:
+                return image
+        raise DescriptorError(f"object {self.object_id} has no image {image_id}")
+
+    def message(self, message_id: MessageId) -> VoiceMessage | VisualMessage:
+        """Find a logical message (voice or visual) by id."""
+        for message in self.voice_messages:
+            if message.message_id == message_id:
+                return message
+        for message in self.visual_messages:
+            if message.message_id == message_id:
+                return message
+        raise DescriptorError(
+            f"object {self.object_id} has no logical message {message_id}"
+        )
+
+    def related_object_ids(self) -> list[ObjectId]:
+        """Identifiers of all relevant objects, in link order."""
+        return [link.target_object_id for link in self.relevant_links]
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check referential integrity of the object's internal wiring.
+
+        Raises
+        ------
+        DescriptorError
+            On the first dangling reference found.
+        """
+        from repro.objects.anchors import (
+            ImageAnchor,
+            TextAnchor,
+            VoiceAnchor,
+            VoicePointAnchor,
+        )
+        from repro.objects.presentation import (
+            ImagePage,
+            OverwritePage,
+            ProcessSimulation,
+            TextFlow,
+            Tour,
+            TransparencySet,
+        )
+
+        text_ids = {s.segment_id for s in self.text_segments}
+        voice_ids = {s.segment_id for s in self.voice_segments}
+        image_ids = {i.image_id for i in self.images}
+        message_ids = {m.message_id for m in self.voice_messages} | {
+            m.message_id for m in self.visual_messages
+        }
+
+        def check_anchor(anchor, owner: str) -> None:
+            if isinstance(anchor, TextAnchor) and anchor.segment_id not in text_ids:
+                raise DescriptorError(f"{owner}: dangling text anchor {anchor}")
+            if isinstance(anchor, ImageAnchor) and anchor.image_id not in image_ids:
+                raise DescriptorError(f"{owner}: dangling image anchor {anchor}")
+            if (
+                isinstance(anchor, (VoiceAnchor, VoicePointAnchor))
+                and anchor.segment_id not in voice_ids
+            ):
+                raise DescriptorError(f"{owner}: dangling voice anchor {anchor}")
+
+        for message in self.voice_messages + self.visual_messages:
+            for anchor in message.anchors:
+                check_anchor(anchor, f"message {message.message_id}")
+        for message in self.visual_messages:
+            for image_id in message.content.image_ids:
+                if image_id not in image_ids:
+                    raise DescriptorError(
+                        f"visual message {message.message_id} references "
+                        f"missing image {image_id}"
+                    )
+        for link in self.relevant_links:
+            if link.parent_anchor is not None:
+                check_anchor(link.parent_anchor, f"link {link.indicator_id}")
+        for item in self.presentation.items:
+            if isinstance(item, TextFlow) and item.segment_id not in text_ids:
+                raise DescriptorError(f"presentation: missing text {item.segment_id}")
+            elif isinstance(item, (ImagePage, OverwritePage)):
+                if item.image_id not in image_ids:
+                    raise DescriptorError(
+                        f"presentation: missing image {item.image_id}"
+                    )
+            elif isinstance(item, TransparencySet):
+                for member in item.members:
+                    if member not in image_ids:
+                        raise DescriptorError(
+                            f"presentation: missing transparency {member}"
+                        )
+            elif isinstance(item, ProcessSimulation):
+                for step in item.steps:
+                    if step.image_id not in image_ids:
+                        raise DescriptorError(
+                            f"presentation: missing simulation image {step.image_id}"
+                        )
+                    if step.message_id is not None and step.message_id not in message_ids:
+                        raise DescriptorError(
+                            f"presentation: missing simulation message "
+                            f"{step.message_id}"
+                        )
+            elif isinstance(item, Tour):
+                if item.image_id not in image_ids:
+                    raise DescriptorError(
+                        f"presentation: missing tour image {item.image_id}"
+                    )
+                for stop in item.stops:
+                    if stop.message_id is not None and stop.message_id not in message_ids:
+                        raise DescriptorError(
+                            f"presentation: missing tour message {stop.message_id}"
+                        )
+        for segment_id in self.presentation.audio_order:
+            if segment_id not in voice_ids:
+                raise DescriptorError(
+                    f"presentation: missing voice segment {segment_id}"
+                )
+
+    # ------------------------------------------------------------------
+    # sizing
+    # ------------------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate total storage size of the object's parts."""
+        total = 0
+        for segment in self.text_segments:
+            total += segment.nbytes
+        for segment in self.voice_segments:
+            total += segment.nbytes
+        for image in self.images:
+            total += image.nbytes
+        for message in self.voice_messages:
+            total += message.recording.nbytes
+        return total

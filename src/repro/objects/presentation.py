@@ -1,0 +1,183 @@
+"""The designer's presentation-form specification.
+
+A visual mode object's presentation form is an ordered sequence of
+items: flowed text (with embedded images), full-page images,
+transparency sets, overwrite pages, process simulations and tours.
+An audio mode object's presentation form is the ordered voice part.
+The presentation manager compiles this specification, together with
+the object's parts, into the concrete page sequence the user browses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.errors import DescriptorError
+from repro.ids import ImageId, MessageId, SegmentId
+
+
+@dataclass(frozen=True, slots=True)
+class TextFlow:
+    """Flow a text segment (and its embedded images) into pages."""
+
+    segment_id: SegmentId
+
+
+@dataclass(frozen=True, slots=True)
+class ImagePage:
+    """A page devoted to one image."""
+
+    image_id: ImageId
+
+
+class TransparencyMode(enum.Enum):
+    """Designer-chosen way of displaying a transparency set.
+
+    STACKED: "displaying every transparency on the top of one another
+    (and on the top of the last page before the transparency set)".
+    SEPARATE: "displaying every transparency of the set separately, on
+    the top of the last page before the transparency set".
+    """
+
+    STACKED = "stacked"
+    SEPARATE = "separate"
+
+
+@dataclass(frozen=True)
+class TransparencySet:
+    """An ordered set of consecutive transparencies."""
+
+    members: tuple[ImageId, ...]
+    mode: TransparencyMode = TransparencyMode.STACKED
+
+    def __init__(
+        self, members, mode: TransparencyMode = TransparencyMode.STACKED
+    ) -> None:
+        object.__setattr__(self, "members", tuple(members))
+        object.__setattr__(self, "mode", mode)
+        if not self.members:
+            raise DescriptorError("a transparency set needs at least one member")
+
+
+@dataclass(frozen=True, slots=True)
+class OverwritePage:
+    """A page whose drawn pixels replace the previous page's content
+    while leaving everything else intact."""
+
+    image_id: ImageId
+
+
+class SimStepKind(enum.Enum):
+    """How a process-simulation step composes with the previous page."""
+
+    NEW_PAGE = "new_page"
+    TRANSPARENCY = "transparency"
+    OVERWRITE = "overwrite"
+
+
+@dataclass(frozen=True, slots=True)
+class SimStep:
+    """One automatically displayed page of a process simulation.
+
+    ``message_id`` optionally names a logical message attached to the
+    step; when it is an audio message, "the next visual page is only
+    shown after the logical audio message has been played".
+    """
+
+    image_id: ImageId
+    kind: SimStepKind = SimStepKind.NEW_PAGE
+    message_id: MessageId | None = None
+
+
+@dataclass(frozen=True)
+class ProcessSimulation:
+    """An ordered set of consecutive visual pages shown automatically.
+
+    ``interval_s`` is "the relative speed by which pages are placed one
+    on the top of another... set at object creation time but it may be
+    altered by the user".
+    """
+
+    steps: tuple[SimStep, ...]
+    interval_s: float = 1.0
+
+    def __init__(self, steps, interval_s: float = 1.0) -> None:
+        object.__setattr__(self, "steps", tuple(steps))
+        object.__setattr__(self, "interval_s", interval_s)
+        if not self.steps:
+            raise DescriptorError("a process simulation needs at least one step")
+        if self.interval_s <= 0:
+            raise DescriptorError(
+                f"simulation interval must be positive: {self.interval_s}"
+            )
+
+
+@dataclass(frozen=True, slots=True)
+class TourStop:
+    """One position of the tour's rectangle, with an optional message."""
+
+    x: int
+    y: int
+    message_id: MessageId | None = None
+
+
+@dataclass(frozen=True)
+class Tour:
+    """A designer-defined sequence of views on an image.
+
+    "A tour is defined by a rectangle and a sequence of points
+    indicating the position of the rectangle on the large image or on a
+    representation of it."
+    """
+
+    image_id: ImageId
+    window_width: int
+    window_height: int
+    stops: tuple[TourStop, ...]
+    dwell_s: float = 2.0
+
+    def __init__(
+        self,
+        image_id: ImageId,
+        window_width: int,
+        window_height: int,
+        stops,
+        dwell_s: float = 2.0,
+    ) -> None:
+        object.__setattr__(self, "image_id", image_id)
+        object.__setattr__(self, "window_width", window_width)
+        object.__setattr__(self, "window_height", window_height)
+        object.__setattr__(self, "stops", tuple(stops))
+        object.__setattr__(self, "dwell_s", dwell_s)
+        if self.window_width <= 0 or self.window_height <= 0:
+            raise DescriptorError("tour window must have positive size")
+        if not self.stops:
+            raise DescriptorError("a tour needs at least one stop")
+        if self.dwell_s <= 0:
+            raise DescriptorError(f"tour dwell must be positive: {self.dwell_s}")
+
+
+PresentationItem = Union[
+    TextFlow, ImagePage, TransparencySet, OverwritePage, ProcessSimulation, Tour
+]
+
+
+@dataclass
+class PresentationSpec:
+    """The ordered presentation form of a visual mode object.
+
+    Audio mode objects use ``audio_order`` instead: the sequence of
+    voice segments forming the object voice part.
+    """
+
+    items: list[PresentationItem] = field(default_factory=list)
+    audio_order: list[SegmentId] = field(default_factory=list)
+    audio_page_seconds: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.audio_page_seconds <= 0:
+            raise DescriptorError(
+                f"audio page length must be positive: {self.audio_page_seconds}"
+            )

@@ -1,0 +1,94 @@
+"""Relevant objects and relevances.
+
+"Relevant objects are objects which contain information related to the
+information which exists in a section of a given (parent) object.
+Relevant objects are independent multimedia objects (e.g. they have
+existence by themselves) in contrast to voice logical messages and
+visual logical messages which have only existence as a part of a
+multimedia object."
+
+A :class:`RelevantLink` lives in the *parent* object's descriptor: it
+pairs an on-screen indicator with the target object and with the
+*relevances* — the sections of the target (text spans, image regions,
+voice segments) that relate to the parent section the indicator marks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import DescriptorError
+from repro.ids import ImageId, IndicatorId, ObjectId, SegmentId
+from repro.images.geometry import Polygon
+from repro.objects.anchors import Anchor
+
+
+class RelevanceKind(enum.Enum):
+    """Medium of a relevance inside the relevant object."""
+
+    TEXT = "text"
+    IMAGE = "image"
+    VOICE = "voice"
+
+
+@dataclass
+class Relevance:
+    """One related section inside the relevant (target) object.
+
+    "Relevances to text sections are indicated graphically with
+    beginning and end indicators.  Relevances to images are indicated
+    by closed polygons displayed at the top of the image.  Relevances
+    to voice segments are indicated by the fact that the voice segment
+    is played independently."
+    """
+
+    kind: RelevanceKind
+    segment_id: SegmentId | None = None
+    text_start: int = 0
+    text_end: int = 0
+    image_id: ImageId | None = None
+    region: Polygon | None = None
+    voice_start: float = 0.0
+    voice_end: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind is RelevanceKind.TEXT:
+            if self.segment_id is None or self.text_end < self.text_start:
+                raise DescriptorError("text relevance needs a segment and a span")
+        elif self.kind is RelevanceKind.IMAGE:
+            if self.image_id is None or self.region is None:
+                raise DescriptorError("image relevance needs an image and a polygon")
+        elif self.kind is RelevanceKind.VOICE:
+            if self.segment_id is None or self.voice_end <= self.voice_start:
+                raise DescriptorError("voice relevance needs a segment and a span")
+
+
+@dataclass
+class RelevantLink:
+    """A relevant-object indicator in the parent object.
+
+    Attributes
+    ----------
+    indicator_id:
+        Identity of the on-screen indicator ("the user can browse
+        through a relevant object by explicitly selecting the relevant
+        object indicator using the mouse").
+    label:
+        Text shown beside the indicator (e.g. "Hospitals").
+    target_object_id:
+        The relevant object.  It may be the parent itself — "an object
+        may have several relevant objects (including itself)".
+    parent_anchor:
+        The section of the parent object the relevant object relates
+        to; the indicator is displayed while the user browses inside
+        this section.  ``None`` makes the indicator global.
+    relevances:
+        Related sections inside the target object.
+    """
+
+    indicator_id: IndicatorId
+    label: str
+    target_object_id: ObjectId
+    parent_anchor: Anchor | None = None
+    relevances: list[Relevance] = field(default_factory=list)

@@ -1,0 +1,48 @@
+"""Reusable scenario builders for the paper's figures and claims.
+
+Each builder constructs the multimedia objects of one figure (or one
+Section-5 performance claim) exactly as the paper describes them, so
+examples, tests and benchmarks all exercise the same workloads:
+
+* :mod:`repro.scenarios.office`   — Figures 1-2 (visual pages mixing
+  text, graphics, bitmaps).
+* :mod:`repro.scenarios.medical`  — Figures 3-6 (x-ray as pinned visual
+  message; transparencies over the x-ray; the audio-mode twin).
+* :mod:`repro.scenarios.city`     — Figures 7-10 (subway map with
+  relevant transparency objects; city-walk process simulation; tour).
+* :mod:`repro.scenarios.speech`   — C-PAUSE / C-SYMM speech material.
+* :mod:`repro.scenarios.bigmap`   — C-VIEW large labelled image with a
+  representation.
+* :mod:`repro.scenarios.library`  — C-MINI / C-QUEUE object corpus.
+"""
+
+from repro.scenarios.office import build_office_document
+from repro.scenarios.medical import (
+    build_audio_mode_report,
+    build_visual_report_with_xray,
+    build_xray_transparency_object,
+)
+from repro.scenarios.city import (
+    build_city_walk_simulation,
+    build_map_tour_object,
+    build_subway_map_with_relevants,
+)
+from repro.scenarios.speech import LECTURE_SCRIPT, build_lecture_recording
+from repro.scenarios.bigmap import build_big_map_object
+from repro.scenarios.engineering import build_engineering_design
+from repro.scenarios.library import build_object_library
+
+__all__ = [
+    "LECTURE_SCRIPT",
+    "build_audio_mode_report",
+    "build_big_map_object",
+    "build_city_walk_simulation",
+    "build_engineering_design",
+    "build_lecture_recording",
+    "build_map_tour_object",
+    "build_object_library",
+    "build_office_document",
+    "build_subway_map_with_relevants",
+    "build_visual_report_with_xray",
+    "build_xray_transparency_object",
+]

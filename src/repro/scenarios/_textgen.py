@@ -1,0 +1,48 @@
+"""Deterministic filler-text generation for scenario documents.
+
+The paper's figures show office documents and medical reports of
+realistic length; we generate deterministic prose from a fixed
+vocabulary so every scenario is reproducible and long enough to
+paginate interestingly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_VOCABULARY = (
+    "workstation optical disk presentation browsing multimedia object "
+    "voice text image archive server document page segment pattern "
+    "chapter section paragraph sentence retrieval information system "
+    "interface capability communication bandwidth user screen menu "
+    "option symmetric driving mode message transparency relevant tour "
+    "simulation label view miniature descriptor composition formation "
+    "design evaluation observation patient doctor hospital analysis"
+).split()
+
+
+def sentences(count: int, seed: int = 0, words_per_sentence: int = 10) -> list[str]:
+    """Generate ``count`` deterministic sentences."""
+    rng = np.random.default_rng(seed)
+    result = []
+    for _ in range(count):
+        n = words_per_sentence + int(rng.integers(-3, 4))
+        picks = [
+            _VOCABULARY[int(rng.integers(len(_VOCABULARY)))] for _ in range(max(n, 4))
+        ]
+        picks[0] = picks[0].capitalize()
+        result.append(" ".join(picks) + ".")
+    return result
+
+
+def paragraph(sentence_count: int, seed: int = 0) -> str:
+    """One paragraph of deterministic prose."""
+    return " ".join(sentences(sentence_count, seed=seed))
+
+
+def paragraphs(count: int, sentences_each: int = 4, seed: int = 0) -> list[str]:
+    """Several deterministic paragraphs with distinct content."""
+    return [
+        paragraph(sentences_each, seed=seed * 1000 + index)
+        for index in range(count)
+    ]

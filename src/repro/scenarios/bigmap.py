@@ -1,0 +1,92 @@
+"""C-VIEW: a very large labelled image with a representation.
+
+"In very large images the user may want to see a small portion of the
+image (window) at a time...  The system will only retrieve the relevant
+data."  And: "When a view is defined on the representation image the
+system has to transfer only the data of the view in main memory and not
+the whole image."
+
+The builder produces a road-map-like image of configurable size with a
+grid of labelled landmarks (some voice-labelled), plus a miniature
+representation — the object a tourist information system would store.
+"""
+
+from __future__ import annotations
+
+from repro.audio.signal import synthesize_speech
+from repro.ids import IdGenerator
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Circle, Point
+from repro.images.graphics import GraphicsObject, Label, LabelKind
+from repro.images.image import Image
+from repro.images.miniature import make_miniature
+from repro.objects.attributes import AttributeSet
+from repro.objects.model import DrivingMode, MultimediaObject
+from repro.objects.presentation import ImagePage, PresentationSpec
+
+
+def build_big_map_object(
+    generator: IdGenerator | None = None,
+    size: int = 2048,
+    landmarks_per_side: int = 6,
+    miniature_scale: int = 16,
+    voice_labels: bool = False,
+    seed: int = 9,
+) -> MultimediaObject:
+    """A large map image plus its representation, archived.
+
+    The presentation shows the *representation* page first — the user
+    defines views on it; the full image's bitmap stays on the server.
+    """
+    generator = generator or IdGenerator("bigmap")
+
+    bitmap = Bitmap.from_function(
+        size, size, lambda x, y: 50 + ((x // 64) * 13 + (y // 64) * 7) % 120
+    )
+    graphics: list[GraphicsObject] = []
+    step = size // (landmarks_per_side + 1)
+    index = 0
+    for gy in range(1, landmarks_per_side + 1):
+        for gx in range(1, landmarks_per_side + 1):
+            x, y = gx * step, gy * step
+            name = f"landmark-{gx}-{gy}"
+            text = f"{name} information point"
+            if voice_labels and index % 3 == 0:
+                label = Label(
+                    LabelKind.VOICE,
+                    text,
+                    Point(x, y - 12),
+                    voice=synthesize_speech(
+                        f"this is {name}", seed=seed + index
+                    ),
+                )
+            else:
+                label = Label(LabelKind.TEXT, text, Point(x, y - 12))
+            graphics.append(
+                GraphicsObject(
+                    name=name,
+                    shape=Circle(Point(x, y), 10),
+                    intensity=230,
+                    label=label,
+                )
+            )
+            index += 1
+
+    full = Image(
+        image_id=generator.image_id(),
+        width=size,
+        height=size,
+        bitmap=bitmap,
+        graphics=graphics,
+    )
+    mini = make_miniature(full, miniature_scale, generator.image_id())
+
+    obj = MultimediaObject(
+        object_id=generator.object_id(),
+        driving_mode=DrivingMode.VISUAL,
+        attributes=AttributeSet.of(kind="road_map", scale=size),
+    )
+    obj.add_image(full)
+    obj.add_image(mini)
+    obj.presentation = PresentationSpec(items=[ImagePage(mini.image_id)])
+    return obj.archive()

@@ -1,0 +1,304 @@
+"""Figures 7-10: city-map scenarios.
+
+* Figures 7-8 — "A subway map for a city is projected on the screen
+  together with some options and relevant object indicators.  By
+  selecting one of these options the user can see for example the sites
+  of a university (figure 7) or the locations of the hospitals of a
+  city (figure 8).  In this example the related objects are just
+  transparencies which are superimposed on the subway map."
+* Figures 9-10 — "Process simulation capability used to simulate a
+  guided tour [through a part of a city].  It is done with a single
+  image and overwrites on the top of it.  The overwrites have logical
+  voice messages associated with them.  The blank spots identify the
+  route followed so far."
+* Plus a designer tour over the same map (Section 2's tour primitive).
+"""
+
+from __future__ import annotations
+
+from repro.audio.signal import synthesize_speech
+from repro.ids import IdGenerator
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Circle, Point, PolyLine, Polygon
+from repro.images.graphics import GraphicsObject, Label, LabelKind
+from repro.images.image import Image
+from repro.objects.anchors import ImageAnchor
+from repro.objects.attributes import AttributeSet
+from repro.objects.messages import VoiceMessage
+from repro.objects.model import DrivingMode, MultimediaObject
+from repro.objects.presentation import (
+    ImagePage,
+    PresentationSpec,
+    ProcessSimulation,
+    SimStep,
+    SimStepKind,
+    Tour,
+    TourStop,
+    TransparencySet,
+)
+from repro.objects.relationships import RelevantLink
+
+
+def make_subway_map(generator: IdGenerator, width: int = 640, height: int = 480) -> Image:
+    """A subway map: a grey background with two crossing lines and
+    labelled stations."""
+    bitmap = Bitmap.from_function(width, height, lambda x, y: 40 + (x + y) % 3)
+    stations = [
+        ("central", 320, 240),
+        ("north-gate", 320, 80),
+        ("harbour", 320, 420),
+        ("west-end", 80, 240),
+        ("east-park", 560, 240),
+    ]
+    graphics: list[GraphicsObject] = [
+        GraphicsObject("line-ns", PolyLine([Point(320, 40), Point(320, 460)]),
+                       intensity=200),
+        GraphicsObject("line-ew", PolyLine([Point(40, 240), Point(600, 240)]),
+                       intensity=200),
+    ]
+    for name, x, y in stations:
+        graphics.append(
+            GraphicsObject(
+                name=f"station-{name}",
+                shape=Circle(Point(x, y), 8),
+                intensity=255,
+                label=Label(LabelKind.TEXT, f"{name} station", Point(x, y - 14)),
+            )
+        )
+    return Image(
+        image_id=generator.image_id(),
+        width=width,
+        height=height,
+        bitmap=bitmap,
+        graphics=graphics,
+    )
+
+
+def _overlay_with_sites(
+    generator: IdGenerator,
+    base: Image,
+    sites: list[tuple[str, int, int]],
+    marker_intensity: int,
+) -> Image:
+    graphics = [
+        GraphicsObject(
+            name=name,
+            shape=Polygon(
+                [
+                    Point(x - 10, y - 10),
+                    Point(x + 10, y - 10),
+                    Point(x + 10, y + 10),
+                    Point(x - 10, y + 10),
+                ]
+            ),
+            intensity=marker_intensity,
+            filled=True,
+            label=Label(LabelKind.TEXT, name.replace("-", " "), Point(x, y - 16)),
+        )
+        for name, x, y in sites
+    ]
+    return Image(
+        image_id=generator.image_id(),
+        width=base.width,
+        height=base.height,
+        graphics=graphics,
+    )
+
+
+def build_subway_map_with_relevants(
+    generator: IdGenerator | None = None,
+) -> tuple[MultimediaObject, list[MultimediaObject]]:
+    """Figures 7-8: the subway map and its two relevant objects.
+
+    Returns ``(parent, [university_overlay, hospitals_overlay])``; all
+    three archived.  The relevant objects' presentations are single
+    transparency sets, so selecting an indicator superimposes them on
+    the map.
+    """
+    generator = generator or IdGenerator("city78")
+    subway = make_subway_map(generator)
+
+    parent = MultimediaObject(
+        object_id=generator.object_id(),
+        driving_mode=DrivingMode.VISUAL,
+        attributes=AttributeSet.of(kind="city_map", city="waterloo"),
+    )
+    parent.add_image(subway)
+    parent.presentation = PresentationSpec(items=[ImagePage(subway.image_id)])
+
+    relevant_objects = []
+    for label, sites, intensity in (
+        (
+            "University sites",
+            [("main-campus", 220, 140), ("science-park", 440, 160)],
+            220,
+        ),
+        (
+            "Hospitals",
+            [("general-hospital", 180, 330), ("clinic-east", 500, 300),
+             ("childrens-hospital", 360, 120)],
+            240,
+        ),
+    ):
+        overlay = _overlay_with_sites(generator, subway, sites, intensity)
+        relevant = MultimediaObject(
+            object_id=generator.object_id(),
+            driving_mode=DrivingMode.VISUAL,
+            attributes=AttributeSet.of(kind="map_overlay", layer=label),
+        )
+        relevant.add_image(overlay)
+        relevant.presentation = PresentationSpec(
+            items=[TransparencySet([overlay.image_id])]
+        )
+        relevant.archive()
+        relevant_objects.append(relevant)
+        parent.add_relevant_link(
+            RelevantLink(
+                indicator_id=generator.indicator_id(),
+                label=label,
+                target_object_id=relevant.object_id,
+                parent_anchor=ImageAnchor(subway.image_id),
+            )
+        )
+
+    parent.archive()
+    return parent, relevant_objects
+
+
+#: The guided-walk stops: name, position, and what the guide says.
+WALK_STOPS: list[tuple[str, int, int, str]] = [
+    ("town-hall", 120, 120, "We begin at the old town hall built in the last century."),
+    ("market", 260, 180, "The market square hosts traders every morning."),
+    ("cathedral", 400, 140, "The cathedral tower offers a view over the whole town."),
+    ("river-bridge", 520, 260, "The stone bridge crosses the river at its narrowest point."),
+    ("harbour", 560, 400, "We end the walk at the harbour with its fishing boats."),
+]
+
+
+def build_city_walk_simulation(
+    generator: IdGenerator | None = None,
+    interval_s: float = 1.0,
+    seed: int = 11,
+) -> MultimediaObject:
+    """Figures 9-10: process simulation of a guided city walk.
+
+    One base image of the town; each step is an *overwrite* that blanks
+    the walked route segment and carries a voice logical message
+    describing the site.
+    """
+    generator = generator or IdGenerator("city910")
+    town = Image(
+        image_id=generator.image_id(),
+        width=640,
+        height=480,
+        bitmap=Bitmap.from_function(640, 480, lambda x, y: 60 + (x // 16 + y // 16) % 4 * 20),
+    )
+
+    obj = MultimediaObject(
+        object_id=generator.object_id(),
+        driving_mode=DrivingMode.VISUAL,
+        attributes=AttributeSet.of(kind="guided_walk", city="waterloo"),
+    )
+    obj.add_image(town)
+
+    steps = []
+    previous = (WALK_STOPS[0][1], WALK_STOPS[0][2])
+    for index, (name, x, y, script) in enumerate(WALK_STOPS):
+        # The overwrite blanks the route walked so far ("the blank
+        # spots identify the route followed so far").
+        overlay = Image(
+            image_id=generator.image_id(),
+            width=town.width,
+            height=town.height,
+            graphics=[
+                GraphicsObject(
+                    name=f"route-{index}",
+                    shape=PolyLine([Point(*previous), Point(x, y)]),
+                    intensity=254,
+                ),
+                GraphicsObject(
+                    name=f"spot-{index}",
+                    shape=Circle(Point(x, y), 6),
+                    intensity=254,
+                    filled=True,
+                ),
+            ],
+        )
+        obj.add_image(overlay)
+        recording = synthesize_speech(script, seed=seed + index)
+        # Step messages play when the simulation shows their step, not
+        # on branch triggers, so they carry no anchors.
+        message = VoiceMessage(
+            message_id=generator.message_id(),
+            recording=recording,
+        )
+        obj.attach_voice_message(message)
+        steps.append(
+            SimStep(
+                image_id=overlay.image_id,
+                kind=SimStepKind.OVERWRITE,
+                message_id=message.message_id,
+            )
+        )
+        previous = (x, y)
+
+    obj.presentation = PresentationSpec(
+        items=[
+            ImagePage(town.image_id),
+            ProcessSimulation(steps, interval_s=interval_s),
+        ]
+    )
+    return obj.archive()
+
+
+def build_map_tour_object(
+    generator: IdGenerator | None = None,
+    window: tuple[int, int] = (160, 120),
+    seed: int = 23,
+) -> MultimediaObject:
+    """A designer tour across the subway map with voice messages.
+
+    "If logical voice is associated with each of the views the overall
+    effect is to simulate a guided tour through various sections of the
+    map.  This facility is useful in tourist information systems."
+    """
+    generator = generator or IdGenerator("citytour")
+    subway = make_subway_map(generator)
+
+    obj = MultimediaObject(
+        object_id=generator.object_id(),
+        driving_mode=DrivingMode.VISUAL,
+        attributes=AttributeSet.of(kind="tourist_tour", city="waterloo"),
+    )
+    obj.add_image(subway)
+
+    stops = []
+    for index, (name, x, y, script) in enumerate(WALK_STOPS[:4]):
+        recording = synthesize_speech(script, seed=seed + index)
+        # Stop messages carry no branch anchors: they play only when
+        # the tour reaches their stop.
+        message = VoiceMessage(
+            message_id=generator.message_id(),
+            recording=recording,
+        )
+        obj.attach_voice_message(message)
+        stops.append(
+            TourStop(
+                x=max(x - window[0] // 2, 0),
+                y=max(y - window[1] // 2, 0),
+                message_id=message.message_id,
+            )
+        )
+
+    obj.presentation = PresentationSpec(
+        items=[
+            Tour(
+                image_id=subway.image_id,
+                window_width=window[0],
+                window_height=window[1],
+                stops=stops,
+                dwell_s=1.5,
+            )
+        ]
+    )
+    return obj.archive()

@@ -1,0 +1,135 @@
+"""Section 3's engineering-design scenario.
+
+"Consider for example a set of images describing an engineering design
+in various levels of description.  One object in a level of description
+(image) may correspond to one or more objects in a different level of
+description.  The user may want to identify the corresponding objects.
+This facility can be easily provided by associating a relevant object
+indicator with the object.  When the indicator is selected the related
+image is displayed and a set of polygons projected on it identifying
+all the corresponding objects."
+
+The builder produces two levels of a board design: a block-level image
+(one amplifier block) and a component-level image, with a relevant link
+whose image relevances are the polygons enclosing the components that
+implement the block.
+"""
+
+from __future__ import annotations
+
+from repro.ids import IdGenerator
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Circle, Point, Polygon
+from repro.images.graphics import GraphicsObject, Label, LabelKind
+from repro.images.image import Image
+from repro.objects.anchors import ImageAnchor
+from repro.objects.attributes import AttributeSet
+from repro.objects.model import DrivingMode, MultimediaObject
+from repro.objects.presentation import ImagePage, PresentationSpec
+from repro.objects.relationships import Relevance, RelevanceKind, RelevantLink
+
+
+def _rect_polygon(x: int, y: int, width: int, height: int) -> Polygon:
+    return Polygon(
+        [
+            Point(x, y),
+            Point(x + width, y),
+            Point(x + width, y + height),
+            Point(x, y + height),
+        ]
+    )
+
+
+def build_engineering_design(
+    generator: IdGenerator | None = None,
+) -> tuple[MultimediaObject, MultimediaObject]:
+    """Two levels of description with corresponding-object relevances.
+
+    Returns ``(block_level, component_level)``, both archived.  The
+    block-level object's indicator opens the component level with
+    polygons projected over the three components that implement the
+    amplifier block.
+    """
+    generator = generator or IdGenerator("eng")
+
+    block_image = Image(
+        image_id=generator.image_id(),
+        width=400,
+        height=300,
+        bitmap=Bitmap.blank(400, 300, fill=15),
+        graphics=[
+            GraphicsObject(
+                "amplifier-block",
+                _rect_polygon(120, 100, 160, 100),
+                intensity=220,
+                label=Label(LabelKind.TEXT, "Amplifier stage", Point(200, 90)),
+            ),
+        ],
+    )
+    block_level = MultimediaObject(
+        object_id=generator.object_id(),
+        driving_mode=DrivingMode.VISUAL,
+        attributes=AttributeSet.of(kind="design", level="block"),
+    )
+    block_level.add_image(block_image)
+    block_level.presentation = PresentationSpec(
+        items=[ImagePage(block_image.image_id)]
+    )
+
+    # Component level: three parts implement the amplifier block.
+    components = [
+        ("transistor-q1", 60, 80, 50, 40),
+        ("resistor-r3", 180, 70, 60, 20),
+        ("capacitor-c2", 290, 90, 40, 40),
+    ]
+    component_graphics = []
+    for name, x, y, width, height in components:
+        component_graphics.append(
+            GraphicsObject(
+                name,
+                _rect_polygon(x, y, width, height),
+                intensity=200,
+                label=Label(
+                    LabelKind.TEXT, name.replace("-", " "), Point(x + width / 2, y - 8)
+                ),
+            )
+        )
+    component_graphics.append(
+        GraphicsObject("via-field", Circle(Point(200, 220), 12), intensity=180)
+    )
+    component_image = Image(
+        image_id=generator.image_id(),
+        width=400,
+        height=300,
+        bitmap=Bitmap.blank(400, 300, fill=10),
+        graphics=component_graphics,
+    )
+    component_level = MultimediaObject(
+        object_id=generator.object_id(),
+        driving_mode=DrivingMode.VISUAL,
+        attributes=AttributeSet.of(kind="design", level="component"),
+    )
+    component_level.add_image(component_image)
+    component_level.presentation = PresentationSpec(
+        items=[ImagePage(component_image.image_id)]
+    )
+    component_level.archive()
+
+    block_level.add_relevant_link(
+        RelevantLink(
+            indicator_id=generator.indicator_id(),
+            label="corresponding components",
+            target_object_id=component_level.object_id,
+            parent_anchor=ImageAnchor(block_image.image_id),
+            relevances=[
+                Relevance(
+                    kind=RelevanceKind.IMAGE,
+                    image_id=component_image.image_id,
+                    region=_rect_polygon(x - 4, y - 4, width + 8, height + 8),
+                )
+                for _name, x, y, width, height in components
+            ],
+        )
+    )
+    block_level.archive()
+    return block_level, component_level

@@ -1,0 +1,107 @@
+"""C-MINI / C-QUEUE: a corpus of archived objects.
+
+Builds a mixed library — visual documents with images, audio
+dictations with recognized utterances — stored into one archiver, with
+attribute and term diversity so content queries return interesting
+subsets and the queueing benchmark has realistic extent sizes.
+"""
+
+from __future__ import annotations
+
+from repro.audio.recognition import VocabularyRecognizer
+from repro.audio.signal import synthesize_speech
+from repro.ids import IdGenerator
+from repro.images.bitmap import Bitmap
+from repro.images.image import Image
+from repro.objects.attributes import AttributeSet
+from repro.objects.model import DrivingMode, MultimediaObject
+from repro.objects.parts import TextSegment, VoiceSegment
+from repro.objects.presentation import ImagePage, PresentationSpec, TextFlow
+from repro.scenarios._textgen import paragraph, paragraphs
+from repro.server.archiver import Archiver
+
+_TOPICS = ["budget", "radiology", "tourism", "engineering", "personnel"]
+_VOCABULARY = ["budget", "radiology", "tourism", "engineering", "personnel",
+               "urgent", "report"]
+
+
+def build_object_library(
+    archiver: Archiver,
+    visual_count: int = 8,
+    audio_count: int = 4,
+    image_size: int = 192,
+    generator: IdGenerator | None = None,
+    seed: int = 0,
+) -> list[MultimediaObject]:
+    """Populate ``archiver`` with a mixed object library.
+
+    Every object's text/voice mentions its topic, so
+    ``select(terms=[topic])`` partitions the library; all objects share
+    the attribute ``kind`` for broader queries.
+    """
+    generator = generator or IdGenerator("lib")
+    objects: list[MultimediaObject] = []
+
+    for index in range(visual_count):
+        topic = _TOPICS[index % len(_TOPICS)]
+        obj = MultimediaObject(
+            object_id=generator.object_id(),
+            driving_mode=DrivingMode.VISUAL,
+            attributes=AttributeSet.of(
+                kind="document", topic=topic, serial=index
+            ),
+        )
+        body = [
+            f"@title{{{topic.capitalize()} report {index}}}",
+            f"@chapter{{Overview of {topic}}}",
+            f"This report concerns {topic} matters. " + paragraph(3, seed=seed + index),
+            "",
+        ]
+        for paragraph_text in paragraphs(3, sentences_each=4, seed=seed + 100 + index):
+            body.extend([paragraph_text, ""])
+        segment = TextSegment(
+            segment_id=generator.segment_id(), markup="\n".join(body)
+        )
+        obj.add_text_segment(segment)
+        image = Image(
+            image_id=generator.image_id(),
+            width=image_size,
+            height=image_size,
+            bitmap=Bitmap.from_function(
+                image_size, image_size, lambda x, y, k=index: (x * (k + 3) + y) % 256
+            ),
+        )
+        obj.add_image(image)
+        obj.presentation = PresentationSpec(
+            items=[TextFlow(segment.segment_id), ImagePage(image.image_id)]
+        )
+        archiver.store(obj.archive())
+        objects.append(obj)
+
+    recognizer = VocabularyRecognizer(_VOCABULARY, seed=seed)
+    for index in range(audio_count):
+        topic = _TOPICS[index % len(_TOPICS)]
+        obj = MultimediaObject(
+            object_id=generator.object_id(),
+            driving_mode=DrivingMode.AUDIO,
+            attributes=AttributeSet.of(
+                kind="dictation", topic=topic, serial=index
+            ),
+        )
+        script = (
+            f"urgent {topic} report follows.\n\n"
+            + paragraph(3, seed=seed + 200 + index)
+            + f"\n\nthat concludes the {topic} dictation."
+        )
+        recording = synthesize_speech(script, seed=seed + 300 + index)
+        segment = VoiceSegment(
+            segment_id=generator.segment_id(),
+            recording=recording,
+            utterances=recognizer.recognize(recording),
+        )
+        obj.add_voice_segment(segment)
+        obj.presentation = PresentationSpec(audio_order=[segment.segment_id])
+        archiver.store(obj.archive())
+        objects.append(obj)
+
+    return objects

@@ -1,0 +1,218 @@
+"""Figures 3-6: the medical information system scenarios.
+
+* Figures 3-4 — "A visual logical message (image) on a visual mode
+  object.  By pressing a mouse button various parts of the text
+  associated with the image are displayed in the same page with the
+  image.  The image is only stored once."
+* Figures 5-6 — "Transparencies may be superimposed on the top of a
+  bitmap as the user presses the next page button.  Each transparency
+  contains some graphics information (circle) to identify a section on
+  the x-ray, and some text information related to it."
+* The symmetric audio-mode twin: the doctor dictates; the x-ray is a
+  visual logical message displayed during the related speech.
+"""
+
+from __future__ import annotations
+
+from repro.audio.recognition import VocabularyRecognizer
+from repro.audio.signal import SpeakerProfile, synthesize_speech
+from repro.ids import IdGenerator
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Circle, Point
+from repro.images.graphics import GraphicsObject, Label, LabelKind
+from repro.images.image import Image
+from repro.objects.anchors import TextAnchor, VoiceAnchor
+from repro.objects.attributes import AttributeSet
+from repro.objects.messages import VisualMessage, VisualMessageContent
+from repro.objects.model import DrivingMode, MultimediaObject
+from repro.objects.parts import TextSegment, VoiceSegment
+from repro.objects.presentation import (
+    ImagePage,
+    PresentationSpec,
+    TextFlow,
+    TransparencyMode,
+    TransparencySet,
+)
+from repro.scenarios._textgen import paragraphs
+
+#: The doctor's dictated observations (three paragraphs; the middle
+#: paragraph block is "related to the x-ray").
+DICTATION = """The patient arrived complaining of persistent pain in the wrist.
+
+Observe the radiograph closely. There is a hairline fracture visible in
+the distal radius. The fracture line extends toward the joint surface
+but does not displace the articular fragments. Surrounding soft tissue
+shows mild swelling consistent with the reported trauma. Comparison
+with the earlier radiograph shows no significant healing yet.
+
+Recommend immobilization for six weeks and a follow up radiograph."""
+
+
+def make_xray(generator: IdGenerator, width: int = 512, height: int = 400) -> Image:
+    """A procedural x-ray bitmap: a bright bone band with a dark crack."""
+
+    def intensity(x, y):
+        bone = 170 * ((y > height * 0.35) & (y < height * 0.65))
+        crack = ((abs(x - width * 0.55 - (y - height / 2) * 0.3) < 2)
+                 & (y > height * 0.40) & (y < height * 0.60))
+        return 30 + bone - 140 * crack
+
+    return Image(
+        image_id=generator.image_id(),
+        width=width,
+        height=height,
+        bitmap=Bitmap.from_function(width, height, intensity),
+    )
+
+
+def build_visual_report_with_xray(
+    generator: IdGenerator | None = None,
+    related_paragraphs: int = 9,
+) -> MultimediaObject:
+    """Figures 3-4: visual mode report with the x-ray pinned over the
+    related text, which needs several pages of the lower region."""
+    generator = generator or IdGenerator("medfig34")
+    xray = make_xray(generator)
+
+    intro = paragraphs(2, sentences_each=3, seed=34)
+    related = paragraphs(related_paragraphs, sentences_each=4, seed=35)
+    outro = paragraphs(2, sentences_each=3, seed=36)
+
+    pieces: list[str] = ["@title{Radiology Report}", "@chapter{History}"]
+    for text in intro:
+        pieces.extend([text, ""])
+    pieces.append("@chapter{Findings}")
+    related_start_marker = "\n".join(pieces)
+    for text in related:
+        pieces.extend([text, ""])
+    related_end_marker = "\n".join(pieces)
+    pieces.append("@chapter{Recommendation}")
+    for text in outro:
+        pieces.extend([text, ""])
+    markup = "\n".join(pieces)
+
+    obj = MultimediaObject(
+        object_id=generator.object_id(),
+        driving_mode=DrivingMode.VISUAL,
+        attributes=AttributeSet.of(kind="radiology_report", patient="p-1042"),
+    )
+    segment = TextSegment(segment_id=generator.segment_id(), markup=markup)
+    obj.add_text_segment(segment)
+    obj.add_image(xray)
+
+    # Anchor the x-ray message to the plain-text span of the related
+    # ("Findings") paragraphs.
+    plain = segment.plain_text
+    first_related = related[0].split()[0]
+    last_related_word = related[-1].split()[-1].rstrip(".")
+    start = plain.index(related[0][:40])
+    end = plain.index(related[-1][-40:]) + 40
+    __ = (related_start_marker, related_end_marker, first_related, last_related_word)
+
+    message = VisualMessage(
+        message_id=generator.message_id(),
+        content=VisualMessageContent(text="[x-ray]", image_ids=[xray.image_id]),
+        anchors=[TextAnchor(segment.segment_id, start, end)],
+    )
+    obj.attach_visual_message(message)
+    obj.presentation = PresentationSpec(items=[TextFlow(segment.segment_id)])
+    return obj.archive()
+
+
+def build_xray_transparency_object(
+    generator: IdGenerator | None = None,
+    overlays: int = 3,
+    mode: TransparencyMode = TransparencyMode.STACKED,
+) -> MultimediaObject:
+    """Figures 5-6: an x-ray page followed by a transparency set.
+
+    Each transparency carries a circle pinpointing a region of the
+    x-ray plus a text label with the related observation.
+    """
+    generator = generator or IdGenerator("medfig56")
+    xray = make_xray(generator)
+
+    obj = MultimediaObject(
+        object_id=generator.object_id(),
+        driving_mode=DrivingMode.VISUAL,
+        attributes=AttributeSet.of(kind="radiology_report", patient="p-2205"),
+    )
+    obj.add_image(xray)
+
+    members = []
+    for index in range(overlays):
+        cx = 120 + index * 120
+        cy = 160 + (index % 2) * 60
+        overlay = Image(
+            image_id=generator.image_id(),
+            width=xray.width,
+            height=xray.height,
+            graphics=[
+                GraphicsObject(
+                    name=f"finding-{index}",
+                    shape=Circle(Point(cx, cy), 28),
+                    intensity=255,
+                    label=Label(
+                        LabelKind.TEXT,
+                        f"Observation {index + 1}: density change",
+                        Point(cx, cy - 40),
+                    ),
+                )
+            ],
+        )
+        obj.add_image(overlay)
+        members.append(overlay.image_id)
+
+    obj.presentation = PresentationSpec(
+        items=[ImagePage(xray.image_id), TransparencySet(members, mode=mode)]
+    )
+    return obj.archive()
+
+
+def build_audio_mode_report(
+    generator: IdGenerator | None = None,
+    vocabulary: tuple[str, ...] = ("fracture", "radius", "joint", "swelling"),
+    seed: int = 7,
+) -> MultimediaObject:
+    """The audio-mode twin of Figures 3-4.
+
+    The doctor dictates :data:`DICTATION`; the x-ray attaches as a
+    visual logical message to the span of speech describing it, so it
+    appears on screen only during that part of the dictation — and
+    whenever the user branches into it.
+    """
+    generator = generator or IdGenerator("medaudio")
+    xray = make_xray(generator)
+
+    profile = SpeakerProfile(name="doctor", word_gap=0.11, paragraph_gap=1.2)
+    recording = synthesize_speech(DICTATION, profile=profile, seed=seed)
+    recognizer = VocabularyRecognizer(list(vocabulary), seed=seed)
+    utterances = recognizer.recognize(recording)
+
+    obj = MultimediaObject(
+        object_id=generator.object_id(),
+        driving_mode=DrivingMode.AUDIO,
+        attributes=AttributeSet.of(kind="dictated_report", patient="p-1042"),
+    )
+    segment = VoiceSegment(
+        segment_id=generator.segment_id(),
+        recording=recording,
+        utterances=utterances,
+    )
+    obj.add_voice_segment(segment)
+    obj.add_image(xray)
+
+    # The related span of speech is the middle paragraph.
+    para_ends = recording.paragraph_ends
+    related_start = para_ends[0] + 0.01
+    related_end = para_ends[1]
+    message = VisualMessage(
+        message_id=generator.message_id(),
+        content=VisualMessageContent(text="[x-ray]", image_ids=[xray.image_id]),
+        anchors=[VoiceAnchor(segment.segment_id, related_start, related_end)],
+    )
+    obj.attach_visual_message(message)
+    obj.presentation = PresentationSpec(
+        audio_order=[segment.segment_id], audio_page_seconds=8.0
+    )
+    return obj.archive()

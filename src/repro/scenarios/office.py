@@ -1,0 +1,105 @@
+"""Figures 1-2: visual pages with text, graphics and bitmaps.
+
+"Figures (1), and (2) show visual pages of multimedia objects with
+text, graphics and bitmaps on them.  In the right hand side of the
+screen some menu options displayed are shown."
+
+The builder produces an office document: a titled, chaptered text flow
+with two embedded images — one graphics image (a simple org chart) and
+one bitmap (a captured halftone) — exactly the mix the figures show.
+"""
+
+from __future__ import annotations
+
+from repro.ids import IdGenerator
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Circle, Point, PolyLine, Polygon
+from repro.images.graphics import GraphicsObject, Label, LabelKind
+from repro.images.image import Image
+from repro.objects.attributes import AttributeSet
+from repro.objects.model import DrivingMode, MultimediaObject
+from repro.objects.parts import TextSegment
+from repro.objects.presentation import PresentationSpec, TextFlow
+from repro.scenarios._textgen import paragraphs
+
+
+def build_office_document(
+    generator: IdGenerator | None = None,
+    chapters: int = 3,
+    paragraphs_per_chapter: int = 4,
+) -> MultimediaObject:
+    """An archived office document mixing text, graphics and a bitmap."""
+    generator = generator or IdGenerator("office")
+
+    chart = Image(
+        image_id=generator.image_id(),
+        width=320,
+        height=200,
+        graphics=[
+            GraphicsObject(
+                name="director",
+                shape=Circle(Point(160, 40), 18),
+                label=Label(LabelKind.TEXT, "Director", Point(160, 16)),
+            ),
+            GraphicsObject(
+                name="filing",
+                shape=Polygon(
+                    [Point(60, 120), Point(140, 120), Point(140, 170), Point(60, 170)]
+                ),
+                label=Label(LabelKind.TEXT, "Filing department", Point(100, 110)),
+            ),
+            GraphicsObject(
+                name="archive",
+                shape=Polygon(
+                    [Point(180, 120), Point(260, 120), Point(260, 170), Point(180, 170)]
+                ),
+                label=Label(LabelKind.TEXT, "Archive group", Point(220, 110)),
+            ),
+            GraphicsObject(
+                name="link-left",
+                shape=PolyLine([Point(160, 58), Point(100, 120)]),
+            ),
+            GraphicsObject(
+                name="link-right",
+                shape=PolyLine([Point(160, 58), Point(220, 120)]),
+            ),
+        ],
+    )
+
+    halftone = Image(
+        image_id=generator.image_id(),
+        width=240,
+        height=160,
+        bitmap=Bitmap.from_function(
+            240, 160, lambda x, y: 96 + 64 * ((x // 8 + y // 8) % 2)
+        ),
+    )
+
+    body: list[str] = ["@title{Office Filing in MINOS}", "@abstract"]
+    body.extend(paragraphs(1, sentences_each=3, seed=1))
+    for chapter in range(1, chapters + 1):
+        body.append(f"@chapter{{Chapter {chapter}}}")
+        section_paragraphs = paragraphs(
+            paragraphs_per_chapter, sentences_each=4, seed=chapter
+        )
+        midpoint = len(section_paragraphs) // 2
+        for index, text in enumerate(section_paragraphs):
+            if chapter == 1 and index == midpoint:
+                body.append(f"@image{{{chart.image_id.value}}}")
+            if chapter == 2 and index == midpoint:
+                body.append(f"@image{{{halftone.image_id.value}}}")
+            body.append(text)
+            body.append("")
+    markup = "\n".join(body)
+
+    obj = MultimediaObject(
+        object_id=generator.object_id(),
+        driving_mode=DrivingMode.VISUAL,
+        attributes=AttributeSet.of(kind="office_document", department="filing"),
+    )
+    segment = TextSegment(segment_id=generator.segment_id(), markup=markup)
+    obj.add_text_segment(segment)
+    obj.add_image(chart)
+    obj.add_image(halftone)
+    obj.presentation = PresentationSpec(items=[TextFlow(segment.segment_id)])
+    return obj.archive()

@@ -1,0 +1,41 @@
+"""The multimedia object server subsystem (Section 5).
+
+"The multimedia object server subsystem is optical disk based...  It is
+used to store objects in an archived state.  The major concern in the
+server subsystem is performance...  The subsystem provides access
+methods, scheduling, cashing, version control."  [sic]
+
+Workstations talk to the server over a simulated network link; the
+presentation manager "requests the appropriate pieces of information
+from the multimedia object server subsystems" — which is why the
+archiver supports partial (byte-range) reads of stored data pieces:
+views fetch windows, not whole images.
+"""
+
+from repro.server.network import NetworkLink
+from repro.server.access import ContentIndex
+from repro.server.archiver import Archiver, FetchResult, StoredObjectRecord
+from repro.server.scheduler import (
+    CompletedRequest,
+    DiskRequest,
+    simulate_schedule,
+)
+from repro.server.versioning import VersionStore
+from repro.server.idle import IdleRecognizer, IdleRunReport
+from repro.server.query import MiniatureCard, QueryInterface
+
+__all__ = [
+    "Archiver",
+    "CompletedRequest",
+    "ContentIndex",
+    "DiskRequest",
+    "FetchResult",
+    "IdleRecognizer",
+    "IdleRunReport",
+    "MiniatureCard",
+    "NetworkLink",
+    "QueryInterface",
+    "StoredObjectRecord",
+    "VersionStore",
+    "simulate_schedule",
+]

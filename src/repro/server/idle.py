@@ -1,0 +1,83 @@
+"""Idle-time voice recognition.
+
+"Voice recognition is not taking place at the time of browsing.
+Instead, some voice segments have been recognized at the time of voice
+insertion, **or at machine's idle time**, from the digitized voice."
+
+The :class:`IdleRecognizer` is that background worker: it scans the
+archiver for audio content whose voice segments carry no recognized
+utterances, runs the recognizer over them, stores the results in a
+side table (the optical platter is write-once, so the stored bytes are
+never touched), and folds the new terms into the content index.  The
+archiver consults the side table when rebuilding objects, so browsing
+sessions opened afterwards can pattern-search the newly recognized
+speech.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.audio.recognition import RecognizedUtterance, VocabularyRecognizer
+from repro.ids import ObjectId, SegmentId
+from repro.server.archiver import Archiver
+
+
+@dataclass
+class IdleRunReport:
+    """What one idle-time sweep accomplished."""
+
+    objects_scanned: int = 0
+    segments_recognized: int = 0
+    utterances_found: int = 0
+    terms_indexed: int = 0
+    processed_object_ids: list[ObjectId] = field(default_factory=list)
+
+
+class IdleRecognizer:
+    """Background recognition over stored voice segments."""
+
+    def __init__(self, archiver: Archiver, recognizer: VocabularyRecognizer) -> None:
+        self._archiver = archiver
+        self._recognizer = recognizer
+        self._done: set[ObjectId] = set()
+
+    @property
+    def pending(self) -> list[ObjectId]:
+        """Stored objects not yet swept."""
+        return [
+            object_id
+            for object_id in self._archiver.object_ids()
+            if object_id not in self._done
+        ]
+
+    def run(self, max_objects: int | None = None) -> IdleRunReport:
+        """Sweep up to ``max_objects`` stored objects (all by default).
+
+        Only voice segments with no recognized utterances are
+        processed — insertion-time recognition is never redone.
+        """
+        report = IdleRunReport()
+        for object_id in self.pending:
+            if max_objects is not None and report.objects_scanned >= max_objects:
+                break
+            report.objects_scanned += 1
+            self._done.add(object_id)
+            obj, _ = self._archiver.fetch_object(object_id)
+            side_table: dict[SegmentId, list[RecognizedUtterance]] = {}
+            terms: set[str] = set()
+            for segment in obj.voice_segments:
+                if segment.utterances:
+                    continue  # recognized at insertion time
+                utterances = self._recognizer.recognize(segment.recording)
+                if not utterances:
+                    continue
+                side_table[segment.segment_id] = utterances
+                report.segments_recognized += 1
+                report.utterances_found += len(utterances)
+                terms.update(u.term for u in utterances)
+            if side_table:
+                self._archiver.attach_recognition(object_id, side_table)
+                report.terms_indexed += len(terms)
+                report.processed_object_ids.append(object_id)
+        return report

@@ -1,0 +1,40 @@
+"""The workstation-to-server link.
+
+"Very high bandwidth communication links become available" — for 1986
+that meant 10 Mbit/s Ethernet, which is the default here.  The link
+model charges a fixed round-trip latency per request plus serialized
+transfer time, which is all the C-VIEW and C-MINI benchmarks need to
+show why views and miniatures exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class NetworkLink:
+    """A point-to-point link with bandwidth and latency.
+
+    Attributes
+    ----------
+    bandwidth_bytes_per_s:
+        Serialized payload rate (default: 10 Mbit/s Ethernet).
+    latency_s:
+        Per-request round-trip overhead.
+    """
+
+    bandwidth_bytes_per_s: float = 1_250_000.0
+    latency_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.latency_s < 0:
+            raise ValueError("latency must be non-negative")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` over the link (one request)."""
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        return self.latency_s + nbytes / self.bandwidth_bytes_per_s

@@ -1,0 +1,169 @@
+"""Content queries and the sequential miniature browsing interface.
+
+"Users in this environment may not be able to express precisely what
+they want.  Miniatures of qualifying objects may be returned to the
+user using a sequential browsing interface in order to facilitate
+browsing through a large number of objects that may qualify."
+
+A miniature is a small representation of the object: a reduced bitmap
+of its first image (or first visual-page text) for visual mode objects,
+or an audio-mode marker plus a short voice sample for audio mode
+objects.  The stream generator accounts both the archiver service time
+and the network shipping time per card, so the C-MINI benchmark can
+compare it with shipping full objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.audio.signal import Recording
+from repro.ids import ImageId, ObjectId
+from repro.images.image import Image
+from repro.images.miniature import make_miniature
+from repro.objects.attributes import AttributeValue
+from repro.objects.model import DrivingMode, MultimediaObject
+from repro.server.archiver import Archiver
+from repro.server.network import NetworkLink
+
+
+@dataclass
+class MiniatureCard:
+    """One entry of the sequential browsing stream."""
+
+    object_id: ObjectId
+    driving_mode: str
+    summary: str
+    nbytes: int
+    miniature: Image | None
+    voice_sample: Recording | None
+    available_at_s: float  # simulated time the card reaches the screen
+
+
+class QueryInterface:
+    """Evaluates content queries and ships result streams."""
+
+    def __init__(
+        self,
+        archiver: Archiver,
+        link: NetworkLink | None = None,
+        miniature_scale: int = 8,
+        voice_sample_s: float = 3.0,
+    ) -> None:
+        self._archiver = archiver
+        self._link = link or NetworkLink()
+        self._scale = miniature_scale
+        self._voice_sample_s = voice_sample_s
+        # Miniature cards are materialized once per object — modelling
+        # MINOS building them at archive/idle time — so serving one at
+        # browse time costs a single card-sized read, not an object
+        # reconstruction.
+        self._cards: dict[ObjectId, MiniatureCard] = {}
+
+    def select(
+        self, terms: list[str] | None = None, **criteria: AttributeValue
+    ) -> list[ObjectId]:
+        """Evaluate a content query; returns qualifying object ids.
+
+        Results are returned in storage order so the stream is stable.
+        """
+        matching = self._archiver.index.search(terms=terms, **criteria)
+        return [oid for oid in self._archiver.object_ids() if oid in matching]
+
+    # ------------------------------------------------------------------
+    # result shipping
+    # ------------------------------------------------------------------
+
+    def miniature_stream(self, object_ids: list[ObjectId]) -> Iterator[MiniatureCard]:
+        """Ship miniatures of the qualifying objects, one at a time.
+
+        Cards arrive sequentially; each card's ``available_at_s``
+        accumulates archiver service plus network transfer, modelling
+        the user watching miniatures "pass through the screen".
+        """
+        now = 0.0
+        for object_id in object_ids:
+            card = self._card_for(object_id)
+            record = self._archiver.record(object_id)
+            _, service = self._archiver.read_absolute(
+                record.extent.offset,
+                min(card.nbytes, record.extent.length),
+            )
+            now += service + self._link.transfer_time(card.nbytes)
+            yield MiniatureCard(
+                object_id=card.object_id,
+                driving_mode=card.driving_mode,
+                summary=card.summary,
+                nbytes=card.nbytes,
+                miniature=card.miniature,
+                voice_sample=card.voice_sample,
+                available_at_s=now,
+            )
+
+    def full_object_stream(
+        self, object_ids: list[ObjectId]
+    ) -> Iterator[tuple[ObjectId, int, float]]:
+        """Ship complete objects instead (the baseline C-MINI compares).
+
+        Yields ``(object_id, nbytes, available_at_s)``.
+        """
+        now = 0.0
+        for object_id in object_ids:
+            record = self._archiver.record(object_id)
+            _, service = self._archiver.read_absolute(
+                record.extent.offset, record.extent.length
+            )
+            now += service + self._link.transfer_time(record.extent.length)
+            yield object_id, record.extent.length, now
+
+    # ------------------------------------------------------------------
+    # miniature construction
+    # ------------------------------------------------------------------
+
+    def _card_for(self, object_id: ObjectId) -> MiniatureCard:
+        """The materialized miniature card of an object (built once)."""
+        card = self._cards.get(object_id)
+        if card is None:
+            obj, _ = self._archiver.fetch_object(object_id)
+            card = self._make_card(obj)
+            self._cards[object_id] = card
+        return card
+
+    def _make_card(self, obj: MultimediaObject) -> MiniatureCard:
+        miniature: Image | None = None
+        voice_sample: Recording | None = None
+        summary = ""
+        nbytes = 64  # card framing overhead
+
+        if obj.driving_mode is DrivingMode.AUDIO:
+            summary = "[audio mode object]"
+            if obj.voice_segments:
+                segment = obj.voice_segments[0]
+                end = min(self._voice_sample_s, segment.duration)
+                voice_sample = segment.recording.slice(0.0, end)
+                nbytes += voice_sample.nbytes
+        else:
+            full_images = [i for i in obj.images if not i.is_representation]
+            if full_images:
+                image = full_images[0]
+                scale = min(
+                    self._scale, max(2, min(image.width, image.height) // 8)
+                )
+                miniature = make_miniature(
+                    image, scale, ImageId(f"{image.image_id}-mini")
+                )
+                nbytes += miniature.nbytes
+            if obj.text_segments:
+                first_line = obj.text_segments[0].plain_text.strip().splitlines()
+                summary = first_line[0][:64] if first_line else ""
+                nbytes += len(summary)
+        return MiniatureCard(
+            object_id=obj.object_id,
+            driving_mode=obj.driving_mode.value,
+            summary=summary,
+            nbytes=nbytes,
+            miniature=miniature,
+            voice_sample=voice_sample,
+            available_at_s=0.0,
+        )

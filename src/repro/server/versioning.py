@@ -1,0 +1,92 @@
+"""Version control on the archiver.
+
+The optical platter is write-once, so versioning is naturally
+append-only: storing a new version of a logical object never disturbs
+the previous one.  The store keeps, per logical name, the chain of
+object identifiers in version order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import VersionError
+from repro.ids import ObjectId
+from repro.objects.model import MultimediaObject
+from repro.server.archiver import Archiver, StoredObjectRecord
+
+
+@dataclass
+class VersionChain:
+    """All versions of one logical object, oldest first."""
+
+    name: str
+    versions: list[ObjectId] = field(default_factory=list)
+
+    @property
+    def latest(self) -> ObjectId:
+        """The most recent version's object id."""
+        if not self.versions:
+            raise VersionError(f"no versions recorded for {self.name!r}")
+        return self.versions[-1]
+
+
+class VersionStore:
+    """Names logical objects and tracks their version chains."""
+
+    def __init__(self, archiver: Archiver) -> None:
+        self._archiver = archiver
+        self._chains: dict[str, VersionChain] = {}
+
+    def commit(self, name: str, obj: MultimediaObject) -> StoredObjectRecord:
+        """Store ``obj`` as the next version of logical object ``name``.
+
+        Raises
+        ------
+        VersionError
+            If this object id is already a version of ``name``.
+        """
+        chain = self._chains.setdefault(name, VersionChain(name=name))
+        if obj.object_id in chain.versions:
+            raise VersionError(
+                f"object {obj.object_id} is already a version of {name!r}"
+            )
+        record = self._archiver.store(obj)
+        chain.versions.append(obj.object_id)
+        return record
+
+    def chain(self, name: str) -> VersionChain:
+        """The version chain of a logical object.
+
+        Raises
+        ------
+        VersionError
+            If the name is unknown.
+        """
+        chain = self._chains.get(name)
+        if chain is None:
+            raise VersionError(f"no versions recorded for {name!r}")
+        return chain
+
+    def latest(self, name: str) -> tuple[MultimediaObject, float]:
+        """Fetch the latest version of a logical object."""
+        return self._archiver.fetch_object(self.chain(name).latest)
+
+    def fetch_version(self, name: str, index: int) -> tuple[MultimediaObject, float]:
+        """Fetch a specific version (0-based, oldest first).
+
+        Raises
+        ------
+        VersionError
+            If the index is out of range.
+        """
+        chain = self.chain(name)
+        if not 0 <= index < len(chain.versions):
+            raise VersionError(
+                f"{name!r} has {len(chain.versions)} versions; no index {index}"
+            )
+        return self._archiver.fetch_object(chain.versions[index])
+
+    def names(self) -> list[str]:
+        """All logical object names."""
+        return sorted(self._chains)

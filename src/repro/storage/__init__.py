@@ -1,0 +1,23 @@
+"""Storage substrate: simulated disks and caching.
+
+"The multimedia object server subsystem is optical disk based and it
+may also contain one or more high performance magnetic disks."  The
+devices here are timing models over in-memory byte stores: each read
+and write reports the simulated service time (seek + rotation +
+transfer) so the queueing benchmarks can reproduce the paper's §5
+performance concerns without physical 1986 hardware.
+"""
+
+from repro.storage.blockdev import DiskGeometry, Extent, SimulatedDisk
+from repro.storage.optical import OpticalDisk
+from repro.storage.magnetic import MagneticDisk
+from repro.storage.cache import LRUCache
+
+__all__ = [
+    "DiskGeometry",
+    "Extent",
+    "LRUCache",
+    "MagneticDisk",
+    "OpticalDisk",
+    "SimulatedDisk",
+]

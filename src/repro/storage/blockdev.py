@@ -1,0 +1,194 @@
+"""Simulated block devices with a seek/rotation/transfer timing model.
+
+Service time for an access at byte offset ``o`` of length ``n``::
+
+    seek(distance) + rotational_latency/2 + n / transfer_rate
+
+where ``seek(d)`` grows with the square root of the head travel
+distance, the classic disk-seek approximation: short hops are much
+cheaper than full-stroke seeks.  Timing parameters are mid-1980s
+figures; what matters for the benchmarks is the *ratio* between the
+optical archiver and the magnetic cache, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AllocationError, StorageError
+
+
+@dataclass(frozen=True, slots=True)
+class Extent:
+    """A contiguous byte range on a device."""
+
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.length < 0:
+            raise StorageError(f"invalid extent: {self}")
+
+    @property
+    def end(self) -> int:
+        """Exclusive end offset."""
+        return self.offset + self.length
+
+
+@dataclass(frozen=True)
+class DiskGeometry:
+    """Timing and capacity parameters of a device."""
+
+    capacity_bytes: int
+    max_seek_s: float
+    rotational_latency_s: float
+    transfer_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise StorageError(f"capacity must be positive: {self.capacity_bytes}")
+        if self.transfer_bytes_per_s <= 0:
+            raise StorageError("transfer rate must be positive")
+
+    def seek_time(self, from_offset: int, to_offset: int) -> float:
+        """Head travel time between two byte offsets."""
+        distance = abs(to_offset - from_offset)
+        if distance == 0:
+            return 0.0
+        fraction = min(distance / self.capacity_bytes, 1.0)
+        return self.max_seek_s * math.sqrt(fraction)
+
+    def access_time(self, from_offset: int, extent: Extent) -> float:
+        """Total service time for one access."""
+        return (
+            self.seek_time(from_offset, extent.offset)
+            + self.rotational_latency_s / 2
+            + extent.length / self.transfer_bytes_per_s
+        )
+
+
+@dataclass
+class DiskStats:
+    """Accumulated device statistics."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_time_s: float = 0.0
+
+
+class SimulatedDisk:
+    """A byte-addressable device with simulated service times.
+
+    Subclasses set the geometry and may restrict writes (WORM).  The
+    device keeps a head position so consecutive nearby accesses are
+    cheaper than random ones — which is what gives SCAN scheduling its
+    advantage in the C-QUEUE benchmark.
+    """
+
+    def __init__(self, geometry: DiskGeometry, name: str = "disk") -> None:
+        self._geometry = geometry
+        self._name = name
+        self._data = bytearray()
+        self._head = 0
+        self.stats = DiskStats()
+
+    @property
+    def name(self) -> str:
+        """Device name, for traces."""
+        return self._name
+
+    @property
+    def geometry(self) -> DiskGeometry:
+        """Timing/capacity parameters."""
+        return self._geometry
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return len(self._data)
+
+    @property
+    def head_position(self) -> int:
+        """Current head byte offset (for scheduling)."""
+        return self._head
+
+    # ------------------------------------------------------------------
+    # allocation and I/O
+    # ------------------------------------------------------------------
+
+    def allocate(self, length: int) -> Extent:
+        """Reserve ``length`` bytes at the end of the device.
+
+        Raises
+        ------
+        AllocationError
+            If the device is full.
+        """
+        if length < 0:
+            raise StorageError(f"cannot allocate negative length {length}")
+        if len(self._data) + length > self._geometry.capacity_bytes:
+            raise AllocationError(
+                f"{self._name}: {length} bytes requested, "
+                f"{self._geometry.capacity_bytes - len(self._data)} free"
+            )
+        extent = Extent(len(self._data), length)
+        self._data.extend(b"\x00" * length)
+        return extent
+
+    def append(self, data: bytes) -> tuple[Extent, float]:
+        """Allocate-and-write at the end; returns extent and service time."""
+        extent = self.allocate(len(data))
+        service = self._write_at(extent, data)
+        return extent, service
+
+    def write(self, extent: Extent, data: bytes) -> float:
+        """Write into an allocated extent; returns service time.
+
+        Raises
+        ------
+        StorageError
+            If the data does not fit the extent or the extent is not
+            allocated.
+        """
+        if len(data) != extent.length:
+            raise StorageError(
+                f"data length {len(data)} does not match extent {extent}"
+            )
+        if extent.end > len(self._data):
+            raise StorageError(f"extent {extent} not allocated on {self._name}")
+        self._check_write_allowed(extent)
+        return self._write_at(extent, data)
+
+    def read(self, extent: Extent) -> tuple[bytes, float]:
+        """Read an extent; returns the bytes and the service time."""
+        if extent.end > len(self._data):
+            raise StorageError(f"extent {extent} not allocated on {self._name}")
+        service = self._geometry.access_time(self._head, extent)
+        self._head = extent.end
+        self.stats.reads += 1
+        self.stats.bytes_read += extent.length
+        self.stats.busy_time_s += service
+        return bytes(self._data[extent.offset : extent.end]), service
+
+    def service_time(self, extent: Extent) -> float:
+        """Service time a read of ``extent`` would take *now* (no I/O)."""
+        return self._geometry.access_time(self._head, extent)
+
+    # ------------------------------------------------------------------
+    # hooks
+    # ------------------------------------------------------------------
+
+    def _check_write_allowed(self, extent: Extent) -> None:
+        """Subclass hook; WORM devices reject rewrites here."""
+
+    def _write_at(self, extent: Extent, data: bytes) -> float:
+        service = self._geometry.access_time(self._head, extent)
+        self._data[extent.offset : extent.end] = data
+        self._head = extent.end
+        self.stats.writes += 1
+        self.stats.bytes_written += len(data)
+        self.stats.busy_time_s += service
+        return service

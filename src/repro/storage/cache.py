@@ -1,0 +1,96 @@
+"""Byte-budgeted LRU cache.
+
+The server subsystem "provides access methods, scheduling, cashing,
+version control" [sic].  This cache fronts the optical archiver with
+magnetic-disk (or main-memory) speed for hot data pieces; the C-QUEUE
+benchmark shows how it flattens the response-time curve under load.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache:
+    """Least-recently-used cache with a byte capacity."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise StorageError(f"cache capacity must be positive: {capacity_bytes}")
+        self._capacity = capacity_bytes
+        self._entries: OrderedDict[str, bytes] = OrderedDict()
+        self._used = 0
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently cached."""
+        return self._used
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Configured byte budget."""
+        return self._capacity
+
+    def get(self, key: str) -> bytes | None:
+        """Look up ``key``, refreshing its recency.  None on miss."""
+        data = self._entries.get(key)
+        if data is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return data
+
+    def put(self, key: str, data: bytes) -> None:
+        """Insert (or refresh) an entry, evicting LRU entries to fit.
+
+        Entries larger than the whole cache are not cached at all —
+        a multi-megabyte image should not wipe the cache to store
+        something that will be evicted before reuse.
+        """
+        if len(data) > self._capacity:
+            return
+        if key in self._entries:
+            self._used -= len(self._entries.pop(key))
+        while self._used + len(data) > self._capacity and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._used -= len(evicted)
+            self.stats.evictions += 1
+        self._entries[key] = data
+        self._used += len(data)
+
+    def invalidate(self, key: str) -> None:
+        """Drop an entry if present."""
+        data = self._entries.pop(key, None)
+        if data is not None:
+            self._used -= len(data)
+
+    def clear(self) -> None:
+        """Drop everything (stats are preserved)."""
+        self._entries.clear()
+        self._used = 0

@@ -1,0 +1,28 @@
+"""The magnetic disk: smaller, faster, rewritable.
+
+Used by the server subsystem as a staging/cache device in front of the
+optical archiver ("one or more high performance magnetic disks"), and
+by workstations for objects in the editing state.
+"""
+
+from __future__ import annotations
+
+from repro.storage.blockdev import DiskGeometry, SimulatedDisk
+
+#: Default geometry: 300 MB, 28 ms max seek, 4.2 ms half rotation,
+#: 1.8 MB/s transfer — a high-end mid-80s Winchester drive.
+MAGNETIC_GEOMETRY = DiskGeometry(
+    capacity_bytes=300_000_000,
+    max_seek_s=0.028,
+    rotational_latency_s=0.0083,
+    transfer_bytes_per_s=1_800_000,
+)
+
+
+class MagneticDisk(SimulatedDisk):
+    """A conventional rewritable disk."""
+
+    def __init__(
+        self, geometry: DiskGeometry = MAGNETIC_GEOMETRY, name: str = "magnetic"
+    ) -> None:
+        super().__init__(geometry, name=name)

@@ -1,0 +1,46 @@
+"""The optical disk: huge, slow to seek, write-once.
+
+"Optical disks with huge storage capacities become reality.  They will
+be appropriate for storing text, digitized voice and digitized images."
+Mid-80s optical drives had second-class seek times and write-once
+media; both properties matter — WORM makes version control append-only,
+and the seek cost is what the magnetic cache and SCAN scheduling
+mitigate in the C-QUEUE benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WriteOnceViolationError
+from repro.storage.blockdev import DiskGeometry, Extent, SimulatedDisk
+
+#: Default geometry: 1 GB platter, 150 ms max seek, 8.3 ms half
+#: rotation, 1 MB/s sustained transfer — representative of late-80s
+#: write-once optical drives.
+OPTICAL_GEOMETRY = DiskGeometry(
+    capacity_bytes=1_000_000_000,
+    max_seek_s=0.150,
+    rotational_latency_s=0.0166,
+    transfer_bytes_per_s=1_000_000,
+)
+
+
+class OpticalDisk(SimulatedDisk):
+    """A write-once (WORM) optical disk."""
+
+    def __init__(
+        self, geometry: DiskGeometry = OPTICAL_GEOMETRY, name: str = "optical"
+    ) -> None:
+        super().__init__(geometry, name=name)
+        self._written: list[Extent] = []
+
+    def _check_write_allowed(self, extent: Extent) -> None:
+        for written in self._written:
+            if extent.offset < written.end and written.offset < extent.end:
+                raise WriteOnceViolationError(
+                    f"{self.name}: extent {extent} overlaps written {written}"
+                )
+
+    def _write_at(self, extent: Extent, data: bytes) -> float:
+        service = super()._write_at(extent, data)
+        self._written.append(extent)
+        return service

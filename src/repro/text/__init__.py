@@ -1,0 +1,37 @@
+"""Text substrate: declarative markup, formatting, pagination, search.
+
+"MINOS supports text presentation facilities similar to those that are
+provided by text formatters" — character emphasis, paragraphing,
+indenting — driven by a declarative tag language in the spirit of
+Scribe/TeX-era formatters (the paper cites Reid's Scribe and Knuth's
+TeX).  The same tags that format the text also identify its logical
+components, which is where the logical browsing menu comes from.
+"""
+
+from repro.text.markup import (
+    Block,
+    BlockKind,
+    Document,
+    StyledRun,
+    TextStyle,
+    parse_markup,
+)
+from repro.text.formatter import FormattedLine, TextFormatter
+from repro.text.pagination import PageElement, Paginator, VisualPage
+from repro.text.search import TextSearchIndex, tokenize
+
+__all__ = [
+    "Block",
+    "BlockKind",
+    "Document",
+    "FormattedLine",
+    "PageElement",
+    "Paginator",
+    "StyledRun",
+    "TextFormatter",
+    "TextSearchIndex",
+    "TextStyle",
+    "VisualPage",
+    "parse_markup",
+    "tokenize",
+]

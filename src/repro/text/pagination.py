@@ -1,0 +1,196 @@
+"""Visual pages.
+
+"The presentation form of text is subdivided into text pages.  A text
+page is all the text information which is presented at the same time at
+the screen of the workstation.  Often text is intermixed with images in
+the same page.  We call these generic pages visual pages."
+
+The paginator packs formatted lines and embedded images into pages of a
+fixed line height.  An optional *reserved top region* supports pinned
+visual logical messages (Figures 3-4): the related text flows through
+the remaining lower region page after page while the message stays put.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import PaginationError
+from repro.text.formatter import FormattedLine, LineKind
+
+
+class PageElementKind(enum.Enum):
+    """What occupies a vertical slice of a visual page."""
+
+    LINE = "line"
+    IMAGE = "image"
+
+
+@dataclass
+class PageElement:
+    """One vertical slice of a page: a line of text or an image region."""
+
+    kind: PageElementKind
+    line: FormattedLine | None = None
+    image_tag: str = ""
+    height_lines: int = 1
+
+
+@dataclass
+class VisualPage:
+    """One visual page of the presentation form.
+
+    ``char_start``/``char_end`` delimit the plain-text span shown on
+    this page (for mapping search hits and logical units to pages);
+    ``image_tags`` lists the embedded images.
+    """
+
+    number: int
+    elements: list[PageElement] = field(default_factory=list)
+    char_start: int = 0
+    char_end: int = 0
+    image_tags: list[str] = field(default_factory=list)
+
+    @property
+    def height_lines(self) -> int:
+        """Occupied height, in lines."""
+        return sum(e.height_lines for e in self.elements)
+
+    def rendered_text(self) -> str:
+        """The page's text content, one string per line, joined."""
+        parts: list[str] = []
+        for element in self.elements:
+            if element.kind is PageElementKind.LINE and element.line is not None:
+                parts.append(element.line.text)
+            else:
+                parts.append(f"[image {element.image_tag}]")
+        return "\n".join(parts)
+
+
+class Paginator:
+    """Packs formatted lines into visual pages.
+
+    Parameters
+    ----------
+    page_height:
+        Usable height of a page, in lines.
+    image_lines:
+        Callable mapping an image tag to the number of lines its
+        region occupies (defaults to 12 for every image).
+    """
+
+    def __init__(
+        self,
+        page_height: int = 40,
+        image_lines: Callable[[str], int] | None = None,
+    ) -> None:
+        if page_height < 4:
+            raise PaginationError(f"page height too small: {page_height}")
+        self._page_height = page_height
+        self._image_lines = image_lines or (lambda _tag: 12)
+
+    @property
+    def page_height(self) -> int:
+        """Usable page height in lines."""
+        return self._page_height
+
+    def paginate(
+        self, lines: list[FormattedLine], reserved_top: int = 0
+    ) -> list[VisualPage]:
+        """Build the page sequence.
+
+        ``reserved_top`` shrinks every page by that many lines, for a
+        pinned visual logical message occupying the top region.
+
+        Raises
+        ------
+        PaginationError
+            If the reservation leaves no room, or an image is taller
+            than a whole page.
+        """
+        usable = self._page_height - reserved_top
+        if usable < 2:
+            raise PaginationError(
+                f"reserved top region of {reserved_top} lines leaves no room "
+                f"on a {self._page_height}-line page"
+            )
+        pages: list[VisualPage] = []
+        current = VisualPage(number=1)
+        used = 0
+        char_min: int | None = None
+        char_max: int | None = None
+
+        def close_page() -> None:
+            nonlocal current, used, char_min, char_max
+            current.char_start = char_min if char_min is not None else 0
+            current.char_end = char_max if char_max is not None else current.char_start
+            pages.append(current)
+            current = VisualPage(number=len(pages) + 1)
+            used = 0
+            char_min = char_max = None
+
+        for line in lines:
+            height = (
+                self._image_lines(line.image_tag)
+                if line.kind is LineKind.IMAGE
+                else 1
+            )
+            if line.kind is LineKind.IMAGE and height > usable:
+                raise PaginationError(
+                    f"image {line.image_tag!r} needs {height} lines but pages "
+                    f"have only {usable}"
+                )
+            if used + height > usable:
+                close_page()
+            if line.kind is LineKind.BLANK and used == 0:
+                continue  # never start a page with a blank line
+            if line.kind is LineKind.IMAGE:
+                current.elements.append(
+                    PageElement(
+                        PageElementKind.IMAGE,
+                        image_tag=line.image_tag,
+                        height_lines=height,
+                    )
+                )
+                current.image_tags.append(line.image_tag)
+            else:
+                current.elements.append(PageElement(PageElementKind.LINE, line=line))
+                if line.end > line.start:
+                    char_min = line.start if char_min is None else min(char_min, line.start)
+                    char_max = line.end if char_max is None else max(char_max, line.end)
+            used += height
+        if current.elements:
+            close_page()
+        if not pages:
+            pages.append(VisualPage(number=1))
+        return pages
+
+
+class PageMap:
+    """Maps plain-text character offsets to page numbers."""
+
+    def __init__(self, pages: list[VisualPage]) -> None:
+        self._pages = pages
+        self._boundaries = [p.char_start for p in pages]
+
+    def page_for_offset(self, offset: int) -> int:
+        """The 1-based number of the page showing character ``offset``.
+
+        Offsets between pages (markup consumed by formatting) map to
+        the page whose span begins at or before them.
+        """
+        if not self._pages:
+            raise PaginationError("empty page list")
+        i = bisect_right(self._boundaries, offset) - 1
+        if i < 0:
+            return 1
+        # Prefer the page that actually covers the offset.
+        while i + 1 < len(self._pages) and self._pages[i].char_end <= offset:
+            if self._pages[i + 1].char_start <= offset:
+                i += 1
+            else:
+                break
+        return self._pages[i].number

@@ -1,0 +1,121 @@
+"""Pattern matching over text — and, symmetrically, recognized voice.
+
+"The third type of browsing on text and voice information is based on
+pattern matching.  A user types a text pattern or speaks a voice
+pattern which is recognized, and the system returns the next page with
+the occurrence of this pattern in the object's text or voice."
+
+The index here is the *same access method* for both media: it maps
+terms to positions, where a position is a character offset for text and
+a second offset for recognized voice.  Phrase patterns match positions
+of consecutive terms.
+"""
+
+from __future__ import annotations
+
+import re
+from bisect import bisect_right
+from collections import defaultdict
+
+from repro.errors import QueryError
+
+_TOKEN = re.compile(r"[\w'-]+")
+
+
+def tokenize(text: str) -> list[tuple[str, int]]:
+    """Lowercased word tokens of ``text`` with their character offsets."""
+    return [(m.group(0).lower(), m.start()) for m in _TOKEN.finditer(text)]
+
+
+class TextSearchIndex:
+    """An inverted index over (term, position) pairs.
+
+    Positions may be character offsets (text) or times in seconds
+    (recognized voice); the index only requires that they order the
+    occurrences.
+    """
+
+    def __init__(self, postings: dict[str, list[float]]) -> None:
+        self._postings: dict[str, list[float]] = {
+            term: sorted(positions) for term, positions in postings.items()
+        }
+        self._sequence = sorted(
+            (position, term)
+            for term, positions in self._postings.items()
+            for position in positions
+        )
+
+    @classmethod
+    def from_text(cls, text: str) -> "TextSearchIndex":
+        """Index a plain-text string by character offset."""
+        postings: dict[str, list[float]] = defaultdict(list)
+        for term, offset in tokenize(text):
+            postings[term].append(float(offset))
+        return cls(dict(postings))
+
+    @classmethod
+    def from_utterances(cls, utterances) -> "TextSearchIndex":
+        """Index recognized utterances by time offset.
+
+        Accepts any iterable of objects with ``term`` and ``time``
+        attributes (:class:`repro.audio.recognition.RecognizedUtterance`).
+        """
+        postings: dict[str, list[float]] = defaultdict(list)
+        for utterance in utterances:
+            postings[utterance.term.lower()].append(float(utterance.time))
+        return cls(dict(postings))
+
+    def __len__(self) -> int:
+        return len(self._sequence)
+
+    @property
+    def vocabulary(self) -> set[str]:
+        """All indexed terms."""
+        return set(self._postings)
+
+    def occurrences(self, pattern: str) -> list[float]:
+        """All positions where ``pattern`` occurs.
+
+        Single-word patterns return the term's postings.  Multi-word
+        patterns match consecutive indexed terms and return the
+        position of the first word of each match.
+
+        Raises
+        ------
+        QueryError
+            If the pattern contains no searchable words.
+        """
+        terms = [t for t, _ in tokenize(pattern)]
+        if not terms:
+            raise QueryError(f"pattern {pattern!r} contains no words")
+        if len(terms) == 1:
+            return list(self._postings.get(terms[0], ()))
+        return self._phrase_occurrences(terms)
+
+    def _phrase_occurrences(self, terms: list[str]) -> list[float]:
+        if any(term not in self._postings for term in terms):
+            return []
+        sequence_terms = [term for _, term in self._sequence]
+        positions = [position for position, _ in self._sequence]
+        n = len(terms)
+        hits: list[float] = []
+        for i in range(len(sequence_terms) - n + 1):
+            if sequence_terms[i : i + n] == terms:
+                hits.append(positions[i])
+        return hits
+
+    def next_occurrence(self, pattern: str, after: float) -> float | None:
+        """First occurrence of ``pattern`` strictly after position ``after``.
+
+        This backs the browsing command "return the next page with the
+        occurrence of this pattern".
+        """
+        occurrences = self.occurrences(pattern)
+        i = bisect_right(occurrences, after)
+        if i >= len(occurrences):
+            return None
+        return occurrences[i]
+
+    def count(self, pattern: str) -> int:
+        """Number of occurrences of ``pattern``."""
+        return len(self.occurrences(pattern))

@@ -1,0 +1,57 @@
+"""The virtual speaker: voice output bound to clock and trace."""
+
+from __future__ import annotations
+
+from repro.audio.player import AudioPlayer
+from repro.audio.signal import Recording
+from repro.clock import SimClock
+from repro.trace import EventKind, Trace
+
+
+class AudioOutput:
+    """Creates players and plays short recordings to completion.
+
+    The main object voice part is driven interactively through an
+    :class:`~repro.audio.player.AudioPlayer` the browsing session owns;
+    this class additionally serves the fire-and-forget playback needed
+    by logical messages, voice labels and tour stops.
+    """
+
+    def __init__(self, clock: SimClock, trace: Trace) -> None:
+        self._clock = clock
+        self._trace = trace
+
+    def player(self, recording: Recording, label: str) -> AudioPlayer:
+        """Create an interactive player for a recording."""
+        return AudioPlayer(recording, self._clock, self._trace, label=label)
+
+    def play_to_end(self, recording: Recording, label: str) -> float:
+        """Play a whole recording, advancing the clock by its duration.
+
+        Returns the recording duration.
+        """
+        player = AudioPlayer(recording, self._clock, self._trace, label=label)
+        player.play_through()
+        return recording.duration
+
+    def play_message(self, recording: Recording, message_id: str) -> float:
+        """Play a voice logical message (traced distinctly)."""
+        self._trace.record(
+            self._clock.now,
+            EventKind.PLAY_MESSAGE,
+            message=message_id,
+            duration_s=round(recording.duration, 3),
+        )
+        self._clock.advance(recording.duration)
+        return recording.duration
+
+    def play_label(self, recording: Recording, label_text: str) -> float:
+        """Play a voice label (traced distinctly)."""
+        self._trace.record(
+            self._clock.now,
+            EventKind.PLAY_LABEL,
+            label=label_text,
+            duration_s=round(recording.duration, 3),
+        )
+        self._clock.advance(recording.duration)
+        return recording.duration

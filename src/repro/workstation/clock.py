@@ -1,0 +1,10 @@
+"""Compatibility re-export; the clock lives at :mod:`repro.clock`.
+
+The clock is foundational (the audio substrate uses it too), so its
+implementation sits outside the workstation package to keep the import
+graph acyclic.
+"""
+
+from repro.clock import SimClock
+
+__all__ = ["SimClock"]

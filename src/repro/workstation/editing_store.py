@@ -1,0 +1,86 @@
+"""Workstation-side storage for editing-state objects.
+
+Section 5: "The workstations may have some disk devices associated with
+them.  Some of the disks may be shared among workstations.  Multimedia
+objects in an editing state are stored in those disks.  Retrieval is
+done by name.  The user edits only a number of these objects at any
+point in time and he can easily recall their names."
+
+The store serializes through the same formatter machinery the archiver
+uses (no duplicated software), onto a rewritable magnetic disk — saving
+the same name again simply rewrites.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FormationError, ObjectNotFoundError
+from repro.formatter.archive import pack_archived, unpack_archived
+from repro.formatter.builder import ObjectFormatter, rebuild_object
+from repro.objects.model import MultimediaObject, ObjectState
+from repro.storage.blockdev import Extent
+from repro.storage.magnetic import MagneticDisk
+
+
+class EditingStore:
+    """Named storage of editing-state objects on a workstation disk."""
+
+    def __init__(self, disk: MagneticDisk | None = None) -> None:
+        self._disk = disk or MagneticDisk()
+        self._extents: dict[str, Extent] = {}
+        self._formatter = ObjectFormatter()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._extents
+
+    def names(self) -> list[str]:
+        """All stored object names, sorted (easy to recall)."""
+        return sorted(self._extents)
+
+    def save(self, name: str, obj: MultimediaObject) -> float:
+        """Store an editing-state object under ``name``.
+
+        Returns the simulated disk service time.  Saving an existing
+        name replaces the previous copy (magnetic disks rewrite).
+
+        Raises
+        ------
+        FormationError
+            If the object is already archived — archived objects belong
+            to the server, not the workstation disk.
+        """
+        if obj.state is ObjectState.ARCHIVED:
+            raise FormationError(
+                f"object {obj.object_id} is archived; it lives in the "
+                "archiver, not the workstation editing store"
+            )
+        formed = self._formatter.form(obj)
+        packed = pack_archived(formed.descriptor, formed.composition)
+        extent, service = self._disk.append(packed.data)
+        self._extents[name] = extent
+        return service
+
+    def load(self, name: str) -> tuple[MultimediaObject, float]:
+        """Retrieve an editing-state object by name.
+
+        Returns the object (in the EDITING state, ready for further
+        editing) and the simulated service time.
+
+        Raises
+        ------
+        ObjectNotFoundError
+            If the name is unknown.
+        """
+        extent = self._extents.get(name)
+        if extent is None:
+            raise ObjectNotFoundError(f"no editing object named {name!r}")
+        data, service = self._disk.read(extent)
+        descriptor, composition = unpack_archived(data)
+        obj = rebuild_object(descriptor, composition)
+        obj.state = ObjectState.EDITING  # back on the workbench
+        return obj, service
+
+    def discard(self, name: str) -> None:
+        """Forget a stored object (space is reclaimed lazily)."""
+        if name not in self._extents:
+            raise ObjectNotFoundError(f"no editing object named {name!r}")
+        del self._extents[name]

@@ -1,0 +1,10 @@
+"""Compatibility re-export; the trace lives at :mod:`repro.trace`.
+
+The trace is foundational (the audio substrate records onto it too),
+so its implementation sits outside the workstation package to keep the
+import graph acyclic.
+"""
+
+from repro.trace import EventKind, Trace, TraceEvent
+
+__all__ = ["EventKind", "Trace", "TraceEvent"]

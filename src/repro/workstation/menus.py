@@ -1,0 +1,48 @@
+"""Menus.
+
+"The presentation and browsing functions which are available for each
+multimedia object depend on the object itself and they are presented in
+the form of menu options."  A menu is therefore *data*: the set of
+commands the current object and session state afford.  The browsing
+session rejects any command not on the menu, which is exactly the
+behaviour of a menu-driven UI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class MenuOption:
+    """One selectable operation."""
+
+    command: str
+    label: str
+
+
+class Menu:
+    """An ordered set of menu options keyed by command name."""
+
+    def __init__(self, options: list[MenuOption]) -> None:
+        self._options = list(options)
+        self._by_command = {option.command: option for option in self._options}
+
+    def __len__(self) -> int:
+        return len(self._options)
+
+    def __iter__(self) -> Iterator[MenuOption]:
+        return iter(self._options)
+
+    def __contains__(self, command: str) -> bool:
+        return command in self._by_command
+
+    @property
+    def commands(self) -> list[str]:
+        """Command names in display order."""
+        return [option.command for option in self._options]
+
+    def option(self, command: str) -> MenuOption | None:
+        """Look up an option by command name."""
+        return self._by_command.get(command)

@@ -1,0 +1,203 @@
+"""The virtual screen.
+
+The screen shows one visual page at a time.  It models the structures
+the paper's primitives need:
+
+* a **pinned top region** for visual logical messages ("they are always
+  displayed in the same page of the presentation form (top part)")
+  while the lower region pages through related content;
+* a **compositing surface** for transparencies and overwrites, so a
+  stack of superimposed transparencies over a base bitmap is an actual
+  raster whose pixels tests can check;
+* **relevant-object indicators** displayed alongside the page;
+* the current **menu** of available operations.
+
+Every state change is recorded on the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.images.bitmap import Bitmap
+from repro.images.canvas import Canvas
+from repro.clock import SimClock
+from repro.trace import EventKind, Trace
+
+
+@dataclass
+class ScreenRegion:
+    """A named region of the display with text or image content."""
+
+    name: str
+    text: str = ""
+    bitmap: Bitmap | None = None
+
+
+class Screen:
+    """Display state of the workstation.
+
+    Parameters
+    ----------
+    clock, trace:
+        Shared simulated clock and event trace.
+    text_lines:
+        Height of the text display in lines (the paginator's page
+        height should match).
+    pixel_width, pixel_height:
+        Size of the image compositing surface.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        trace: Trace,
+        text_lines: int = 40,
+        pixel_width: int = 1024,
+        pixel_height: int = 800,
+    ) -> None:
+        self._clock = clock
+        self._trace = trace
+        self.text_lines = text_lines
+        self.pixel_width = pixel_width
+        self.pixel_height = pixel_height
+        self._page_number: int | None = None
+        self._page_text: str = ""
+        self._pinned: ScreenRegion | None = None
+        self._canvas: Canvas | None = None
+        self._transparency_depth = 0
+        self._indicators: list[dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # introspection (what tests assert on)
+    # ------------------------------------------------------------------
+
+    @property
+    def page_number(self) -> int | None:
+        """Number of the currently displayed page, if any."""
+        return self._page_number
+
+    @property
+    def page_text(self) -> str:
+        """Rendered text of the lower (flowing) region."""
+        return self._page_text
+
+    @property
+    def pinned(self) -> ScreenRegion | None:
+        """The pinned top region, when a visual message is displayed."""
+        return self._pinned
+
+    @property
+    def composite(self) -> Bitmap | None:
+        """Snapshot of the image compositing surface."""
+        return self._canvas.snapshot() if self._canvas is not None else None
+
+    @property
+    def transparency_depth(self) -> int:
+        """How many transparencies are currently superimposed."""
+        return self._transparency_depth
+
+    @property
+    def indicators(self) -> list[dict[str, Any]]:
+        """Relevant-object indicators currently on display."""
+        return list(self._indicators)
+
+    # ------------------------------------------------------------------
+    # page display
+    # ------------------------------------------------------------------
+
+    def show_page(self, number: int, text: str, **detail: Any) -> None:
+        """Display a visual page's text in the flowing region."""
+        self._page_number = number
+        self._page_text = text
+        self._trace.record(
+            self._clock.now, EventKind.DISPLAY_PAGE, page=number, **detail
+        )
+
+    def show_image_page(self, number: int, bitmap: Bitmap, **detail: Any) -> None:
+        """Display a page devoted to an image; resets the compositing
+        surface to that image."""
+        self._page_number = number
+        self._canvas = Canvas.from_bitmap(bitmap)
+        self._transparency_depth = 0
+        self._trace.record(
+            self._clock.now,
+            EventKind.DISPLAY_PAGE,
+            page=number,
+            image=True,
+            **detail,
+        )
+
+    def clear(self) -> None:
+        """Clear all display state."""
+        self._page_number = None
+        self._page_text = ""
+        self._pinned = None
+        self._canvas = None
+        self._transparency_depth = 0
+        self._indicators.clear()
+        self._trace.record(self._clock.now, EventKind.CLEAR_SCREEN)
+
+    # ------------------------------------------------------------------
+    # pinned visual messages
+    # ------------------------------------------------------------------
+
+    def pin(self, name: str, text: str = "", bitmap: Bitmap | None = None) -> None:
+        """Pin a visual logical message to the top region."""
+        self._pinned = ScreenRegion(name=name, text=text, bitmap=bitmap)
+        self._trace.record(self._clock.now, EventKind.PIN_MESSAGE, message=name)
+
+    def unpin(self) -> None:
+        """Remove the pinned region, if any."""
+        if self._pinned is not None:
+            name = self._pinned.name
+            self._pinned = None
+            self._trace.record(self._clock.now, EventKind.UNPIN_MESSAGE, message=name)
+
+    # ------------------------------------------------------------------
+    # compositing
+    # ------------------------------------------------------------------
+
+    def ensure_canvas(self, width: int, height: int) -> None:
+        """Make sure a compositing surface of at least this size exists."""
+        if (
+            self._canvas is None
+            or self._canvas.width < width
+            or self._canvas.height < height
+        ):
+            self._canvas = Canvas(width, height)
+            self._transparency_depth = 0
+
+    def superimpose(self, overlay: Bitmap, name: str) -> None:
+        """Superimpose a transparency on the compositing surface."""
+        self.ensure_canvas(overlay.width, overlay.height)
+        assert self._canvas is not None
+        self._canvas.superimpose(overlay)
+        self._transparency_depth += 1
+        self._trace.record(self._clock.now, EventKind.SUPERIMPOSE, transparency=name)
+
+    def overwrite(self, overlay: Bitmap, name: str) -> None:
+        """Apply an overwrite page to the compositing surface."""
+        self.ensure_canvas(overlay.width, overlay.height)
+        assert self._canvas is not None
+        self._canvas.overwrite(overlay)
+        self._trace.record(self._clock.now, EventKind.OVERWRITE, page=name)
+
+    def reset_composite(self, base: Bitmap | None) -> None:
+        """Reset the compositing surface to a base bitmap (or blank)."""
+        if base is not None:
+            self._canvas = Canvas.from_bitmap(base)
+        else:
+            self._canvas = None
+        self._transparency_depth = 0
+
+    # ------------------------------------------------------------------
+    # indicators
+    # ------------------------------------------------------------------
+
+    def show_indicators(self, indicators: list[dict[str, Any]]) -> None:
+        """Display the set of relevant-object indicators."""
+        self._indicators = list(indicators)
+        for indicator in self._indicators:
+            self._trace.record(self._clock.now, EventKind.SHOW_INDICATOR, **indicator)

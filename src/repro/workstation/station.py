@@ -1,0 +1,34 @@
+"""The workstation bundle: clock + trace + screen + speaker."""
+
+from __future__ import annotations
+
+from repro.workstation.audio_out import AudioOutput
+from repro.clock import SimClock
+from repro.trace import Trace
+from repro.workstation.screen import Screen
+
+
+class Workstation:
+    """One user's workstation.
+
+    Creating a workstation wires a fresh clock, trace, screen and audio
+    output together.  The presentation manager presents objects *onto*
+    a workstation; multiple workstations can share one object server.
+    """
+
+    def __init__(
+        self,
+        text_lines: int = 40,
+        pixel_width: int = 1024,
+        pixel_height: int = 800,
+    ) -> None:
+        self.clock = SimClock()
+        self.trace = Trace()
+        self.screen = Screen(
+            self.clock,
+            self.trace,
+            text_lines=text_lines,
+            pixel_width=pixel_width,
+            pixel_height=pixel_height,
+        )
+        self.audio = AudioOutput(self.clock, self.trace)

@@ -1,0 +1,96 @@
+"""Session statistics derived from the trace.
+
+The paper's motivation is "to increase the man-machine communication
+bandwidth".  This module turns a workstation trace into the numbers
+that make such comparisons possible: how much was shown and heard, how
+much time the presentation occupied, how many bytes moved from the
+server.  Benchmarks use it to compare presentation styles (e.g. a
+transparency walkthrough vs sequential text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.trace import EventKind, Trace
+
+
+@dataclass
+class SessionStats:
+    """Aggregate measures of one browsing session."""
+
+    pages_displayed: int = 0
+    distinct_pages: int = 0
+    voice_plays: int = 0
+    voice_seconds: float = 0.0
+    messages_played: int = 0
+    labels_played: int = 0
+    transparencies: int = 0
+    overwrites: int = 0
+    sim_pages: int = 0
+    search_hits: int = 0
+    commands: int = 0
+    bytes_transferred: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def media_events(self) -> int:
+        """All distinct show/play actions the user experienced."""
+        return (
+            self.pages_displayed
+            + self.voice_plays
+            + self.messages_played
+            + self.labels_played
+            + self.transparencies
+            + self.overwrites
+        )
+
+    @property
+    def bandwidth_events_per_minute(self) -> float:
+        """Media events per simulated minute — the paper's
+        "communication bandwidth" proxy."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.media_events / (self.elapsed_s / 60.0)
+
+
+def summarize(trace: Trace) -> SessionStats:
+    """Compute session statistics from a trace."""
+    stats = SessionStats()
+    pages: set[int] = set()
+    last_time = 0.0
+    for event in trace:
+        last_time = max(last_time, event.time)
+        kind = event.kind
+        if kind is EventKind.DISPLAY_PAGE:
+            stats.pages_displayed += 1
+            pages.add(event.detail.get("page", -1))
+        elif kind is EventKind.PLAY_VOICE or kind is EventKind.RESUME_VOICE:
+            stats.voice_plays += 1
+        elif kind is EventKind.PLAY_MESSAGE:
+            stats.messages_played += 1
+            stats.voice_seconds += float(event.detail.get("duration_s", 0.0))
+        elif kind is EventKind.PLAY_LABEL:
+            stats.labels_played += 1
+            stats.voice_seconds += float(event.detail.get("duration_s", 0.0))
+        elif kind is EventKind.SUPERIMPOSE:
+            stats.transparencies += 1
+        elif kind is EventKind.OVERWRITE:
+            stats.overwrites += 1
+        elif kind is EventKind.SIM_PAGE:
+            stats.sim_pages += 1
+        elif kind is EventKind.SEARCH_HIT:
+            stats.search_hits += 1
+        elif kind is EventKind.COMMAND:
+            stats.commands += 1
+        elif kind is EventKind.TRANSFER:
+            stats.bytes_transferred += int(event.detail.get("bytes", 0))
+    # Interrupt events carry the position actually heard; approximate
+    # listened time from interrupts and explicit durations.
+    for event in trace.of_kind(EventKind.INTERRUPT_VOICE):
+        stats.voice_seconds = max(
+            stats.voice_seconds, float(event.detail.get("at_s", 0.0))
+        )
+    stats.distinct_pages = len(pages)
+    stats.elapsed_s = last_time
+    return stats

@@ -1,0 +1,53 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.audio.signal import SpeakerProfile, synthesize_speech
+from repro.ids import IdGenerator
+from repro.workstation.station import Workstation
+
+
+@pytest.fixture
+def generator() -> IdGenerator:
+    """A fresh deterministic id generator."""
+    return IdGenerator("test")
+
+
+@pytest.fixture
+def workstation() -> Workstation:
+    """A fresh virtual workstation."""
+    return Workstation()
+
+
+@pytest.fixture(scope="session")
+def short_speech():
+    """A small recording with two paragraphs (session-cached)."""
+    return synthesize_speech(
+        "Hello world today. This is a short test.\n\n"
+        "Second paragraph speaks here. It also has two sentences.",
+        seed=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def two_speaker_recordings():
+    """The same script voiced by a fast and a slow speaker."""
+    script = (
+        "The optical disk stores voice and images.\n\n"
+        "The magnetic disk caches the busiest objects.\n\n"
+        "The network ships only the bytes a view needs."
+    )
+    fast = SpeakerProfile(
+        name="fast", syllable_duration=0.12, word_gap=0.07,
+        sentence_gap=0.3, paragraph_gap=0.8, jitter=0.1,
+    )
+    slow = SpeakerProfile(
+        name="slow", syllable_duration=0.2, word_gap=0.18,
+        sentence_gap=0.6, paragraph_gap=1.6, jitter=0.1,
+    )
+    return (
+        synthesize_speech(script, profile=fast, seed=2),
+        synthesize_speech(script, profile=slow, seed=3),
+    )

@@ -1,0 +1,138 @@
+"""Anchors and logical-message models."""
+
+import pytest
+
+from repro.audio.signal import synthesize_speech
+from repro.errors import DescriptorError
+from repro.ids import SegmentId
+from repro.objects.anchors import (
+    TextAnchor,
+    VoiceAnchor,
+    VoicePointAnchor,
+)
+from repro.objects.messages import (
+    VisualMessage,
+    VisualMessageContent,
+    VoiceMessage,
+)
+
+SEG = SegmentId("seg-1")
+OTHER = SegmentId("seg-2")
+
+
+class TestTextAnchor:
+    def test_span_validation(self):
+        with pytest.raises(ValueError):
+            TextAnchor(SEG, 5, 3)
+        with pytest.raises(ValueError):
+            TextAnchor(SEG, -1, 3)
+
+    def test_coincident_points_allowed(self):
+        anchor = TextAnchor(SEG, 7, 7)
+        assert anchor.covers(7)
+        assert not anchor.covers(8)
+
+    def test_covers_half_open(self):
+        anchor = TextAnchor(SEG, 10, 20)
+        assert anchor.covers(10)
+        assert anchor.covers(19)
+        assert not anchor.covers(20)
+
+    def test_overlaps(self):
+        anchor = TextAnchor(SEG, 10, 20)
+        assert anchor.overlaps(15, 25)
+        assert anchor.overlaps(0, 11)
+        assert not anchor.overlaps(20, 30)
+        assert not anchor.overlaps(0, 10)
+
+    def test_zero_length_overlaps(self):
+        anchor = TextAnchor(SEG, 10, 10)
+        assert anchor.overlaps(5, 15)
+        assert not anchor.overlaps(10, 10)
+
+
+class TestVoiceAnchors:
+    def test_voice_anchor_covers(self):
+        anchor = VoiceAnchor(SEG, 2.0, 5.0)
+        assert anchor.covers(2.0)
+        assert anchor.covers(4.99)
+        assert not anchor.covers(5.0)
+
+    def test_voice_point_validation(self):
+        with pytest.raises(ValueError):
+            VoicePointAnchor(SEG, -1.0)
+
+
+class TestVoiceMessage:
+    def test_anchorless_allowed_for_stop_messages(self):
+        # Tour-stop and simulation-step messages play only when their
+        # stop is reached; they carry no branch anchors.
+        message = VoiceMessage(
+            message_id=None,
+            recording=synthesize_speech("m", seed=1),
+        )
+        assert message.anchors == []
+        assert message.anchors_covering_text(SEG, 0) == []
+
+    def test_anchors_covering_text(self):
+        message = VoiceMessage(
+            message_id=None,
+            recording=synthesize_speech("m", seed=1),
+            anchors=[TextAnchor(SEG, 0, 10), TextAnchor(OTHER, 0, 10)],
+        )
+        assert len(message.anchors_covering_text(SEG, 5)) == 1
+        assert message.anchors_covering_text(SEG, 15) == []
+
+    def test_anchors_covering_voice_span_and_point(self):
+        message = VoiceMessage(
+            message_id=None,
+            recording=synthesize_speech("m", seed=1),
+            anchors=[VoiceAnchor(SEG, 2.0, 4.0), VoicePointAnchor(SEG, 10.0)],
+        )
+        assert len(message.anchors_covering_voice(SEG, 3.0)) == 1
+        # Point anchors cover a 1-second neighbourhood after the point.
+        assert len(message.anchors_covering_voice(SEG, 10.5)) == 1
+        assert message.anchors_covering_voice(SEG, 11.5) == []
+
+    def test_overlapping_anchors_allowed(self):
+        # "Voice logical messages may be attached to overlapping text
+        # segments or images."
+        message = VoiceMessage(
+            message_id=None,
+            recording=synthesize_speech("m", seed=1),
+            anchors=[TextAnchor(SEG, 0, 20), TextAnchor(SEG, 10, 30)],
+        )
+        assert len(message.anchors_covering_text(SEG, 15)) == 2
+
+
+class TestVisualMessage:
+    def test_content_needs_something(self):
+        with pytest.raises(DescriptorError):
+            VisualMessageContent()
+
+    def test_anchorless_allowed_for_stop_messages(self):
+        message = VisualMessage(
+            message_id=None,
+            content=VisualMessageContent(text="hi"),
+        )
+        assert not message.covers_text(SEG, 0, 100)
+
+    def test_covers_text(self):
+        message = VisualMessage(
+            message_id=None,
+            content=VisualMessageContent(text="hi"),
+            anchors=[TextAnchor(SEG, 100, 200)],
+        )
+        assert message.covers_text(SEG, 150, 180)
+        assert message.covers_text(SEG, 50, 101)
+        assert not message.covers_text(SEG, 200, 300)
+        assert not message.covers_text(OTHER, 150, 180)
+
+    def test_covers_voice(self):
+        message = VisualMessage(
+            message_id=None,
+            content=VisualMessageContent(text="hi"),
+            anchors=[VoiceAnchor(SEG, 5.0, 9.0)],
+        )
+        assert message.covers_voice(SEG, 7.0)
+        assert not message.covers_voice(SEG, 9.5)

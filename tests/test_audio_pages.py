@@ -1,0 +1,67 @@
+"""Audio pages."""
+
+import numpy as np
+import pytest
+
+from repro.audio.pages import AudioPager
+from repro.audio.signal import Recording
+from repro.errors import AudioError
+
+
+def _silence(seconds: float, rate: int = 1000) -> Recording:
+    return Recording(
+        samples=np.zeros(int(seconds * rate), dtype=np.float32), sample_rate=rate
+    )
+
+
+class TestAudioPager:
+    def test_pages_are_consecutive_and_cover_everything(self):
+        recording = _silence(35.0)
+        pager = AudioPager(recording, page_seconds=10.0)
+        pages = pager.pages
+        assert pages[0].start == 0.0
+        for a, b in zip(pages, pages[1:]):
+            assert a.end == pytest.approx(b.start)
+        assert pages[-1].end == pytest.approx(recording.duration)
+
+    def test_approximately_constant_length(self):
+        pager = AudioPager(_silence(60.0), page_seconds=10.0)
+        assert len(pager) == 6
+        assert all(p.duration == pytest.approx(10.0) for p in pager.pages)
+
+    def test_short_tail_absorbed(self):
+        # 33s at 10s pages: 3s tail < half page is absorbed -> 3 pages.
+        pager = AudioPager(_silence(33.0), page_seconds=10.0)
+        assert len(pager) == 3
+        assert pager.pages[-1].duration == pytest.approx(13.0)
+
+    def test_long_tail_kept(self):
+        # 37s: 7s tail >= half page stays its own page.
+        pager = AudioPager(_silence(37.0), page_seconds=10.0)
+        assert len(pager) == 4
+        assert pager.pages[-1].duration == pytest.approx(7.0)
+
+    def test_page_lookup(self):
+        pager = AudioPager(_silence(30.0), page_seconds=10.0)
+        assert pager.page(2).number == 2
+        with pytest.raises(AudioError):
+            pager.page(0)
+        with pytest.raises(AudioError):
+            pager.page(4)
+
+    def test_page_at_position(self):
+        pager = AudioPager(_silence(30.0), page_seconds=10.0)
+        assert pager.page_at(0.0).number == 1
+        assert pager.page_at(15.0).number == 2
+        assert pager.page_at(29.99).number == 3
+        assert pager.page_at(-5).number == 1
+        assert pager.page_at(100).number == 3
+
+    def test_positive_page_seconds_required(self):
+        with pytest.raises(AudioError):
+            AudioPager(_silence(10.0), page_seconds=0)
+
+    def test_recording_shorter_than_page(self):
+        pager = AudioPager(_silence(3.0), page_seconds=10.0)
+        assert len(pager) == 1
+        assert pager.pages[0].duration == pytest.approx(3.0)

@@ -1,0 +1,122 @@
+"""The simulated voice output device."""
+
+import pytest
+
+from repro.audio.player import AudioPlayer, PlayerState
+from repro.clock import SimClock
+from repro.errors import PlaybackStateError
+from repro.trace import EventKind, Trace
+
+
+@pytest.fixture
+def setup(short_speech):
+    clock = SimClock()
+    trace = Trace()
+    player = AudioPlayer(short_speech, clock, trace, label="seg-1")
+    return player, clock, trace
+
+
+class TestPlayInterruptResume:
+    def test_initial_state(self, setup):
+        player, _, _ = setup
+        assert player.state is PlayerState.IDLE
+        assert player.position == 0.0
+
+    def test_play_then_interrupt_settles_position(self, setup):
+        player, clock, _ = setup
+        player.play()
+        clock.advance(2.0)
+        position = player.interrupt()
+        assert position == pytest.approx(2.0)
+        assert player.state is PlayerState.INTERRUPTED
+
+    def test_position_tracks_clock_while_playing(self, setup):
+        player, clock, _ = setup
+        player.play()
+        clock.advance(1.0)
+        assert player.position == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert player.position == pytest.approx(2.0)
+
+    def test_position_clamped_at_end(self, setup):
+        player, clock, _ = setup
+        player.play()
+        clock.advance(1000.0)
+        assert player.position == pytest.approx(player.recording.duration)
+
+    def test_double_play_rejected(self, setup):
+        player, _, _ = setup
+        player.play()
+        with pytest.raises(PlaybackStateError):
+            player.play()
+
+    def test_interrupt_when_idle_rejected(self, setup):
+        player, _, _ = setup
+        with pytest.raises(PlaybackStateError):
+            player.interrupt()
+
+    def test_resume_continues_from_interrupt(self, setup):
+        player, clock, _ = setup
+        player.play()
+        clock.advance(1.5)
+        player.interrupt()
+        player.resume()
+        clock.advance(0.5)
+        assert player.position == pytest.approx(2.0)
+
+    def test_trace_events(self, setup):
+        player, clock, trace = setup
+        player.play()
+        clock.advance(1.0)
+        player.interrupt()
+        player.resume()
+        kinds = [e.kind for e in trace]
+        assert kinds == [
+            EventKind.PLAY_VOICE,
+            EventKind.INTERRUPT_VOICE,
+            EventKind.RESUME_VOICE,
+        ]
+        assert all(e.detail["label"] == "seg-1" for e in trace)
+
+
+class TestSeek:
+    def test_seek_moves_position(self, setup):
+        player, _, trace = setup
+        player.seek(3.0)
+        assert player.position == pytest.approx(3.0)
+        assert trace.last().kind is EventKind.SEEK_VOICE
+
+    def test_seek_clamps(self, setup):
+        player, _, _ = setup
+        player.seek(-5.0)
+        assert player.position == 0.0
+        player.seek(1e9)
+        assert player.position == pytest.approx(player.recording.duration)
+
+    def test_seek_while_playing_rejected(self, setup):
+        player, _, _ = setup
+        player.play()
+        with pytest.raises(PlaybackStateError):
+            player.seek(1.0)
+
+
+class TestPlayThrough:
+    def test_play_through_advances_clock(self, setup):
+        player, clock, _ = setup
+        player.play_through()
+        assert clock.now == pytest.approx(player.recording.duration)
+        assert player.state is PlayerState.FINISHED
+
+    def test_partial_play_through(self, setup):
+        player, clock, _ = setup
+        player.play_through(seconds=1.0)
+        assert clock.now == pytest.approx(1.0)
+        assert player.state is PlayerState.INTERRUPTED
+        player.play_through()
+        assert clock.now == pytest.approx(player.recording.duration)
+
+    def test_play_after_finish_restarts(self, setup):
+        player, clock, _ = setup
+        player.play_through()
+        player.play()
+        assert player.position < player.recording.duration

@@ -1,0 +1,85 @@
+"""The simulated limited-vocabulary recognizer."""
+
+import numpy as np
+import pytest
+
+from repro.audio.recognition import VocabularyRecognizer
+from repro.audio.signal import Recording, synthesize_speech
+from repro.errors import RecognitionError
+
+
+@pytest.fixture(scope="module")
+def speech():
+    return synthesize_speech(
+        "the fracture extends toward the joint. "
+        "no fracture appears in the other joint.",
+        seed=7,
+    )
+
+
+class TestConfiguration:
+    def test_empty_vocabulary_rejected(self):
+        with pytest.raises(RecognitionError):
+            VocabularyRecognizer([])
+
+    def test_rates_validated(self):
+        with pytest.raises(RecognitionError):
+            VocabularyRecognizer(["a"], miss_rate=1.0)
+        with pytest.raises(RecognitionError):
+            VocabularyRecognizer(["a"], confusion_rate=-0.1)
+
+    def test_vocabulary_normalized(self):
+        recognizer = VocabularyRecognizer(["Fracture", "JOINT", "joint"])
+        assert recognizer.vocabulary == ["fracture", "joint"]
+
+
+class TestRecognition:
+    def test_perfect_recognizer_finds_all_occurrences(self, speech):
+        recognizer = VocabularyRecognizer(
+            ["fracture", "joint"], miss_rate=0.0, confusion_rate=0.0
+        )
+        utterances = recognizer.recognize(speech)
+        terms = [u.term for u in utterances]
+        assert terms.count("fracture") == 2
+        assert terms.count("joint") == 2
+
+    def test_times_match_ground_truth(self, speech):
+        recognizer = VocabularyRecognizer(
+            ["fracture"], miss_rate=0.0, confusion_rate=0.0
+        )
+        utterances = recognizer.recognize(speech)
+        truth = [w.start for w in speech.words if w.word == "fracture"]
+        assert [u.time for u in utterances] == pytest.approx(truth)
+
+    def test_out_of_vocabulary_ignored(self, speech):
+        recognizer = VocabularyRecognizer(["banana"], miss_rate=0.0)
+        assert recognizer.recognize(speech) == []
+
+    def test_misses_reduce_yield(self, speech):
+        full = VocabularyRecognizer(["the"], miss_rate=0.0, seed=1)
+        lossy = VocabularyRecognizer(["the"], miss_rate=0.6, seed=1)
+        assert len(lossy.recognize(speech)) < len(full.recognize(speech))
+
+    def test_confusions_substitute_within_vocabulary(self, speech):
+        recognizer = VocabularyRecognizer(
+            ["fracture", "joint"], miss_rate=0.0, confusion_rate=0.999, seed=2
+        )
+        utterances = recognizer.recognize(speech)
+        # Every detection is confused into the *other* word.
+        for utterance in utterances:
+            assert utterance.term in ("fracture", "joint")
+        truth = {w.start: w.word for w in speech.words}
+        assert all(truth[u.time] != u.term for u in utterances)
+
+    def test_reproducible_with_seed(self, speech):
+        a = VocabularyRecognizer(["the", "joint"], miss_rate=0.3, seed=5)
+        b = VocabularyRecognizer(["the", "joint"], miss_rate=0.3, seed=5)
+        assert a.recognize(speech) == b.recognize(speech)
+
+    def test_recording_without_transcript_rejected(self):
+        bare = Recording(
+            samples=np.zeros(1000, dtype=np.float32), sample_rate=8000
+        )
+        recognizer = VocabularyRecognizer(["x"])
+        with pytest.raises(RecognitionError):
+            recognizer.recognize(bare)

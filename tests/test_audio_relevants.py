@@ -1,0 +1,159 @@
+"""Relevant objects on audio mode objects, and remaining compile gaps.
+
+"One important use is to allow the user to browse through related
+information which has been inserted into the computer system using
+various modes (e.g. primarily visual or primarily audio)."
+"""
+
+import pytest
+
+from repro.audio.signal import synthesize_speech
+from repro.core.browsing import BrowseCommand
+from repro.core.manager import LocalStore, PresentationManager
+from repro.ids import IdGenerator
+from repro.objects import (
+    DrivingMode,
+    MultimediaObject,
+    PresentationSpec,
+    TextFlow,
+    TextSegment,
+)
+from repro.objects.anchors import VoiceAnchor
+from repro.objects.parts import VoiceSegment
+from repro.objects.relationships import RelevantLink
+from repro.scenarios._textgen import paragraphs
+from repro.workstation.station import Workstation
+
+
+@pytest.fixture
+def cross_mode_rig():
+    """An audio parent whose relevant object is a visual report."""
+    generator = IdGenerator("xmode")
+
+    visual = MultimediaObject(
+        object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+    )
+    segment = TextSegment(
+        segment_id=generator.segment_id(),
+        markup="@title{Written Findings}\n" + "\n\n".join(paragraphs(3, seed=95)),
+    )
+    visual.add_text_segment(segment)
+    visual.presentation = PresentationSpec(items=[TextFlow(segment.segment_id)])
+    visual.archive()
+
+    audio = MultimediaObject(
+        object_id=generator.object_id(), driving_mode=DrivingMode.AUDIO
+    )
+    recording = synthesize_speech(
+        "the dictated half of the case file.\n\nsee the written findings too.",
+        seed=96,
+    )
+    voice = VoiceSegment(segment_id=generator.segment_id(), recording=recording)
+    audio.add_voice_segment(voice)
+    audio.presentation = PresentationSpec(audio_order=[voice.segment_id])
+    # The indicator shows only during the second paragraph of speech.
+    anchor_start = recording.paragraph_ends[0]
+    audio.add_relevant_link(
+        RelevantLink(
+            indicator_id=generator.indicator_id(),
+            label="written findings",
+            target_object_id=visual.object_id,
+            parent_anchor=VoiceAnchor(
+                voice.segment_id, anchor_start, recording.duration
+            ),
+        )
+    )
+    audio.archive()
+
+    workstation = Workstation()
+    store = LocalStore()
+    store.add(audio)
+    store.add(visual)
+    manager = PresentationManager(store, workstation)
+    session = manager.open(audio.object_id)
+    return manager, session, workstation, audio, visual
+
+
+class TestCrossModeRelevants:
+    def test_indicator_scoped_to_voice_anchor(self, cross_mode_rig):
+        manager, session, _, audio, _ = cross_mode_rig
+        session.interrupt()
+        # At the beginning: outside the anchored span, no indicator.
+        assert session.visible_indicators() == []
+        # Seek into the second paragraph: the indicator appears.
+        anchor = audio.relevant_links[0].parent_anchor
+        session.resume()
+        session.play_for(anchor.start + 0.5)
+        session.interrupt()
+        indicators = session.visible_indicators()
+        assert [i["label"] for i in indicators] == ["written findings"]
+
+    def test_branching_opens_visual_session(self, cross_mode_rig):
+        manager, session, _, audio, visual = cross_mode_rig
+        anchor = audio.relevant_links[0].parent_anchor
+        session.play_for(anchor.start + 0.5)
+        session.interrupt()
+        indicator = session.visible_indicators()[0]["indicator"]
+        child = session.execute(BrowseCommand.SELECT_RELEVANT, indicator=indicator)
+        # "The driving mode of the relevant object may be different" —
+        # the child browses visually.
+        from repro.core.visual import VisualSession
+
+        assert isinstance(child, VisualSession)
+        assert child.object.object_id == visual.object_id
+        assert child.current_page_number == 1
+
+    def test_return_reestablishes_audio_mode(self, cross_mode_rig):
+        manager, session, workstation, audio, _ = cross_mode_rig
+        anchor = audio.relevant_links[0].parent_anchor
+        session.play_for(anchor.start + 0.5)
+        position = session.interrupt()
+        indicator = session.visible_indicators()[0]["indicator"]
+        child = manager.select_relevant(session, indicator)
+        back = manager.return_from_relevant(child)
+        assert back is session
+        # The audio position was preserved across the excursion.
+        assert back.position == pytest.approx(position)
+        assert not back.is_playing
+
+    def test_menu_offers_select_relevant_only_when_visible(self, cross_mode_rig):
+        _, session, _, audio, _ = cross_mode_rig
+        session.interrupt()
+        assert BrowseCommand.SELECT_RELEVANT.value not in session.menu.commands
+        anchor = audio.relevant_links[0].parent_anchor
+        session.resume()
+        session.play_for(anchor.start + 0.5)
+        session.interrupt()
+        assert BrowseCommand.SELECT_RELEVANT.value in session.menu.commands
+
+
+class TestCompileFallbacks:
+    def test_embedded_image_with_unknown_tag_gets_default_height(self, generator):
+        """@image tags that do not resolve to an image in the object
+        still paginate (12-line placeholder region)."""
+        from repro.core.compile import compile_visual_program
+
+        obj = MultimediaObject(
+            object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+        )
+        segment = TextSegment(
+            segment_id=generator.segment_id(),
+            markup="before\n@image{external-data-tag}\nafter",
+        )
+        obj.add_text_segment(segment)
+        obj.presentation = PresentationSpec(items=[TextFlow(segment.segment_id)])
+        program = compile_visual_program(obj, page_height=40)
+        page = program.pages[0]
+        element = next(
+            e for e in page.visual.elements if e.image_tag == "external-data-tag"
+        )
+        assert element.height_lines == 12
+
+    def test_empty_presentation_compiles_to_no_pages(self, generator):
+        from repro.core.compile import compile_visual_program
+
+        obj = MultimediaObject(
+            object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+        )
+        program = compile_visual_program(obj)
+        assert len(program) == 0

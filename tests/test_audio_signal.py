@@ -1,0 +1,113 @@
+"""Synthetic speech generation."""
+
+import numpy as np
+import pytest
+
+from repro.audio.signal import Recording, SpeakerProfile, synthesize_speech
+from repro.errors import AudioError
+
+
+class TestSpeakerProfile:
+    def test_gap_ordering_enforced(self):
+        with pytest.raises(AudioError):
+            SpeakerProfile(word_gap=0.5, sentence_gap=0.4, paragraph_gap=1.0)
+
+    def test_jitter_bounds(self):
+        with pytest.raises(AudioError):
+            SpeakerProfile(jitter=0.9)
+
+
+class TestSynthesize:
+    def test_empty_text_rejected(self):
+        with pytest.raises(AudioError):
+            synthesize_speech("   \n  ")
+
+    def test_word_annotations_cover_all_words(self):
+        recording = synthesize_speech("one two three. four five.", seed=1)
+        assert [w.word for w in recording.words] == [
+            "one", "two", "three", "four", "five",
+        ]
+
+    def test_word_times_are_ordered_and_inside(self):
+        recording = synthesize_speech("alpha beta gamma delta", seed=2)
+        previous_end = 0.0
+        for word in recording.words:
+            assert word.start >= previous_end - 1e-9
+            assert word.end <= recording.duration + 1e-9
+            assert word.duration > 0
+            previous_end = word.end
+
+    def test_paragraph_count(self, short_speech):
+        assert len(short_speech.paragraph_ends) == 2
+
+    def test_sentence_count(self, short_speech):
+        assert len(short_speech.sentence_ends) == 4
+
+    def test_deterministic_with_seed(self):
+        a = synthesize_speech("repeat me twice", seed=42)
+        b = synthesize_speech("repeat me twice", seed=42)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_different_seeds_differ(self):
+        a = synthesize_speech("repeat me twice", seed=1)
+        b = synthesize_speech("repeat me twice", seed=2)
+        assert not np.array_equal(a.samples, b.samples)
+
+    def test_speech_energy_exceeds_gap_energy(self):
+        recording = synthesize_speech("loud words here", seed=3)
+        word = recording.words[0]
+        rate = recording.sample_rate
+        speech = recording.samples[int(word.start * rate): int(word.end * rate)]
+        # The gap after word 0:
+        gap_start = recording.words[0].end
+        gap_end = recording.words[1].start
+        gap = recording.samples[int(gap_start * rate): int(gap_end * rate)]
+        assert np.abs(speech).mean() > 10 * (np.abs(gap).mean() + 1e-9)
+
+    def test_samples_within_unit_range(self):
+        recording = synthesize_speech("bounded amplitude always", seed=4)
+        assert float(np.abs(recording.samples).max()) <= 1.0
+
+    def test_speaker_name_recorded(self):
+        profile = SpeakerProfile(name="narrator")
+        recording = synthesize_speech("named speaker", profile=profile)
+        assert recording.speaker == "narrator"
+
+    def test_punctuation_normalized_in_words(self):
+        recording = synthesize_speech("Hello, world!", seed=5)
+        assert [w.word for w in recording.words] == ["hello", "world"]
+
+
+class TestRecording:
+    def test_duration(self, short_speech):
+        expected = len(short_speech.samples) / short_speech.sample_rate
+        assert short_speech.duration == pytest.approx(expected)
+
+    def test_nbytes_one_per_sample(self, short_speech):
+        assert short_speech.nbytes == len(short_speech.samples)
+
+    def test_slice_rebases_annotations(self, short_speech):
+        midpoint = short_speech.paragraph_ends[0]
+        tail = short_speech.slice(midpoint, short_speech.duration)
+        assert all(w.start >= 0 for w in tail.words)
+        assert tail.duration == pytest.approx(
+            short_speech.duration - midpoint, abs=0.01
+        )
+        # Only the second paragraph's words remain.
+        assert len(tail.words) < len(short_speech.words)
+
+    def test_empty_slice_rejected(self, short_speech):
+        with pytest.raises(AudioError):
+            short_speech.slice(5.0, 5.0)
+
+    def test_transcript_text(self):
+        recording = synthesize_speech("alpha beta", seed=1)
+        assert recording.transcript_text() == "alpha beta"
+
+    def test_mono_required(self):
+        with pytest.raises(AudioError):
+            Recording(samples=np.zeros((10, 2), dtype=np.float32), sample_rate=8000)
+
+    def test_positive_rate_required(self):
+        with pytest.raises(AudioError):
+            Recording(samples=np.zeros(10, dtype=np.float32), sample_rate=0)

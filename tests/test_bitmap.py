@@ -1,0 +1,94 @@
+"""Bitmaps."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ImageError
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Rect
+
+
+class TestConstruction:
+    def test_blank(self):
+        bitmap = Bitmap.blank(10, 6, fill=7)
+        assert bitmap.width == 10 and bitmap.height == 6
+        assert int(bitmap.pixels[0, 0]) == 7
+        assert bitmap.nbytes == 60
+
+    def test_blank_rejects_nonpositive(self):
+        with pytest.raises(ImageError):
+            Bitmap.blank(0, 5)
+
+    def test_from_function_clips_to_byte_range(self):
+        bitmap = Bitmap.from_function(4, 4, lambda x, y: x * 1000)
+        assert int(bitmap.pixels[0, 3]) == 255
+        assert int(bitmap.pixels[0, 0]) == 0
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ImageError):
+            Bitmap(np.zeros((2, 2, 3), dtype=np.uint8))
+
+    def test_dtype_coerced(self):
+        bitmap = Bitmap(np.ones((2, 2), dtype=np.int32))
+        assert bitmap.pixels.dtype == np.uint8
+
+
+class TestOperations:
+    def test_crop_matches_numpy_slice(self):
+        bitmap = Bitmap.from_function(20, 20, lambda x, y: x + y)
+        rect = Rect(3, 5, 6, 4)
+        crop = bitmap.crop(rect)
+        assert crop.width == 6 and crop.height == 4
+        assert np.array_equal(crop.pixels, bitmap.pixels[5:9, 3:9])
+
+    def test_crop_out_of_bounds_rejected(self):
+        with pytest.raises(ImageError):
+            Bitmap.blank(10, 10).crop(Rect(5, 5, 10, 10))
+
+    def test_crop_is_a_copy(self):
+        bitmap = Bitmap.blank(10, 10)
+        crop = bitmap.crop(Rect(0, 0, 5, 5))
+        crop.pixels[0, 0] = 99
+        assert int(bitmap.pixels[0, 0]) == 0
+
+    def test_paste(self):
+        base = Bitmap.blank(10, 10)
+        patch = Bitmap.blank(3, 3, fill=200)
+        base.paste(patch, 4, 5)
+        assert int(base.pixels[5, 4]) == 200
+        assert int(base.pixels[4, 4]) == 0
+
+    def test_paste_out_of_bounds_rejected(self):
+        with pytest.raises(ImageError):
+            Bitmap.blank(10, 10).paste(Bitmap.blank(5, 5), 8, 8)
+
+    def test_downsample_block_mean(self):
+        bitmap = Bitmap(np.array([[0, 0, 100, 100],
+                                  [0, 0, 100, 100]], dtype=np.uint8))
+        small = bitmap.downsample(2)
+        assert small.width == 2 and small.height == 1
+        assert int(small.pixels[0, 0]) == 0
+        assert int(small.pixels[0, 1]) == 100
+
+    def test_downsample_factor_one_copies(self):
+        bitmap = Bitmap.blank(4, 4, fill=9)
+        same = bitmap.downsample(1)
+        assert same.equals(bitmap)
+        same.pixels[0, 0] = 0
+        assert int(bitmap.pixels[0, 0]) == 9
+
+    def test_downsample_too_small_rejected(self):
+        with pytest.raises(ImageError):
+            Bitmap.blank(3, 3).downsample(5)
+
+    def test_downsample_drops_partial_blocks(self):
+        bitmap = Bitmap.blank(5, 5)
+        small = bitmap.downsample(2)
+        assert small.width == 2 and small.height == 2
+
+    def test_equals(self):
+        a = Bitmap.blank(3, 3, fill=1)
+        b = Bitmap.blank(3, 3, fill=1)
+        c = Bitmap.blank(3, 4, fill=1)
+        assert a.equals(b)
+        assert not a.equals(c)

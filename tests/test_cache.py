@@ -1,0 +1,77 @@
+"""The LRU byte cache."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.cache import LRUCache
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(100)
+        cache.put("a", b"data")
+        assert cache.get("a") == b"data"
+        assert cache.stats.hits == 1
+
+    def test_miss_counted(self):
+        cache = LRUCache(100)
+        assert cache.get("nope") is None
+        assert cache.stats.misses == 1
+
+    def test_eviction_is_lru(self):
+        cache = LRUCache(10)
+        cache.put("a", b"xxxx")
+        cache.put("b", b"yyyy")
+        cache.get("a")  # refresh a
+        cache.put("c", b"zzzz")  # evicts b, the least recently used
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_byte_budget_respected(self):
+        cache = LRUCache(10)
+        cache.put("a", b"12345")
+        cache.put("b", b"12345")
+        cache.put("c", b"12345")
+        assert cache.used_bytes <= 10
+
+    def test_oversize_entry_not_cached(self):
+        cache = LRUCache(10)
+        cache.put("big", b"x" * 100)
+        assert "big" not in cache
+        assert len(cache) == 0
+
+    def test_replacing_entry_updates_bytes(self):
+        cache = LRUCache(100)
+        cache.put("a", b"x" * 50)
+        cache.put("a", b"x" * 10)
+        assert cache.used_bytes == 10
+        assert len(cache) == 1
+
+    def test_invalidate(self):
+        cache = LRUCache(100)
+        cache.put("a", b"data")
+        cache.invalidate("a")
+        assert "a" not in cache
+        assert cache.used_bytes == 0
+        cache.invalidate("a")  # idempotent
+
+    def test_clear_preserves_stats(self):
+        cache = LRUCache(100)
+        cache.put("a", b"data")
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_hit_rate(self):
+        cache = LRUCache(100)
+        cache.put("a", b"1")
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(StorageError):
+            LRUCache(0)

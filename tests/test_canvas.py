@@ -1,0 +1,126 @@
+"""Rasterisation and page compositing."""
+
+import numpy as np
+import pytest
+
+from repro.images.bitmap import Bitmap
+from repro.images.canvas import Canvas, render_image
+from repro.images.geometry import Circle, Point, PolyLine, Polygon
+from repro.images.graphics import GraphicsObject
+from repro.images.image import Image
+from repro.ids import ImageId
+
+
+class TestDrawing:
+    def test_draw_point(self):
+        canvas = Canvas(10, 10)
+        canvas.draw(GraphicsObject("p", Point(3, 4), intensity=200))
+        assert int(canvas.pixels[4, 3]) == 200
+
+    def test_draw_line_endpoints_and_middle(self):
+        canvas = Canvas(20, 20)
+        canvas.draw(
+            GraphicsObject("l", PolyLine([Point(0, 0), Point(10, 10)]), intensity=255)
+        )
+        assert int(canvas.pixels[0, 0]) == 255
+        assert int(canvas.pixels[10, 10]) == 255
+        assert int(canvas.pixels[5, 5]) == 255
+
+    def test_draw_line_clips_outside(self):
+        canvas = Canvas(10, 10)
+        canvas.draw(
+            GraphicsObject("l", PolyLine([Point(-5, 5), Point(15, 5)]), intensity=255)
+        )
+        assert int(canvas.pixels[5, 0]) == 255
+        assert int(canvas.pixels[5, 9]) == 255
+
+    def test_circle_outline_vs_filled(self):
+        outline = Canvas(40, 40)
+        outline.draw(GraphicsObject("c", Circle(Point(20, 20), 10), intensity=255))
+        assert int(outline.pixels[20, 20]) == 0  # centre untouched
+        assert int(outline.pixels[20, 30]) == 255  # on the rim
+
+        filled = Canvas(40, 40)
+        filled.draw(
+            GraphicsObject("c", Circle(Point(20, 20), 10), intensity=255, filled=True)
+        )
+        assert int(filled.pixels[20, 20]) == 255
+
+    def test_polygon_filled(self):
+        canvas = Canvas(20, 20)
+        square = Polygon([Point(5, 5), Point(15, 5), Point(15, 15), Point(5, 15)])
+        canvas.draw(GraphicsObject("s", square, intensity=128, filled=True))
+        assert int(canvas.pixels[10, 10]) == 128
+        assert int(canvas.pixels[2, 2]) == 0
+
+    def test_polygon_outline_only(self):
+        canvas = Canvas(20, 20)
+        square = Polygon([Point(5, 5), Point(15, 5), Point(15, 15), Point(5, 15)])
+        canvas.draw(GraphicsObject("s", square, intensity=128))
+        assert int(canvas.pixels[5, 10]) == 128  # edge
+        assert int(canvas.pixels[10, 10]) == 0  # interior
+
+
+class TestCompositing:
+    def test_superimpose_only_replaces_drawn_pixels(self):
+        base = Bitmap.blank(10, 10, fill=50)
+        canvas = Canvas.from_bitmap(base)
+        overlay = Bitmap.blank(10, 10)
+        overlay.pixels[3, 3] = 255
+        mask = canvas.superimpose(overlay)
+        assert int(canvas.pixels[3, 3]) == 255
+        assert int(canvas.pixels[0, 0]) == 50  # shows through
+        assert int(mask.sum()) == 1
+
+    def test_overwrite_semantics_match_paper(self):
+        # "the bitmaps, lines, and shades of the overwrite image replace
+        # whatever existed in the previous page but they leave anything
+        # else intact"
+        base = Bitmap.blank(10, 10, fill=80)
+        canvas = Canvas.from_bitmap(base)
+        overlay = Bitmap.blank(10, 10)
+        overlay.pixels[0:2, 0:2] = 254
+        canvas.overwrite(overlay)
+        assert int(canvas.pixels[0, 0]) == 254  # replaced
+        assert int(canvas.pixels[5, 5]) == 80  # intact
+
+    def test_changed_fraction(self):
+        base = Bitmap.blank(10, 10)
+        canvas = Canvas.from_bitmap(base)
+        overlay = Bitmap.blank(10, 10)
+        overlay.pixels[0, :] = 255
+        canvas.superimpose(overlay)
+        assert canvas.changed_fraction(base) == pytest.approx(0.1)
+
+    def test_snapshot_is_independent(self):
+        canvas = Canvas(5, 5)
+        snap = canvas.snapshot()
+        canvas.pixels[0, 0] = 99
+        assert int(snap.pixels[0, 0]) == 0
+
+
+class TestRenderImage:
+    def test_bitmap_plus_graphics(self):
+        image = Image(
+            image_id=ImageId("i"),
+            width=20,
+            height=20,
+            bitmap=Bitmap.blank(20, 20, fill=10),
+            graphics=[
+                GraphicsObject("c", Circle(Point(10, 10), 5), intensity=250)
+            ],
+        )
+        rendered = render_image(image)
+        assert int(rendered.pixels[0, 0]) == 10
+        assert int(rendered.pixels[10, 15]) == 250
+
+    def test_graphics_only_renders_on_blank(self):
+        image = Image(
+            image_id=ImageId("g"),
+            width=10,
+            height=10,
+            graphics=[GraphicsObject("p", Point(5, 5), intensity=200)],
+        )
+        rendered = render_image(image)
+        assert int(rendered.pixels[5, 5]) == 200
+        assert int(rendered.pixels.sum()) == 200

@@ -1,0 +1,93 @@
+"""The simulated clock and the event trace."""
+
+import pytest
+
+from repro.clock import SimClock
+from repro.trace import EventKind, Trace
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(1.5)
+        clock.advance(2.5)
+        assert clock.now == pytest.approx(4.0)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        clock.advance_to(3.0)
+        assert clock.now == 5.0
+
+    def test_advance_counter(self):
+        clock = SimClock()
+        clock.advance(1.0)
+        clock.advance_to(0.5)  # no-op: does not count
+        clock.advance_to(2.0)
+        assert clock.advances == 2
+
+
+class TestTrace:
+    def test_record_and_iterate(self):
+        trace = Trace()
+        trace.record(0.0, EventKind.DISPLAY_PAGE, page=1)
+        trace.record(1.0, EventKind.PLAY_VOICE, label="s")
+        assert len(trace) == 2
+        assert [e.kind for e in trace] == [
+            EventKind.DISPLAY_PAGE,
+            EventKind.PLAY_VOICE,
+        ]
+
+    def test_of_kind_filters(self):
+        trace = Trace()
+        trace.record(0.0, EventKind.DISPLAY_PAGE, page=1)
+        trace.record(0.0, EventKind.PLAY_VOICE, label="a")
+        trace.record(0.0, EventKind.DISPLAY_PAGE, page=2)
+        pages = trace.of_kind(EventKind.DISPLAY_PAGE)
+        assert [e.detail["page"] for e in pages] == [1, 2]
+
+    def test_last_overall_and_by_kind(self):
+        trace = Trace()
+        assert trace.last() is None
+        trace.record(0.0, EventKind.DISPLAY_PAGE, page=1)
+        trace.record(1.0, EventKind.PLAY_VOICE, label="x")
+        assert trace.last().kind is EventKind.PLAY_VOICE
+        assert trace.last(EventKind.DISPLAY_PAGE).detail["page"] == 1
+        assert trace.last(EventKind.OVERWRITE) is None
+
+    def test_where_and_since(self):
+        trace = Trace()
+        trace.record(0.0, EventKind.DISPLAY_PAGE, page=1)
+        trace.record(2.0, EventKind.DISPLAY_PAGE, page=2)
+        assert len(trace.since(1.0)) == 1
+        assert len(trace.where(lambda e: e.detail["page"] == 2)) == 1
+
+    def test_clear(self):
+        trace = Trace()
+        trace.record(0.0, EventKind.CLEAR_SCREEN)
+        trace.clear()
+        assert len(trace) == 0
+
+    def test_dump_renders_lines(self):
+        trace = Trace()
+        trace.record(1.25, EventKind.DISPLAY_PAGE, page=3)
+        dump = trace.dump()
+        assert "display_page" in dump
+        assert "page=3" in dump
+
+    def test_indexing(self):
+        trace = Trace()
+        event = trace.record(0.0, EventKind.CLEAR_SCREEN)
+        assert trace[0] is event

@@ -1,0 +1,238 @@
+"""The audio browsing session."""
+
+import pytest
+
+from repro.core.browsing import BrowseCommand
+from repro.core.manager import LocalStore, PresentationManager
+from repro.errors import BrowsingError, NavigationError, UnknownCommandError
+from repro.scenarios import build_audio_mode_report
+from repro.trace import EventKind
+from repro.workstation.station import Workstation
+
+
+def _session():
+    obj = build_audio_mode_report()
+    workstation = Workstation()
+    store = LocalStore()
+    store.add(obj)
+    manager = PresentationManager(store, workstation)
+    session = manager.open(obj.object_id)
+    return session, workstation, obj
+
+
+class TestPlayback:
+    def test_open_starts_playing(self):
+        session, workstation, _ = _session()
+        assert session.is_playing
+        assert workstation.trace.of_kind(EventKind.PLAY_VOICE)
+
+    def test_position_tracks_clock(self):
+        session, workstation, _ = _session()
+        workstation.clock.advance(2.0)
+        assert session.position == pytest.approx(2.0)
+
+    def test_interrupt_settles(self):
+        session, workstation, _ = _session()
+        workstation.clock.advance(3.0)
+        position = session.interrupt()
+        assert position == pytest.approx(3.0)
+        assert not session.is_playing
+        workstation.clock.advance(5.0)
+        assert session.position == pytest.approx(3.0)
+
+    def test_resume_continues(self):
+        session, workstation, _ = _session()
+        session.play_for(2.0)
+        session.interrupt()
+        session.resume()
+        workstation.clock.advance(1.0)
+        assert session.position == pytest.approx(3.0)
+
+    def test_resume_page_start(self):
+        session, _, _ = _session()
+        session.play_for(session._pager.page(2).start + 1.0)
+        session.interrupt()
+        position = session.resume_page_start()
+        assert position == pytest.approx(session._pager.page(2).start)
+        assert session.is_playing
+
+    def test_play_to_end_finishes(self):
+        session, _, _ = _session()
+        end = session.play_to_end()
+        assert end == pytest.approx(session.duration)
+        assert not session.is_playing
+
+    def test_double_play_rejected(self):
+        session, _, _ = _session()
+        with pytest.raises(BrowsingError):
+            session.play()
+
+    def test_interrupt_when_stopped_rejected(self):
+        session, _, _ = _session()
+        session.interrupt()
+        with pytest.raises(BrowsingError):
+            session.interrupt()
+
+
+class TestAudioMenuSymmetry:
+    def test_menu_while_playing_offers_interrupt_only_controls(self):
+        session, _, _ = _session()
+        commands = session.menu.commands
+        assert commands == [BrowseCommand.INTERRUPT.value]
+
+    def test_menu_when_interrupted_offers_browsing(self):
+        session, _, _ = _session()
+        session.interrupt()
+        commands = session.menu.commands
+        assert BrowseCommand.RESUME.value in commands
+        assert BrowseCommand.RESUME_PAGE_START.value in commands
+        assert BrowseCommand.REWIND_SHORT_PAUSES.value in commands
+        assert BrowseCommand.REWIND_LONG_PAUSES.value in commands
+        assert BrowseCommand.NEXT_PAGE.value in commands
+        assert BrowseCommand.FIND_PATTERN.value in commands
+
+    def test_command_discipline(self):
+        session, _, _ = _session()
+        with pytest.raises(UnknownCommandError):
+            session.execute(BrowseCommand.NEXT_PAGE)  # playing: not offered
+
+
+class TestAudioPages:
+    def test_page_navigation_seeks_and_plays(self):
+        session, _, _ = _session()
+        session.interrupt()
+        number = session.execute(BrowseCommand.NEXT_PAGE)
+        assert number == 2
+        assert session.is_playing
+        assert session.position == pytest.approx(session._pager.page(2).start)
+
+    def test_advance_pages(self):
+        session, _, _ = _session()
+        session.interrupt()
+        session.advance_pages(2)
+        assert session.current_page_number == 3
+        session.interrupt()
+        session.advance_pages(-2)
+        assert session.current_page_number == 1
+
+    def test_goto_page_bounds(self):
+        session, _, _ = _session()
+        session.interrupt()
+        with pytest.raises(NavigationError):
+            session.goto_page(99)
+
+    def test_speech_not_interrupted_at_page_boundary(self):
+        # "speech is not interrupted at the end of each voice page"
+        session, _, _ = _session()
+        boundary = session._pager.page(1).end
+        session.play_for(boundary + 1.0)
+        assert session.position == pytest.approx(boundary + 1.0)
+        assert session.current_page_number == 2
+
+
+class TestPauseRewind:
+    def test_rewind_long_pause_lands_near_paragraph(self):
+        session, _, obj = _session()
+        recording = obj.voice_segments[0].recording
+        session.play_for(session.duration * 0.9)
+        session.interrupt()
+        target = session.rewind_long_pauses(1)
+        # The rewind target should be near some paragraph boundary.
+        distance = min(abs(target - t) for t in recording.paragraph_ends)
+        assert distance < 2.0
+        assert session.is_playing
+
+    def test_rewind_short_pause_moves_back_less(self):
+        session, _, _ = _session()
+        session.play_for(session.duration * 0.9)
+        position = session.interrupt()
+        short_target = session.rewind_short_pauses(1)
+        assert short_target < position
+        assert position - short_target < 5.0
+
+    def test_rewind_while_playing_rejected(self):
+        session, _, _ = _session()
+        with pytest.raises(BrowsingError):
+            session.rewind_long_pauses(1)
+
+    def test_more_pauses_rewind_further(self):
+        session, _, _ = _session()
+        session.play_for(session.duration * 0.9)
+        session.interrupt()
+        one = session.rewind_short_pauses(1)
+        session.interrupt()
+        session.play_for(0.0)
+        session.interrupt()
+        # Re-position to the same point and compare counts.
+        session2, _, _ = _session()
+        session2.play_for(session2.duration * 0.9)
+        session2.interrupt()
+        three = session2.rewind_short_pauses(3)
+        assert three < one
+
+
+class TestVisualMessageOnAudio:
+    def test_xray_pinned_only_during_related_speech(self):
+        session, workstation, obj = _session()
+        message = obj.visual_messages[0]
+        anchor = message.anchors[0]
+        # Before the related span: nothing pinned.
+        session.interrupt()
+        assert workstation.screen.pinned is None
+        # Inside the related span: the x-ray appears.
+        session.resume()
+        session.play_for(anchor.start - session.position + 0.5)
+        assert workstation.screen.pinned is not None
+        session.interrupt()
+        # Past the related span: it disappears.
+        session.resume()
+        session.play_for(anchor.end - session.position + 0.5)
+        assert workstation.screen.pinned is None
+
+    def test_branching_into_related_span_pins_immediately(self):
+        session, workstation, obj = _session()
+        anchor = obj.visual_messages[0].anchors[0]
+        session.interrupt()
+        page = session._pager.page_at(anchor.start + 1.0)
+        session.goto_page(page.number)
+        if anchor.covers(session.position):
+            assert workstation.screen.pinned is not None
+
+
+class TestVoicePatternSearch:
+    def test_find_seeks_to_page_with_utterance(self):
+        session, workstation, obj = _session()
+        session.interrupt()
+        page = session.find_pattern("fracture")
+        assert page is not None
+        utterances = [
+            u for u in obj.voice_segments[0].utterances if u.term == "fracture"
+        ]
+        hit_pages = {session._pager.page_at(u.time).number for u in utterances}
+        assert page in hit_pages
+        assert workstation.trace.of_kind(EventKind.SEARCH_HIT)
+
+    def test_repeated_find_advances(self):
+        session, _, obj = _session()
+        session.interrupt()
+        occurrences = sorted(
+            u.time
+            for u in obj.voice_segments[0].utterances
+            if u.term == "fracture"
+        )
+        if len(occurrences) >= 2:
+            first = session.find_pattern("fracture")
+            session.interrupt()
+            second = session.find_pattern("fracture")
+            assert second is None or second >= first
+
+    def test_unknown_term_returns_none(self):
+        session, _, _ = _session()
+        session.interrupt()
+        assert session.find_pattern("unspoken") is None
+
+    def test_empty_pattern_rejected(self):
+        session, _, _ = _session()
+        session.interrupt()
+        with pytest.raises(BrowsingError):
+            session.find_pattern("")

@@ -1,0 +1,259 @@
+"""Compiling presentation specs into page programs."""
+
+import pytest
+
+from repro.core.compile import PageKind, compile_visual_program
+from repro.errors import PaginationError
+from repro.ids import IdGenerator
+from repro.images.bitmap import Bitmap
+from repro.images.image import Image
+from repro.objects import (
+    DrivingMode,
+    ImagePage,
+    MultimediaObject,
+    OverwritePage,
+    PresentationSpec,
+    ProcessSimulation,
+    SimStep,
+    TextFlow,
+    TextSegment,
+    Tour,
+    TourStop,
+    TransparencyMode,
+    TransparencySet,
+    VisualMessage,
+    VisualMessageContent,
+)
+from repro.objects.anchors import TextAnchor
+from repro.scenarios._textgen import paragraphs
+
+
+def _object_with(generator, items, images=0, markup=None):
+    obj = MultimediaObject(
+        object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+    )
+    segment = None
+    if markup is not None:
+        segment = TextSegment(segment_id=generator.segment_id(), markup=markup)
+        obj.add_text_segment(segment)
+    made = []
+    for _ in range(images):
+        image = Image(
+            image_id=generator.image_id(),
+            width=32,
+            height=32,
+            bitmap=Bitmap.blank(32, 32),
+        )
+        obj.add_image(image)
+        made.append(image)
+    obj.presentation = PresentationSpec(items=items(segment, made))
+    return obj
+
+
+class TestTextCompilation:
+    def test_long_text_spans_pages(self, generator):
+        markup = "\n\n".join(paragraphs(20, sentences_each=5, seed=1))
+        obj = _object_with(
+            generator, lambda s, i: [TextFlow(s.segment_id)], markup=markup
+        )
+        program = compile_visual_program(obj, page_height=20)
+        assert len(program) > 2
+        assert all(p.kind is PageKind.TEXT for p in program.pages)
+
+    def test_page_numbers_global_and_sequential(self, generator):
+        markup = "\n\n".join(paragraphs(8, seed=2))
+        obj = _object_with(
+            generator,
+            lambda s, i: [TextFlow(s.segment_id), ImagePage(i[0].image_id)],
+            images=1,
+            markup=markup,
+        )
+        program = compile_visual_program(obj, page_height=15)
+        assert [p.number for p in program.pages] == list(
+            range(1, len(program) + 1)
+        )
+        assert program.pages[-1].kind is PageKind.IMAGE
+
+    def test_page_for_offset(self, generator):
+        markup = "\n\n".join(paragraphs(20, seed=3))
+        obj = _object_with(
+            generator, lambda s, i: [TextFlow(s.segment_id)], markup=markup
+        )
+        program = compile_visual_program(obj, page_height=15)
+        segment_id = obj.text_segments[0].segment_id
+        for page in program.pages:
+            start, end = page.char_span
+            if end > start:
+                assert program.page_for_offset(segment_id, (start + end) / 2) == (
+                    page.number
+                )
+
+    def test_page_lookup_bounds(self, generator):
+        obj = _object_with(
+            generator, lambda s, i: [TextFlow(s.segment_id)], markup="tiny text"
+        )
+        program = compile_visual_program(obj)
+        with pytest.raises(PaginationError):
+            program.page(0)
+        with pytest.raises(PaginationError):
+            program.page(len(program) + 1)
+
+
+class TestPinnedMessageCompilation:
+    def _report(self, generator, related_count=8):
+        related = paragraphs(related_count, sentences_each=4, seed=4)
+        before = paragraphs(2, seed=5)
+        after = paragraphs(2, seed=6)
+        markup = "\n\n".join(before + related + after)
+        obj = _object_with(
+            generator,
+            lambda s, i: [TextFlow(s.segment_id)],
+            images=1,
+            markup=markup,
+        )
+        segment = obj.text_segments[0]
+        plain = segment.plain_text
+        start = plain.index(related[0][:30])
+        end = plain.index(related[-1][-30:]) + 30
+        obj.visual_messages.append(
+            VisualMessage(
+                message_id=generator.message_id(),
+                content=VisualMessageContent(
+                    text="[pin]", image_ids=[obj.images[0].image_id]
+                ),
+                anchors=[TextAnchor(segment.segment_id, start, end)],
+            )
+        )
+        return obj
+
+    def test_related_pages_are_pinned_and_contiguous(self, generator):
+        obj = self._report(generator)
+        program = compile_visual_program(obj, page_height=24)
+        pinned = [p.number for p in program.pages if p.pinned_message_id]
+        assert len(pinned) >= 2
+        assert pinned == list(range(pinned[0], pinned[-1] + 1))
+
+    def test_pinned_pages_have_reduced_capacity(self, generator):
+        from repro.core.compile import PINNED_REGION_LINES
+
+        obj = self._report(generator)
+        program = compile_visual_program(obj, page_height=24)
+        for page in program.pages:
+            limit = 24 - (PINNED_REGION_LINES if page.pinned_message_id else 0)
+            assert page.visual.height_lines <= limit
+
+    def test_unrelated_pages_not_pinned(self, generator):
+        obj = self._report(generator)
+        program = compile_visual_program(obj, page_height=24)
+        assert program.pages[0].pinned_message_id is None
+        assert program.pages[-1].pinned_message_id is None
+
+    def test_page_breaks_at_span_boundaries(self, generator):
+        # No page mixes related and unrelated text: the char span of a
+        # pinned page lies inside the anchor, of an unpinned page outside.
+        obj = self._report(generator)
+        message = obj.visual_messages[0]
+        anchor = message.anchors[0]
+        program = compile_visual_program(obj, page_height=24)
+        for page in program.pages:
+            start, end = page.char_span
+            if end <= start:
+                continue
+            if page.pinned_message_id:
+                assert anchor.overlaps(start, end)
+            else:
+                # allow the blank separator lines at edges
+                assert not anchor.overlaps(start + 1, end - 1)
+
+
+class TestSpecialPages:
+    def test_transparency_groups(self, generator):
+        obj = _object_with(
+            generator,
+            lambda s, i: [
+                ImagePage(i[0].image_id),
+                TransparencySet(
+                    [i[1].image_id, i[2].image_id], TransparencyMode.STACKED
+                ),
+                TransparencySet([i[3].image_id], TransparencyMode.SEPARATE),
+            ],
+            images=4,
+        )
+        program = compile_visual_program(obj)
+        kinds = [p.kind for p in program.pages]
+        assert kinds == [
+            PageKind.IMAGE,
+            PageKind.TRANSPARENCY,
+            PageKind.TRANSPARENCY,
+            PageKind.TRANSPARENCY,
+        ]
+        groups = [p.transparency_group for p in program.pages[1:]]
+        assert groups == [1, 1, 2]
+        assert program.pages[2].transparency_position == 1
+
+    def test_overwrite_and_sim(self, generator):
+        obj = _object_with(
+            generator,
+            lambda s, i: [
+                ImagePage(i[0].image_id),
+                OverwritePage(i[1].image_id),
+                ProcessSimulation(
+                    [SimStep(i[1].image_id), SimStep(i[0].image_id)],
+                    interval_s=0.5,
+                ),
+            ],
+            images=2,
+        )
+        program = compile_visual_program(obj)
+        kinds = [p.kind for p in program.pages]
+        assert kinds == [
+            PageKind.IMAGE,
+            PageKind.OVERWRITE,
+            PageKind.SIM_STEP,
+            PageKind.SIM_STEP,
+        ]
+        assert program.pages[2].sim_group == 1
+        assert program.pages[2].sim_interval_s == 0.5
+
+    def test_tour_page(self, generator):
+        obj = _object_with(
+            generator,
+            lambda s, i: [
+                Tour(i[0].image_id, 10, 10, [TourStop(0, 0)], dwell_s=1.0)
+            ],
+            images=1,
+        )
+        program = compile_visual_program(obj)
+        assert program.pages[0].kind is PageKind.TOUR
+        assert program.pages[0].tour is not None
+
+    def test_embedded_image_sized_from_image_height(self, generator):
+        markup_maker = lambda image_id: (
+            "intro paragraph\n@image{" + image_id + "}\noutro paragraph"
+        )
+        obj = MultimediaObject(
+            object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+        )
+        image = Image(
+            image_id=generator.image_id(),
+            width=100,
+            height=400,
+            bitmap=Bitmap.blank(100, 400),
+        )
+        obj.add_image(image)
+        segment = TextSegment(
+            segment_id=generator.segment_id(),
+            markup=markup_maker(image.image_id.value),
+        )
+        obj.add_text_segment(segment)
+        obj.presentation = PresentationSpec(items=[TextFlow(segment.segment_id)])
+        program = compile_visual_program(obj, page_height=40)
+        image_pages = [p for p in program.pages if p.visual and p.visual.image_tags]
+        assert image_pages
+        # 400px at ~20px/line = 20 lines.
+        element = next(
+            e
+            for e in image_pages[0].visual.elements
+            if e.image_tag == image.image_id.value
+        )
+        assert element.height_lines == 20

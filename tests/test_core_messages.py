@@ -1,0 +1,197 @@
+"""The logical-message triggering engine."""
+
+import pytest
+
+from repro.audio.signal import synthesize_speech
+from repro.core.messages import (
+    ImagePosition,
+    MessageEngine,
+    TextPosition,
+    VoicePosition,
+)
+from repro.ids import IdGenerator
+from repro.images.bitmap import Bitmap
+from repro.images.image import Image
+from repro.objects import (
+    DrivingMode,
+    MultimediaObject,
+    TextSegment,
+    VisualMessage,
+    VisualMessageContent,
+    VoiceMessage,
+)
+from repro.objects.anchors import (
+    ImageAnchor,
+    TextAnchor,
+    VoiceAnchor,
+    VoicePointAnchor,
+)
+from repro.objects.parts import VoiceSegment
+
+
+@pytest.fixture
+def rig(generator):
+    obj = MultimediaObject(
+        object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+    )
+    text = TextSegment(segment_id=generator.segment_id(), markup="x" * 200)
+    obj.add_text_segment(text)
+    image = Image(
+        image_id=generator.image_id(), width=8, height=8,
+        bitmap=Bitmap.blank(8, 8),
+    )
+    obj.add_image(image)
+    voice = VoiceSegment(
+        segment_id=generator.segment_id(),
+        recording=synthesize_speech("some speech for anchoring", seed=11),
+    )
+    obj.add_voice_segment(voice)
+    return obj, text, image, voice, generator
+
+
+def _voice_message(generator, anchors):
+    return VoiceMessage(
+        message_id=generator.message_id(),
+        recording=synthesize_speech("msg", seed=12),
+        anchors=anchors,
+    )
+
+
+class TestVoiceTriggering:
+    def test_branch_into_text_anchor_fires(self, rig):
+        obj, text, _, _, generator = rig
+        message = _voice_message(generator, [TextAnchor(text.segment_id, 50, 100)])
+        obj.voice_messages.append(message)
+        engine = MessageEngine(obj)
+        outside = TextPosition(text.segment_id, 0, 40)
+        inside = TextPosition(text.segment_id, 60, 90)
+        assert engine.voice_messages_entering(outside, inside) == [message]
+
+    def test_staying_inside_does_not_refire(self, rig):
+        obj, text, _, _, generator = rig
+        message = _voice_message(generator, [TextAnchor(text.segment_id, 50, 100)])
+        obj.voice_messages.append(message)
+        engine = MessageEngine(obj)
+        a = TextPosition(text.segment_id, 55, 70)
+        b = TextPosition(text.segment_id, 70, 95)
+        assert engine.voice_messages_entering(a, b) == []
+
+    def test_leaving_and_reentering_rearms(self, rig):
+        obj, text, _, _, generator = rig
+        message = _voice_message(generator, [TextAnchor(text.segment_id, 50, 100)])
+        obj.voice_messages.append(message)
+        engine = MessageEngine(obj)
+        inside = TextPosition(text.segment_id, 60, 80)
+        outside = TextPosition(text.segment_id, 120, 150)
+        assert engine.voice_messages_entering(inside, outside) == []
+        assert engine.voice_messages_entering(outside, inside) == [message]
+
+    def test_from_nothing_counts_as_branch(self, rig):
+        obj, text, _, _, generator = rig
+        message = _voice_message(generator, [TextAnchor(text.segment_id, 0, 100)])
+        obj.voice_messages.append(message)
+        engine = MessageEngine(obj)
+        inside = TextPosition(text.segment_id, 10, 30)
+        assert engine.voice_messages_entering(None, inside) == [message]
+
+    def test_image_anchor(self, rig):
+        obj, _, image, _, generator = rig
+        message = _voice_message(generator, [ImageAnchor(image.image_id)])
+        obj.voice_messages.append(message)
+        engine = MessageEngine(obj)
+        assert engine.voice_messages_entering(
+            None, ImagePosition(image.image_id)
+        ) == [message]
+        assert (
+            engine.voice_messages_entering(
+                ImagePosition(image.image_id), ImagePosition(image.image_id)
+            )
+            == []
+        )
+
+    def test_voice_span_and_point_anchors(self, rig):
+        obj, _, _, voice, generator = rig
+        span_message = _voice_message(
+            generator, [VoiceAnchor(voice.segment_id, 1.0, 2.0)]
+        )
+        point_message = _voice_message(
+            generator, [VoicePointAnchor(voice.segment_id, 5.0)]
+        )
+        obj.voice_messages.extend([span_message, point_message])
+        engine = MessageEngine(obj)
+        before = VoicePosition(voice.segment_id, 0.5)
+        in_span = VoicePosition(voice.segment_id, 1.5)
+        at_point = VoicePosition(voice.segment_id, 5.3)
+        assert engine.voice_messages_entering(before, in_span) == [span_message]
+        assert engine.voice_messages_entering(in_span, at_point) == [point_message]
+
+    def test_overlapping_anchored_messages_both_fire(self, rig):
+        obj, text, _, _, generator = rig
+        first = _voice_message(generator, [TextAnchor(text.segment_id, 0, 100)])
+        second = _voice_message(generator, [TextAnchor(text.segment_id, 50, 150)])
+        obj.voice_messages.extend([first, second])
+        engine = MessageEngine(obj)
+        inside_both = TextPosition(text.segment_id, 60, 90)
+        assert engine.voice_messages_entering(None, inside_both) == [first, second]
+
+
+class TestVisualPinning:
+    def _pinned(self, rig, display_once):
+        obj, text, image, _, generator = rig
+        message = VisualMessage(
+            message_id=generator.message_id(),
+            content=VisualMessageContent(text="pin", image_ids=[image.image_id]),
+            anchors=[TextAnchor(text.segment_id, 50, 150)],
+            display_once=display_once,
+        )
+        obj.visual_messages.append(message)
+        return obj, text, message
+
+    def test_always_pin_when_not_once(self, rig):
+        obj, text, message = self._pinned(rig, display_once=False)
+        engine = MessageEngine(obj)
+        inside = TextPosition(text.segment_id, 60, 90)
+        outside = TextPosition(text.segment_id, 0, 40)
+        for _ in range(3):
+            assert engine.visual_message_to_pin(
+                message.message_id, outside, inside
+            ) is message
+
+    def test_display_once_pins_only_first_branch(self, rig):
+        obj, text, message = self._pinned(rig, display_once=True)
+        engine = MessageEngine(obj)
+        inside = TextPosition(text.segment_id, 60, 90)
+        outside = TextPosition(text.segment_id, 0, 40)
+        assert engine.visual_message_to_pin(
+            message.message_id, outside, inside
+        ) is message
+        # Re-branching: suppressed.
+        assert engine.visual_message_to_pin(
+            message.message_id, outside, inside
+        ) is None
+
+    def test_display_once_stays_while_paging_inside(self, rig):
+        obj, text, message = self._pinned(rig, display_once=True)
+        engine = MessageEngine(obj)
+        outside = TextPosition(text.segment_id, 0, 40)
+        page_a = TextPosition(text.segment_id, 60, 90)
+        page_b = TextPosition(text.segment_id, 90, 140)
+        assert engine.visual_message_to_pin(
+            message.message_id, outside, page_a
+        ) is message
+        # Turning pages within the related span keeps it pinned.
+        assert engine.visual_message_to_pin(
+            message.message_id, page_a, page_b
+        ) is message
+
+    def test_visual_messages_for_voice(self, rig):
+        obj, _, image, voice, generator = rig
+        message = VisualMessage(
+            message_id=generator.message_id(),
+            content=VisualMessageContent(text="x-ray", image_ids=[image.image_id]),
+            anchors=[VoiceAnchor(voice.segment_id, 1.0, 3.0)],
+        )
+        obj.visual_messages.append(message)
+        engine = MessageEngine(obj)
+        assert engine.visual_messages_for_voice(voice.segment_id, 2.0) == [message]
+        assert engine.visual_messages_for_voice(voice.segment_id, 4.0) == []

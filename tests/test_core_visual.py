@@ -1,0 +1,259 @@
+"""The visual browsing session."""
+
+import pytest
+
+from repro.core.browsing import BrowseCommand
+from repro.core.manager import LocalStore, PresentationManager
+from repro.errors import BrowsingError, NavigationError, UnknownCommandError
+from repro.objects.logical import LogicalUnitKind
+from repro.scenarios import (
+    build_office_document,
+    build_visual_report_with_xray,
+    build_xray_transparency_object,
+)
+from repro.trace import EventKind
+from repro.workstation.station import Workstation
+
+
+def _session(obj, workstation=None):
+    workstation = workstation or Workstation()
+    store = LocalStore()
+    store.add(obj)
+    manager = PresentationManager(store, workstation)
+    return manager.open(obj.object_id), workstation, manager
+
+
+@pytest.fixture(scope="module")
+def office():
+    return build_office_document()
+
+
+class TestPageNavigation:
+    def test_open_displays_first_page(self, office):
+        session, workstation, _ = _session(office)
+        assert session.current_page_number == 1
+        assert workstation.screen.page_number == 1
+
+    def test_next_previous(self, office):
+        session, _, _ = _session(office)
+        session.next_page()
+        assert session.current_page_number == 2
+        session.previous_page()
+        assert session.current_page_number == 1
+
+    def test_next_clamps_at_end(self, office):
+        session, _, _ = _session(office)
+        for _ in range(session.page_count + 5):
+            session.next_page()
+        assert session.current_page_number == session.page_count
+
+    def test_previous_clamps_at_start(self, office):
+        session, _, _ = _session(office)
+        session.previous_page()
+        assert session.current_page_number == 1
+
+    def test_advance_forth_and_back(self, office):
+        session, _, _ = _session(office)
+        session.advance_pages(2)
+        assert session.current_page_number == 3
+        session.advance_pages(-1)
+        assert session.current_page_number == 2
+
+    def test_goto_out_of_range(self, office):
+        session, _, _ = _session(office)
+        with pytest.raises(NavigationError):
+            session.goto_page(0)
+        with pytest.raises(NavigationError):
+            session.goto_page(999)
+
+    def test_every_display_is_traced(self, office):
+        session, workstation, _ = _session(office)
+        before = len(workstation.trace.of_kind(EventKind.DISPLAY_PAGE))
+        session.next_page()
+        after = len(workstation.trace.of_kind(EventKind.DISPLAY_PAGE))
+        assert after == before + 1
+
+
+class TestMenuDiscipline:
+    def test_menu_lists_page_commands(self, office):
+        session, _, _ = _session(office)
+        commands = session.menu.commands
+        assert BrowseCommand.NEXT_PAGE.value in commands
+        assert BrowseCommand.FIND_PATTERN.value in commands
+
+    def test_logical_commands_derive_from_structure(self, office):
+        session, _, _ = _session(office)
+        commands = session.menu.commands
+        assert BrowseCommand.NEXT_CHAPTER.value in commands
+        assert BrowseCommand.NEXT_PARAGRAPH.value in commands
+        # The office document has no @section tags.
+        assert BrowseCommand.NEXT_SECTION.value not in commands
+
+    def test_command_not_on_menu_rejected(self, office):
+        session, _, _ = _session(office)
+        with pytest.raises(UnknownCommandError):
+            session.execute(BrowseCommand.INTERRUPT)
+
+    def test_executed_commands_are_traced(self, office):
+        session, workstation, _ = _session(office)
+        session.execute(BrowseCommand.NEXT_PAGE)
+        commands = workstation.trace.of_kind(EventKind.COMMAND)
+        assert commands[-1].detail["command"] == "next_page"
+
+
+class TestLogicalNavigation:
+    def test_next_chapter_moves_forward(self, office):
+        session, _, _ = _session(office)
+        start_page = session.current_page_number
+        page = session.execute(BrowseCommand.NEXT_CHAPTER)
+        assert page >= start_page
+
+    def test_chapter_sequence_reaches_all(self, office):
+        session, _, _ = _session(office)
+        segment = office.text_segments[0]
+        chapter_count = segment.logical_index.count(LogicalUnitKind.CHAPTER)
+        # The session opens before chapter 1's start, so "next chapter"
+        # visits every chapter including the first.
+        visited = 0
+        while True:
+            try:
+                session.execute(BrowseCommand.NEXT_CHAPTER)
+                visited += 1
+            except NavigationError:
+                break
+        assert visited == chapter_count
+
+    def test_previous_chapter(self, office):
+        session, _, _ = _session(office)
+        session.goto_page(session.page_count)
+        page = session.execute(BrowseCommand.PREVIOUS_CHAPTER)
+        assert page <= session.page_count
+
+    def test_no_previous_before_first(self, office):
+        session, _, _ = _session(office)
+        with pytest.raises(NavigationError):
+            # Page 1 starts at the title, before any chapter start.
+            session.execute(BrowseCommand.PREVIOUS_CHAPTER)
+            session.execute(BrowseCommand.PREVIOUS_CHAPTER)
+            session.execute(BrowseCommand.PREVIOUS_CHAPTER)
+            session.execute(BrowseCommand.PREVIOUS_CHAPTER)
+
+
+class TestPatternSearch:
+    def test_find_jumps_to_page_with_occurrence(self, office):
+        session, workstation, _ = _session(office)
+        page = session.find_pattern("archive")
+        assert page is not None
+        hits = workstation.trace.of_kind(EventKind.SEARCH_HIT)
+        assert hits[-1].detail["pattern"] == "archive"
+        # The hit's offset lies on the displayed page.
+        current = session.current_page
+        start, end = current.char_span
+        assert start <= hits[-1].detail["offset"] < end
+
+    def test_repeated_find_advances(self, office):
+        session, _, _ = _session(office)
+        first_page = session.find_pattern("the")
+        offsets = []
+        session2, workstation2, _ = _session(office)
+        session2.find_pattern("information")
+        session2.find_pattern("information")
+        hits = workstation2.trace.of_kind(EventKind.SEARCH_HIT)
+        if len(hits) == 2:
+            assert hits[1].detail["offset"] > hits[0].detail["offset"]
+        __ = (first_page, offsets)
+
+    def test_exhausted_pattern_returns_none(self, office):
+        session, _, _ = _session(office)
+        result = session.find_pattern("zzzunfindable")
+        assert result is None
+
+    def test_empty_pattern_rejected(self, office):
+        session, _, _ = _session(office)
+        with pytest.raises(BrowsingError):
+            session.find_pattern("")
+
+
+class TestPinnedVisualMessage:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return build_visual_report_with_xray()
+
+    def test_pin_appears_only_on_related_pages(self, report):
+        session, workstation, _ = _session(report)
+        for number in range(1, session.page_count + 1):
+            session.goto_page(number)
+            page = session.program.page(number)
+            if page.pinned_message_id:
+                assert workstation.screen.pinned is not None
+                assert workstation.screen.pinned.bitmap is not None
+            else:
+                assert workstation.screen.pinned is None
+
+    def test_image_stored_once(self, report):
+        assert len([i for i in report.images]) == 1
+
+    def test_pin_unpin_traced(self, report):
+        session, workstation, _ = _session(report)
+        for number in range(1, session.page_count + 1):
+            session.goto_page(number)
+        pins = workstation.trace.of_kind(EventKind.PIN_MESSAGE)
+        unpins = workstation.trace.of_kind(EventKind.UNPIN_MESSAGE)
+        assert pins and unpins
+
+
+class TestTransparencies:
+    @pytest.fixture(scope="class")
+    def stacked(self):
+        return build_xray_transparency_object(overlays=3)
+
+    def test_stacked_mode_accumulates(self, stacked):
+        session, workstation, _ = _session(stacked)
+        depths = []
+        for _ in range(3):
+            session.next_page()
+            depths.append(workstation.screen.transparency_depth)
+        assert depths == [1, 2, 3]
+
+    def test_going_back_peels_off(self, stacked):
+        session, workstation, _ = _session(stacked)
+        session.goto_page(4)  # all three overlays
+        session.previous_page()
+        assert workstation.screen.transparency_depth == 2
+
+    def test_separate_mode_shows_one(self):
+        from repro.objects import TransparencyMode
+
+        obj = build_xray_transparency_object(
+            overlays=3, mode=TransparencyMode.SEPARATE
+        )
+        session, workstation, _ = _session(obj)
+        for number in (2, 3, 4):
+            session.goto_page(number)
+            assert workstation.screen.transparency_depth == 1
+
+    def test_user_subset(self, stacked):
+        session, workstation, _ = _session(stacked)
+        session.goto_page(2)
+        session.select_transparencies(positions=[0, 2])
+        assert workstation.screen.transparency_depth == 2
+
+    def test_subset_position_out_of_range(self, stacked):
+        session, _, _ = _session(stacked)
+        session.goto_page(2)
+        with pytest.raises(BrowsingError):
+            session.select_transparencies(positions=[7])
+
+    def test_subset_requires_transparency_page(self, stacked):
+        session, _, _ = _session(stacked)
+        session.goto_page(1)
+        with pytest.raises(BrowsingError):
+            session.select_transparencies(positions=[0])
+
+    def test_transparency_changes_base_pixels(self, stacked):
+        session, workstation, _ = _session(stacked)
+        session.goto_page(1)
+        base = workstation.screen.composite.pixels.copy()
+        session.next_page()
+        overlaid = workstation.screen.composite.pixels
+        assert (overlaid != base).sum() > 0

@@ -1,0 +1,345 @@
+"""Visual session: image-anchored messages, overwrites, relevances,
+label commands through the menu, presentation spec validation."""
+
+import pytest
+
+from repro.audio.signal import synthesize_speech
+from repro.core.browsing import BrowseCommand
+from repro.core.manager import LocalStore, PresentationManager
+from repro.errors import BrowsingError, DescriptorError
+from repro.ids import IdGenerator
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Circle, Point, Polygon
+from repro.images.graphics import GraphicsObject, Label, LabelKind
+from repro.images.image import Image
+from repro.objects import (
+    DrivingMode,
+    ImagePage,
+    MultimediaObject,
+    OverwritePage,
+    PresentationSpec,
+    ProcessSimulation,
+    TextFlow,
+    TextSegment,
+    Tour,
+    TourStop,
+    TransparencySet,
+    VoiceMessage,
+)
+from repro.objects.anchors import ImageAnchor
+from repro.objects.relationships import Relevance, RelevanceKind, RelevantLink
+from repro.trace import EventKind
+from repro.workstation.station import Workstation
+
+
+def _open(obj, extra_objects=()):
+    workstation = Workstation()
+    store = LocalStore()
+    store.add(obj)
+    for other in extra_objects:
+        store.add(other)
+    manager = PresentationManager(store, workstation)
+    return manager.open(obj.object_id), workstation, manager
+
+
+def _labelled_image(generator, voice=False):
+    graphics = [
+        GraphicsObject(
+            "site-a",
+            Circle(Point(30, 30), 8),
+            label=Label(LabelKind.TEXT, "site alpha", Point(30, 18)),
+        ),
+        GraphicsObject(
+            "site-b",
+            Circle(Point(70, 70), 8),
+            label=(
+                Label(
+                    LabelKind.VOICE,
+                    "site beta",
+                    Point(70, 58),
+                    voice=synthesize_speech("site beta", seed=71),
+                )
+                if voice
+                else Label(LabelKind.TEXT, "site beta", Point(70, 58))
+            ),
+        ),
+    ]
+    return Image(
+        image_id=generator.image_id(),
+        width=100,
+        height=100,
+        bitmap=Bitmap.blank(100, 100, fill=20),
+        graphics=graphics,
+    )
+
+
+class TestImagePageMessages:
+    def test_voice_message_fires_on_image_branch(self, generator):
+        obj = MultimediaObject(
+            object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+        )
+        segment = TextSegment(
+            segment_id=generator.segment_id(), markup="some page one text"
+        )
+        obj.add_text_segment(segment)
+        image = _labelled_image(generator)
+        obj.add_image(image)
+        obj.attach_voice_message(
+            VoiceMessage(
+                message_id=generator.message_id(),
+                recording=synthesize_speech("about this image", seed=72),
+                anchors=[ImageAnchor(image.image_id)],
+            )
+        )
+        obj.presentation = PresentationSpec(
+            items=[TextFlow(segment.segment_id), ImagePage(image.image_id)]
+        )
+        obj.archive()
+
+        session, workstation, _ = _open(obj)
+        assert workstation.trace.of_kind(EventKind.PLAY_MESSAGE) == []
+        session.next_page()  # branch into the image
+        assert len(workstation.trace.of_kind(EventKind.PLAY_MESSAGE)) == 1
+        session.previous_page()
+        session.next_page()  # re-branch: fires again
+        assert len(workstation.trace.of_kind(EventKind.PLAY_MESSAGE)) == 2
+
+
+class TestLabelCommandsViaMenu:
+    @pytest.fixture
+    def session(self, generator):
+        obj = MultimediaObject(
+            object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+        )
+        image = _labelled_image(generator, voice=True)
+        obj.add_image(image)
+        obj.presentation = PresentationSpec(items=[ImagePage(image.image_id)])
+        obj.archive()
+        return _open(obj)
+
+    def test_menu_offers_label_commands(self, session):
+        browsing, _, _ = session
+        commands = browsing.menu.commands
+        assert BrowseCommand.SELECT_OBJECT.value in commands
+        assert BrowseCommand.HIGHLIGHT_LABELS.value in commands
+        assert BrowseCommand.PLAY_ALL_LABELS.value in commands
+
+    def test_select_object_displays_text_label(self, session):
+        browsing, workstation, _ = session
+        picked = browsing.execute(BrowseCommand.SELECT_OBJECT, x=30, y=30)
+        assert picked.name == "site-a"
+        event = workstation.trace.last(EventKind.DISPLAY_LABEL)
+        assert event.detail["label"] == "site alpha"
+
+    def test_select_object_plays_voice_label(self, session):
+        browsing, workstation, _ = session
+        picked = browsing.execute(BrowseCommand.SELECT_OBJECT, x=70, y=70)
+        assert picked.name == "site-b"
+        event = workstation.trace.last(EventKind.PLAY_LABEL)
+        assert event.detail["label"] == "site beta"
+
+    def test_highlight_by_pattern(self, session):
+        browsing, workstation, _ = session
+        names = browsing.execute(BrowseCommand.HIGHLIGHT_LABELS, pattern="site")
+        assert names == ["site-a", "site-b"]
+        event = workstation.trace.last(EventKind.HIGHLIGHT)
+        assert event.detail["pattern"] == "site"
+
+    def test_play_all_labels(self, session):
+        browsing, workstation, _ = session
+        count = browsing.execute(BrowseCommand.PLAY_ALL_LABELS)
+        assert count == 1  # only site-b is voice
+        assert workstation.trace.of_kind(EventKind.PLAY_LABEL)
+
+    def test_select_empty_spot_returns_none(self, session):
+        browsing, _, _ = session
+        assert browsing.execute(BrowseCommand.SELECT_OBJECT, x=5, y=95) is None
+
+
+class TestOverwriteRecompute:
+    def test_overwrite_composite_stable_under_random_navigation(self, generator):
+        """Displaying an overwrite page yields the same raster whether
+        reached by next-page or by jumping around."""
+        obj = MultimediaObject(
+            object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+        )
+        base = _labelled_image(generator)
+        obj.add_image(base)
+        overlays = []
+        for index in range(2):
+            overlay = Image(
+                image_id=generator.image_id(),
+                width=100,
+                height=100,
+                graphics=[
+                    GraphicsObject(
+                        f"wipe-{index}",
+                        Polygon(
+                            [
+                                Point(10 + index * 30, 10),
+                                Point(30 + index * 30, 10),
+                                Point(30 + index * 30, 30),
+                                Point(10 + index * 30, 30),
+                            ]
+                        ),
+                        intensity=250,
+                        filled=True,
+                    )
+                ],
+            )
+            obj.add_image(overlay)
+            overlays.append(overlay)
+        obj.presentation = PresentationSpec(
+            items=[
+                ImagePage(base.image_id),
+                OverwritePage(overlays[0].image_id),
+                OverwritePage(overlays[1].image_id),
+            ]
+        )
+        obj.archive()
+
+        session, workstation, _ = _open(obj)
+        session.next_page()
+        session.next_page()  # page 3: both overwrites
+        sequential = workstation.screen.composite.pixels.copy()
+        session.goto_page(1)
+        session.goto_page(3)  # jump straight to page 3
+        jumped = workstation.screen.composite.pixels
+        assert (sequential == jumped).all()
+
+
+class TestRelevanceMaterialization:
+    @pytest.fixture
+    def rig(self, generator):
+        parent = MultimediaObject(
+            object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+        )
+        parent_image = _labelled_image(generator)
+        parent.add_image(parent_image)
+        parent.presentation = PresentationSpec(
+            items=[ImagePage(parent_image.image_id)]
+        )
+
+        target = MultimediaObject(
+            object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+        )
+        target_text = TextSegment(
+            segment_id=generator.segment_id(),
+            markup="related text content describing the sites in detail",
+        )
+        target.add_text_segment(target_text)
+        target_image = _labelled_image(generator)
+        target.add_image(target_image)
+        target_voice_recording = synthesize_speech(
+            "related voice content here", seed=73
+        )
+        from repro.objects.parts import VoiceSegment
+
+        target_voice = VoiceSegment(
+            segment_id=generator.segment_id(), recording=target_voice_recording
+        )
+        target.add_voice_segment(target_voice)
+        target.presentation = PresentationSpec(
+            items=[ImagePage(target_image.image_id), TextFlow(target_text.segment_id)]
+        )
+        target.archive()
+
+        parent.add_relevant_link(
+            RelevantLink(
+                indicator_id=generator.indicator_id(),
+                label="details",
+                target_object_id=target.object_id,
+                relevances=[
+                    Relevance(
+                        kind=RelevanceKind.TEXT,
+                        segment_id=target_text.segment_id,
+                        text_start=0,
+                        text_end=12,
+                    ),
+                    Relevance(
+                        kind=RelevanceKind.IMAGE,
+                        image_id=target_image.image_id,
+                        region=Polygon(
+                            [Point(20, 20), Point(40, 20), Point(40, 40)]
+                        ),
+                    ),
+                    Relevance(
+                        kind=RelevanceKind.VOICE,
+                        segment_id=target_voice.segment_id,
+                        voice_start=0.0,
+                        voice_end=1.0,
+                    ),
+                ],
+            )
+        )
+        parent.archive()
+        return _open(parent, extra_objects=[target])
+
+    def test_text_relevance_traced(self, rig):
+        session, workstation, manager = rig
+        indicator = session.visible_indicators()[0]["indicator"]
+        manager.select_relevant(session, indicator)
+        highlights = workstation.trace.of_kind(EventKind.HIGHLIGHT)
+        assert any(e.detail.get("relevance") == "text" for e in highlights)
+
+    def test_image_relevance_projected_as_polygon(self, rig):
+        session, workstation, manager = rig
+        indicator = session.visible_indicators()[0]["indicator"]
+        child = manager.select_relevant(session, indicator)
+        # The child's first page shows the target image with the
+        # relevance polygon superimposed.
+        superimposes = workstation.trace.of_kind(EventKind.SUPERIMPOSE)
+        assert any(
+            e.detail.get("transparency") == "relevance-regions"
+            for e in superimposes
+        )
+        __ = child
+
+    def test_voice_relevance_played_on_demand(self, rig):
+        session, workstation, manager = rig
+        indicator = session.visible_indicators()[0]["indicator"]
+        child = manager.select_relevant(session, indicator)
+        assert BrowseCommand.NEXT_RELEVANT_VOICE.value in child.menu.commands
+        assert child.execute(BrowseCommand.NEXT_RELEVANT_VOICE) is True
+        assert child.next_relevant_voice() is False  # queue exhausted
+        plays = workstation.trace.of_kind(EventKind.PLAY_VOICE)
+        assert any("relevance:" in e.detail.get("label", "") for e in plays)
+
+
+class TestPresentationSpecValidation:
+    def test_empty_transparency_set_rejected(self):
+        with pytest.raises(DescriptorError):
+            TransparencySet([])
+
+    def test_empty_simulation_rejected(self):
+        with pytest.raises(DescriptorError):
+            ProcessSimulation([])
+
+    def test_nonpositive_interval_rejected(self, generator):
+        from repro.objects import SimStep
+
+        with pytest.raises(DescriptorError):
+            ProcessSimulation(
+                [SimStep(generator.image_id())], interval_s=0.0
+            )
+
+    def test_tour_needs_stops_and_window(self, generator):
+        with pytest.raises(DescriptorError):
+            Tour(generator.image_id(), 0, 10, [TourStop(0, 0)])
+        with pytest.raises(DescriptorError):
+            Tour(generator.image_id(), 10, 10, [])
+        with pytest.raises(DescriptorError):
+            Tour(generator.image_id(), 10, 10, [TourStop(0, 0)], dwell_s=0)
+
+    def test_audio_page_seconds_positive(self):
+        with pytest.raises(DescriptorError):
+            PresentationSpec(audio_page_seconds=0)
+
+    def test_visual_session_requires_visual_mode(self, generator):
+        from repro.core.visual import VisualSession
+
+        obj = MultimediaObject(
+            object_id=generator.object_id(), driving_mode=DrivingMode.AUDIO
+        )
+        with pytest.raises(BrowsingError):
+            VisualSession(obj, Workstation())

@@ -1,0 +1,95 @@
+"""Visual sessions over objects with several text segments."""
+
+import pytest
+
+from repro.core.browsing import BrowseCommand
+from repro.core.manager import LocalStore, PresentationManager
+from repro.ids import IdGenerator
+from repro.objects import (
+    DrivingMode,
+    MultimediaObject,
+    PresentationSpec,
+    TextFlow,
+    TextSegment,
+)
+from repro.objects.logical import LogicalUnitKind
+from repro.scenarios._textgen import paragraphs
+from repro.workstation.station import Workstation
+
+
+@pytest.fixture
+def session():
+    generator = IdGenerator("multitext")
+    obj = MultimediaObject(
+        object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+    )
+    first = TextSegment(
+        segment_id=generator.segment_id(),
+        markup=(
+            "@title{Part One}\n@chapter{Alpha}\n"
+            + "\n\n".join(paragraphs(6, seed=201))
+            + "\n\nthe keyword crossover appears only in part two."
+        ),
+    )
+    second = TextSegment(
+        segment_id=generator.segment_id(),
+        markup=(
+            "@title{Part Two}\n@chapter{Beta}\n"
+            + "\n\n".join(paragraphs(6, seed=202))
+            + "\n\ncrossover content lives here in the second segment."
+        ),
+    )
+    obj.add_text_segment(first)
+    obj.add_text_segment(second)
+    obj.presentation = PresentationSpec(
+        items=[TextFlow(first.segment_id), TextFlow(second.segment_id)]
+    )
+    obj.archive()
+    store = LocalStore()
+    store.add(obj)
+    browsing = PresentationManager(store, Workstation()).open(obj.object_id)
+    return browsing, first, second
+
+
+class TestMultiSegmentText:
+    def test_segments_get_consecutive_page_ranges(self, session):
+        browsing, first, second = session
+        program = browsing.program
+        first_start = program.segment_first_page[first.segment_id]
+        second_start = program.segment_first_page[second.segment_id]
+        assert first_start == 1
+        assert second_start > first_start
+        # Page kinds stay TEXT throughout.
+        for page in program.pages:
+            assert page.segment_id in (first.segment_id, second.segment_id)
+
+    def test_search_crosses_into_the_second_segment(self, session):
+        browsing, first, second = session
+        # 'crossover' occurs in both segments (once as a mention in part
+        # one, once in part two).  Searching repeatedly walks them in
+        # presentation order.
+        first_hit = browsing.find_pattern("crossover")
+        assert first_hit is not None
+        second_hit = browsing.find_pattern("crossover")
+        assert second_hit is not None
+        assert second_hit >= first_hit
+        # The second hit is on a page of the second segment.
+        page = browsing.program.page(second_hit)
+        assert page.segment_id == second.segment_id
+        assert browsing.find_pattern("crossover") is None
+
+    def test_chapter_navigation_within_current_segment(self, session):
+        browsing, first, second = session
+        browsing.execute(BrowseCommand.NEXT_CHAPTER)  # Alpha
+        page = browsing.current_page
+        assert page.segment_id == first.segment_id
+
+    def test_menus_union_logical_kinds(self, session):
+        browsing, _, _ = session
+        assert BrowseCommand.NEXT_CHAPTER.value in browsing.menu.commands
+        assert BrowseCommand.NEXT_PARAGRAPH.value in browsing.menu.commands
+
+    def test_page_numbering_is_global(self, session):
+        browsing, _, _ = session
+        numbers = [p.number for p in browsing.program.pages]
+        assert numbers == list(range(1, len(numbers) + 1))

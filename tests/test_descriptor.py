@@ -1,0 +1,91 @@
+"""The serializable object descriptor."""
+
+import pytest
+
+from repro.errors import DescriptorError
+from repro.ids import ObjectId
+from repro.objects.descriptor import (
+    DataKind,
+    DataLocation,
+    DataSource,
+    Descriptor,
+)
+
+
+def _descriptor():
+    return Descriptor(
+        object_id=ObjectId("o-1"),
+        driving_mode="visual",
+        locations=[
+            DataLocation("text/a", DataKind.TEXT, DataSource.COMPOSITION, 0, 100),
+            DataLocation("image/b", DataKind.IMAGE, DataSource.COMPOSITION, 100, 500),
+            DataLocation("image/shared", DataKind.IMAGE, DataSource.ARCHIVER, 9000, 50),
+        ],
+        attributes={"kind": "memo"},
+        extra={"presentation": {"items": []}},
+    )
+
+
+class TestLocations:
+    def test_lookup(self):
+        descriptor = _descriptor()
+        assert descriptor.location("text/a").length == 100
+        assert descriptor.has_tag("image/b")
+        assert not descriptor.has_tag("nope")
+        with pytest.raises(DescriptorError):
+            descriptor.location("nope")
+
+    def test_archiver_tags(self):
+        assert _descriptor().archiver_tags() == ["image/shared"]
+
+    def test_invalid_location_rejected(self):
+        with pytest.raises(DescriptorError):
+            DataLocation("t", DataKind.TEXT, DataSource.COMPOSITION, -1, 10)
+
+
+class TestRebasing:
+    def test_rebase_moves_only_composition(self):
+        rebased = _descriptor().rebased(1000)
+        assert rebased.location("text/a").offset == 1000
+        assert rebased.location("image/b").offset == 1100
+        assert rebased.location("image/shared").offset == 9000  # untouched
+
+    def test_rebase_back(self):
+        descriptor = _descriptor().rebased(1000)
+        restored = descriptor.rebased(-1000)
+        assert restored.location("text/a").offset == 0
+
+    def test_rebase_below_zero_rejected(self):
+        with pytest.raises(DescriptorError):
+            _descriptor().rebased(-1)
+
+    def test_rebase_is_pure(self):
+        descriptor = _descriptor()
+        descriptor.rebased(500)
+        assert descriptor.location("text/a").offset == 0
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        descriptor = _descriptor()
+        rebuilt = Descriptor.from_bytes(descriptor.to_bytes())
+        assert rebuilt.object_id == descriptor.object_id
+        assert rebuilt.driving_mode == "visual"
+        assert rebuilt.attributes == {"kind": "memo"}
+        assert rebuilt.extra == descriptor.extra
+        assert rebuilt.locations == descriptor.locations
+
+    def test_bytes_are_json(self):
+        import json
+
+        payload = json.loads(_descriptor().to_bytes())
+        assert payload["object_id"] == "o-1"
+
+    def test_malformed_bytes_rejected(self):
+        with pytest.raises(DescriptorError):
+            Descriptor.from_bytes(b"not json at all")
+        with pytest.raises(DescriptorError):
+            Descriptor.from_bytes(b'{"object_id": "x"}')
+
+    def test_deterministic_output(self):
+        assert _descriptor().to_bytes() == _descriptor().to_bytes()

@@ -1,0 +1,92 @@
+"""Workstation-side storage of editing-state objects."""
+
+import pytest
+
+from repro.errors import FormationError, ObjectNotFoundError
+from repro.ids import IdGenerator
+from repro.objects import (
+    DrivingMode,
+    MultimediaObject,
+    ObjectState,
+    PresentationSpec,
+    TextFlow,
+    TextSegment,
+)
+from repro.workstation.editing_store import EditingStore
+
+
+def _draft(generator, text="draft body text"):
+    obj = MultimediaObject(
+        object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+    )
+    segment = TextSegment(segment_id=generator.segment_id(), markup=text)
+    obj.add_text_segment(segment)
+    obj.presentation = PresentationSpec(items=[TextFlow(segment.segment_id)])
+    return obj
+
+
+class TestEditingStore:
+    def test_save_and_load_by_name(self, generator):
+        store = EditingStore()
+        draft = _draft(generator)
+        service = store.save("memo-q3", draft)
+        assert service > 0
+        assert "memo-q3" in store
+        loaded, _ = store.load("memo-q3")
+        assert loaded.state is ObjectState.EDITING
+        assert loaded.text_segments[0].markup == "draft body text"
+
+    def test_loaded_object_is_editable(self, generator):
+        store = EditingStore()
+        store.save("doc", _draft(generator))
+        loaded, _ = store.load("doc")
+        loaded.add_text_segment(
+            TextSegment(segment_id=generator.segment_id(), markup="more")
+        )
+        assert len(loaded.text_segments) == 2
+
+    def test_resave_replaces(self, generator):
+        store = EditingStore()
+        store.save("doc", _draft(generator, "version one"))
+        store.save("doc", _draft(generator, "version two"))
+        loaded, _ = store.load("doc")
+        assert loaded.text_segments[0].markup == "version two"
+
+    def test_names_sorted(self, generator):
+        store = EditingStore()
+        store.save("zeta", _draft(generator))
+        store.save("alpha", _draft(generator))
+        assert store.names() == ["alpha", "zeta"]
+
+    def test_archived_objects_rejected(self, generator):
+        store = EditingStore()
+        archived = _draft(generator).archive()
+        with pytest.raises(FormationError):
+            store.save("nope", archived)
+
+    def test_unknown_name(self):
+        store = EditingStore()
+        with pytest.raises(ObjectNotFoundError):
+            store.load("ghost")
+        with pytest.raises(ObjectNotFoundError):
+            store.discard("ghost")
+
+    def test_discard(self, generator):
+        store = EditingStore()
+        store.save("doc", _draft(generator))
+        store.discard("doc")
+        assert "doc" not in store
+
+    def test_preview_editing_object_with_browsing_software(self, generator):
+        """§4: 'the user can use the same browsing within object
+        capabilities as in the object archiver in order to view objects
+        which are in the editing stage.'"""
+        from repro.core.visual import VisualSession
+        from repro.workstation.station import Workstation
+
+        store = EditingStore()
+        store.save("doc", _draft(generator, "preview me\n\nacross paragraphs"))
+        loaded, _ = store.load("doc")
+        session = VisualSession(loaded, Workstation())
+        session.open()
+        assert session.current_page_number == 1

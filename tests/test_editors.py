@@ -1,0 +1,269 @@
+"""The MINOS editors."""
+
+import numpy as np
+import pytest
+
+from repro.audio.signal import synthesize_speech
+from repro.editors import ImageEditor, TextEditor, VoiceEditor
+from repro.errors import AudioError, FormationError, ImageError, MarkupError
+from repro.ids import IdGenerator, ImageId
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Circle, Point
+from repro.images.graphics import GraphicsObject
+from repro.images.image import Image
+from repro.images.miniature import make_miniature
+from repro.objects.logical import LogicalUnitKind
+from repro.objects.parts import TextSegment, VoiceSegment
+
+
+@pytest.fixture
+def text_editor(generator):
+    segment = TextSegment(
+        segment_id=generator.segment_id(),
+        markup="@title{Doc}\n@chapter{One}\nfirst paragraph\n\nsecond paragraph",
+    )
+    return TextEditor(segment)
+
+
+class TestTextEditor:
+    def test_line_access(self, text_editor):
+        assert text_editor.line_count == 5
+        assert text_editor.line(0) == "@title{Doc}"
+        with pytest.raises(FormationError):
+            text_editor.line(10)
+
+    def test_insert_delete_replace(self, text_editor):
+        text_editor.insert_line(2, "inserted before first paragraph")
+        assert text_editor.line(2).startswith("inserted")
+        text_editor.delete_lines(2)
+        assert text_editor.line(2) == "first paragraph"
+        text_editor.replace_line(2, "edited paragraph")
+        assert "edited paragraph" in text_editor.text
+
+    def test_append_paragraph_adds_separator(self, text_editor):
+        text_editor.append_paragraph("a new closing paragraph")
+        lines = text_editor.text.splitlines()
+        assert lines[-1] == "a new closing paragraph"
+        assert lines[-2] == ""
+
+    def test_insert_chapter(self, text_editor):
+        text_editor.insert_chapter(5, "Two")
+        assert "@chapter{Two}" in text_editor.text
+
+    def test_undo_stack(self, text_editor):
+        original = text_editor.text
+        text_editor.replace_line(2, "changed")
+        text_editor.delete_lines(0)
+        assert text_editor.undo()
+        assert text_editor.undo()
+        assert text_editor.text == original
+        assert not text_editor.undo()
+
+    def test_commit_validates_markup(self, text_editor):
+        text_editor.replace_line(0, "@bogus{x}")
+        with pytest.raises(MarkupError):
+            text_editor.commit()
+
+    def test_commit_produces_fresh_segment(self, text_editor):
+        text_editor.append_paragraph("extra")
+        segment = text_editor.commit()
+        assert "extra" in segment.markup
+        assert segment.logical_index.count(LogicalUnitKind.CHAPTER) == 1
+
+
+@pytest.fixture
+def voice_editor(generator, short_speech):
+    segment = VoiceSegment(
+        segment_id=generator.segment_id(), recording=short_speech
+    )
+    return VoiceEditor(segment)
+
+
+class TestVoiceEditorWaveform:
+    def test_cut_removes_span(self, voice_editor, short_speech):
+        before = voice_editor.duration
+        removed = voice_editor.cut(1.0, 2.0)
+        assert removed.duration == pytest.approx(1.0, abs=0.01)
+        assert voice_editor.duration == pytest.approx(before - 1.0, abs=0.01)
+
+    def test_cut_shifts_annotations(self, voice_editor, short_speech):
+        tail_words = [w for w in short_speech.words if w.start >= 2.0]
+        voice_editor.cut(1.0, 2.0)
+        edited_words = voice_editor.recording.words
+        shifted = [w for w in edited_words if w.word == tail_words[0].word]
+        assert any(
+            abs(w.start - (tail_words[0].start - 1.0)) < 0.02 for w in shifted
+        )
+
+    def test_cut_validation(self, voice_editor):
+        with pytest.raises(AudioError):
+            voice_editor.cut(5.0, 4.0)
+        with pytest.raises(AudioError):
+            voice_editor.cut(-1.0, 2.0)
+
+    def test_splice_inserts_clip(self, voice_editor):
+        clip = synthesize_speech("inserted remark", seed=31)
+        before = voice_editor.duration
+        voice_editor.splice(1.5, clip)
+        assert voice_editor.duration == pytest.approx(
+            before + clip.duration, abs=0.01
+        )
+        words = [w.word for w in voice_editor.recording.words]
+        assert "inserted" in words and "remark" in words
+
+    def test_splice_rate_mismatch(self, voice_editor):
+        clip = synthesize_speech("wrong rate", sample_rate=4000, seed=1)
+        with pytest.raises(AudioError):
+            voice_editor.splice(0.0, clip)
+
+    def test_cut_then_splice_roundtrip_duration(self, voice_editor):
+        clip = voice_editor.cut(1.0, 2.0)
+        voice_editor.splice(1.0, clip)
+        # Durations restore (sample-exact), words re-sorted.
+        words = voice_editor.recording.words
+        assert [w.start for w in words] == sorted(w.start for w in words)
+
+
+class TestVoiceEditorMarking:
+    def test_mark_chapters(self, voice_editor):
+        voice_editor.mark_start(LogicalUnitKind.CHAPTER, 0.0, "intro")
+        voice_editor.mark_end(LogicalUnitKind.CHAPTER, 2.5)
+        voice_editor.mark_start(LogicalUnitKind.CHAPTER, 2.5, "body")
+        voice_editor.mark_end(LogicalUnitKind.CHAPTER, voice_editor.duration)
+        segment = voice_editor.commit()
+        chapters = segment.logical_index.units(LogicalUnitKind.CHAPTER)
+        assert [c.label for c in chapters] == ["intro", "body"]
+
+    def test_nested_marks(self, voice_editor):
+        voice_editor.mark_start(LogicalUnitKind.CHAPTER, 0.0, "ch")
+        voice_editor.mark_start(LogicalUnitKind.SECTION, 0.5, "sec")
+        voice_editor.mark_end(LogicalUnitKind.SECTION, 2.0)
+        voice_editor.mark_end(LogicalUnitKind.CHAPTER, 3.0)
+        segment = voice_editor.commit()
+        chapter = segment.logical_index.units(LogicalUnitKind.CHAPTER)[0]
+        assert [c.kind for c in chapter.children] == [LogicalUnitKind.SECTION]
+
+    def test_double_open_rejected(self, voice_editor):
+        voice_editor.mark_start(LogicalUnitKind.CHAPTER, 0.0)
+        with pytest.raises(FormationError):
+            voice_editor.mark_start(LogicalUnitKind.CHAPTER, 1.0)
+
+    def test_end_without_start_rejected(self, voice_editor):
+        with pytest.raises(FormationError):
+            voice_editor.mark_end(LogicalUnitKind.SECTION, 1.0)
+
+    def test_end_before_start_rejected(self, voice_editor):
+        voice_editor.mark_start(LogicalUnitKind.CHAPTER, 2.0)
+        with pytest.raises(FormationError):
+            voice_editor.mark_end(LogicalUnitKind.CHAPTER, 1.0)
+
+    def test_commit_rejects_open_marks(self, voice_editor):
+        voice_editor.mark_start(LogicalUnitKind.CHAPTER, 0.0)
+        with pytest.raises(FormationError):
+            voice_editor.commit()
+
+    def test_commit_drops_stale_utterances(self, generator, short_speech):
+        from repro.audio.recognition import RecognizedUtterance
+
+        segment = VoiceSegment(
+            segment_id=generator.segment_id(),
+            recording=short_speech,
+            utterances=[RecognizedUtterance("stale", 0.5)],
+        )
+        editor = VoiceEditor(segment)
+        editor.cut(0.2, 0.4)
+        assert editor.commit().utterances == []
+
+    def test_unedited_object_still_pause_browsable(self, voice_editor):
+        # "It may not be desirable to manually edit all incoming
+        # information" — no marks at all is a valid commit.
+        segment = voice_editor.commit()
+        assert segment.logical_index.kinds_present() == set()
+        assert len(segment.pause_index) > 0
+
+
+@pytest.fixture
+def image_editor(generator):
+    image = Image(
+        image_id=generator.image_id(),
+        width=100,
+        height=100,
+        bitmap=Bitmap.blank(100, 100),
+        graphics=[GraphicsObject("existing", Circle(Point(20, 20), 5))],
+    )
+    return ImageEditor(image)
+
+
+class TestImageEditor:
+    def test_add_and_remove(self, image_editor):
+        image_editor.add_object(
+            GraphicsObject("mark", Circle(Point(50, 50), 8))
+        )
+        assert "mark" in image_editor.object_names
+        removed = image_editor.remove_object("mark")
+        assert removed.name == "mark"
+        with pytest.raises(FormationError):
+            image_editor.remove_object("mark")
+
+    def test_duplicate_name_rejected(self, image_editor):
+        with pytest.raises(FormationError):
+            image_editor.add_object(
+                GraphicsObject("existing", Circle(Point(1, 1), 2))
+            )
+
+    def test_attach_text_label(self, image_editor):
+        image_editor.attach_text_label("existing", "the spot", Point(20, 10))
+        final = image_editor.finalize()
+        assert final.find_object("existing").label.text == "the spot"
+
+    def test_attach_voice_label(self, image_editor):
+        recording = synthesize_speech("spot label", seed=5)
+        image_editor.attach_voice_label(
+            "existing", "spot label", Point(20, 10), recording
+        )
+        final = image_editor.finalize()
+        label = final.find_object("existing").label
+        assert label.kind.is_voice
+        assert label.voice is recording
+
+    def test_invisible_labels(self, image_editor):
+        image_editor.attach_text_label(
+            "existing", "hidden", Point(0, 0), invisible=True
+        )
+        final = image_editor.finalize()
+        assert not final.find_object("existing").label.kind.is_visible
+
+    def test_remove_label(self, image_editor):
+        image_editor.attach_text_label("existing", "x", Point(0, 0))
+        image_editor.remove_label("existing")
+        assert image_editor.finalize().find_object("existing").label is None
+
+    def test_finalize_freezes(self, image_editor):
+        image_editor.finalize()
+        assert image_editor.is_final
+        with pytest.raises(FormationError):
+            image_editor.add_object(GraphicsObject("late", Point(1, 1)))
+
+    def test_finalized_bitmap_is_a_copy(self, image_editor, generator):
+        final = image_editor.finalize()
+        final.bitmap.pixels[0, 0] = 99
+        fresh = ImageEditor(
+            Image(
+                image_id=generator.image_id(),
+                width=100,
+                height=100,
+                bitmap=Bitmap.blank(100, 100),
+            )
+        ).finalize()
+        assert int(fresh.bitmap.pixels[0, 0]) == 0
+
+    def test_representation_not_editable(self, generator):
+        image = Image(
+            image_id=generator.image_id(),
+            width=64,
+            height=64,
+            bitmap=Bitmap.blank(64, 64),
+        )
+        mini = make_miniature(image, 4, generator.image_id())
+        with pytest.raises(ImageError):
+            ImageEditor(mini)

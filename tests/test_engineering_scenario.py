@@ -1,0 +1,66 @@
+"""The engineering-design levels-of-description scenario (§3)."""
+
+import pytest
+
+from repro.core.manager import LocalStore, PresentationManager
+from repro.scenarios import build_engineering_design
+from repro.trace import EventKind
+from repro.workstation.station import Workstation
+
+
+@pytest.fixture
+def rig():
+    block, component = build_engineering_design()
+    workstation = Workstation()
+    store = LocalStore()
+    store.add(block)
+    store.add(component)
+    manager = PresentationManager(store, workstation)
+    session = manager.open(block.object_id)
+    return manager, session, workstation, block, component
+
+
+class TestLevelsOfDescription:
+    def test_block_level_shows_indicator(self, rig):
+        _, session, _, _, _ = rig
+        indicators = session.visible_indicators()
+        assert [i["label"] for i in indicators] == ["corresponding components"]
+
+    def test_selecting_projects_polygons_on_component_level(self, rig):
+        manager, session, workstation, _, component = rig
+        indicator = session.visible_indicators()[0]["indicator"]
+        child = manager.select_relevant(session, indicator)
+        # The component-level image is displayed...
+        assert child.object.object_id == component.object_id
+        assert workstation.screen.page_number == 1
+        # ...with the corresponding-object polygons projected on top.
+        superimposed = workstation.trace.of_kind(EventKind.SUPERIMPOSE)
+        assert any(
+            e.detail.get("transparency") == "relevance-regions"
+            for e in superimposed
+        )
+
+    def test_polygons_enclose_the_corresponding_components(self, rig):
+        manager, session, _, _, component = rig
+        indicator = session.visible_indicators()[0]["indicator"]
+        child = manager.select_relevant(session, indicator)
+        regions = child.relevance_regions[component.images[0].image_id]
+        assert len(regions) == 3
+        # Each polygon encloses its component's centre.
+        for name in ("transistor-q1", "resistor-r3", "capacitor-c2"):
+            obj = component.images[0].find_object(name)
+            centre = obj.bounding_rect().center
+            assert any(region.contains_point(centre) for region in regions)
+        # The unrelated via-field is enclosed by none.
+        via = component.images[0].find_object("via-field")
+        assert not any(
+            region.contains_point(via.shape.center) for region in regions
+        )
+
+    def test_return_to_block_level(self, rig):
+        manager, session, workstation, block, _ = rig
+        indicator = session.visible_indicators()[0]["indicator"]
+        child = manager.select_relevant(session, indicator)
+        back = manager.return_from_relevant(child)
+        assert back is session
+        assert back.object.object_id == block.object_id

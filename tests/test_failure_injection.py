@@ -1,0 +1,212 @@
+"""Failure injection: full disks, corrupted bytes, degraded recognition.
+
+"Errors should never pass silently" — every failure surfaces as a typed
+MinosError, and partial failures leave consistent state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AllocationError,
+    ArchiverError,
+    DescriptorError,
+    FormationError,
+    MinosError,
+    ObjectNotFoundError,
+    WriteOnceViolationError,
+)
+from repro.formatter.archive import unpack_archived
+from repro.ids import IdGenerator
+from repro.scenarios import build_object_library, build_office_document
+from repro.server import Archiver
+from repro.storage.blockdev import DiskGeometry, Extent
+from repro.storage.optical import OpticalDisk
+
+
+class TestDiskExhaustion:
+    def test_archiver_on_tiny_disk_raises_allocation_error(self):
+        tiny = OpticalDisk(
+            DiskGeometry(
+                capacity_bytes=10_000,
+                max_seek_s=0.1,
+                rotational_latency_s=0.01,
+                transfer_bytes_per_s=1_000_000,
+            )
+        )
+        archiver = Archiver(disk=tiny)
+        obj = build_office_document()
+        with pytest.raises(AllocationError):
+            archiver.store(obj)
+
+    def test_failed_store_leaves_archiver_consistent(self):
+        tiny = OpticalDisk(
+            DiskGeometry(
+                capacity_bytes=10_000,
+                max_seek_s=0.1,
+                rotational_latency_s=0.01,
+                transfer_bytes_per_s=1_000_000,
+            )
+        )
+        archiver = Archiver(disk=tiny)
+        obj = build_office_document()
+        with pytest.raises(AllocationError):
+            archiver.store(obj)
+        assert len(archiver) == 0
+        assert obj.object_id not in archiver
+
+    def test_worm_violation_is_typed(self):
+        disk = OpticalDisk(
+            DiskGeometry(
+                capacity_bytes=1_000_000,
+                max_seek_s=0.1,
+                rotational_latency_s=0.01,
+                transfer_bytes_per_s=1_000_000,
+            )
+        )
+        extent, _ = disk.append(b"first write")
+        with pytest.raises(WriteOnceViolationError) as error:
+            disk.write(extent, b"evil rewrit")
+        assert isinstance(error.value, MinosError)
+
+
+class TestCorruptedData:
+    def test_unpack_garbage(self):
+        with pytest.raises(FormationError):
+            unpack_archived(b"\x00" * 64)
+
+    def test_unpack_corrupted_descriptor(self):
+        from repro.formatter.archive import pack_archived
+        from repro.formatter.builder import ObjectFormatter
+
+        formed = ObjectFormatter().form(build_office_document())
+        packed = pack_archived(formed.descriptor, formed.composition)
+        corrupted = bytearray(packed.data)
+        corrupted[12] ^= 0xFF  # flip a byte inside the descriptor JSON
+        with pytest.raises((FormationError, DescriptorError)):
+            descriptor, composition = unpack_archived(bytes(corrupted))
+            descriptor.location("anything")
+
+    def test_truncated_archived_object(self):
+        from repro.formatter.archive import pack_archived
+        from repro.formatter.builder import ObjectFormatter
+
+        formed = ObjectFormatter().form(build_office_document())
+        packed = pack_archived(formed.descriptor, formed.composition)
+        with pytest.raises(FormationError):
+            unpack_archived(packed.data[:10])
+
+
+class TestArchiverMisuse:
+    def test_fetch_unknown_object(self, generator):
+        archiver = Archiver()
+        with pytest.raises(ObjectNotFoundError):
+            archiver.fetch_object(generator.object_id())
+
+    def test_data_extent_unknown_tag(self):
+        archiver = Archiver()
+        obj = build_office_document()
+        archiver.store(obj)
+        with pytest.raises(DescriptorError):
+            archiver.data_extent(obj.object_id, "no/such/tag")
+
+    def test_piece_range_past_end(self):
+        archiver = Archiver()
+        obj = build_office_document()
+        archiver.store(obj)
+        tag = f"text/{obj.text_segments[0].segment_id}"
+        extent = archiver.data_extent(obj.object_id, tag)
+        with pytest.raises(ArchiverError):
+            archiver.read_piece_range(
+                obj.object_id, tag, extent.length - 1, 100
+            )
+
+    def test_scatter_read_validates_every_range(self):
+        archiver = Archiver()
+        obj = build_office_document()
+        archiver.store(obj)
+        tag = f"text/{obj.text_segments[0].segment_id}"
+        with pytest.raises(ArchiverError):
+            archiver.read_piece_rows(
+                obj.object_id, tag, [(0, 10), (10**9, 10)]
+            )
+
+
+class TestDegradedRecognition:
+    def test_very_lossy_recognizer_still_indexes_something(self):
+        from repro.audio.recognition import VocabularyRecognizer
+        from repro.audio.signal import synthesize_speech
+        from repro.text.search import TextSearchIndex
+
+        script = " ".join(["fracture joint swelling"] * 20)
+        recording = synthesize_speech(script, seed=80)
+        recognizer = VocabularyRecognizer(
+            ["fracture", "joint", "swelling"], miss_rate=0.8, seed=80
+        )
+        index = TextSearchIndex.from_utterances(recognizer.recognize(recording))
+        # 20% survival of 60 occurrences: the index degrades, never breaks.
+        assert 0 < len(index) < 60
+
+    def test_confusions_never_leave_vocabulary(self):
+        from repro.audio.recognition import VocabularyRecognizer
+        from repro.audio.signal import synthesize_speech
+
+        recording = synthesize_speech("alpha beta gamma alpha beta", seed=81)
+        recognizer = VocabularyRecognizer(
+            ["alpha", "beta", "gamma"], miss_rate=0.0, confusion_rate=0.9,
+            seed=81,
+        )
+        terms = {u.term for u in recognizer.recognize(recording)}
+        assert terms <= {"alpha", "beta", "gamma"}
+
+
+class TestCapturedDocuments:
+    """Text inserted "by means of an image capturing capability (as a
+    collection of bitmaps of pages)" — browsable by page only."""
+
+    @pytest.fixture
+    def captured(self, generator):
+        from repro.images.bitmap import Bitmap
+        from repro.images.image import Image
+        from repro.objects import (
+            DrivingMode,
+            ImagePage,
+            MultimediaObject,
+            PresentationSpec,
+        )
+
+        obj = MultimediaObject(
+            object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+        )
+        items = []
+        for page in range(4):
+            image = Image(
+                image_id=generator.image_id(),
+                width=200,
+                height=260,
+                bitmap=Bitmap.from_function(
+                    200, 260, lambda x, y, p=page: (x + y + p * 13) % 256
+                ),
+            )
+            obj.add_image(image)
+            items.append(ImagePage(image.image_id))
+        obj.presentation = PresentationSpec(items=items)
+        return obj.archive()
+
+    def test_page_browsing_only(self, captured):
+        from repro.core.browsing import BrowseCommand
+        from repro.core.manager import LocalStore, PresentationManager
+        from repro.workstation.station import Workstation
+
+        store = LocalStore()
+        store.add(captured)
+        session = PresentationManager(store, Workstation()).open(
+            captured.object_id
+        )
+        commands = session.menu.commands
+        assert BrowseCommand.NEXT_PAGE.value in commands
+        # No text part: no logical browsing, no pattern matching.
+        assert BrowseCommand.NEXT_CHAPTER.value not in commands
+        assert BrowseCommand.FIND_PATTERN.value not in commands
+        session.next_page()
+        assert session.current_page_number == 2

@@ -1,0 +1,322 @@
+"""Object formation: composition, serialization, archive, mail."""
+
+import numpy as np
+import pytest
+
+from repro.audio.recognition import VocabularyRecognizer
+from repro.audio.signal import synthesize_speech
+from repro.errors import FormationError
+from repro.formatter.archive import mail_outside, pack_archived, unpack_archived
+from repro.formatter.builder import ObjectFormatter, rebuild_object
+from repro.formatter.composition import BlobRegistry, CompositionFile
+from repro.ids import IdGenerator
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Circle, Point, Polygon
+from repro.images.graphics import GraphicsObject, Label, LabelKind
+from repro.images.image import Image
+from repro.objects import (
+    AttributeSet,
+    DrivingMode,
+    ImagePage,
+    MultimediaObject,
+    PresentationSpec,
+    ProcessSimulation,
+    SimStep,
+    SimStepKind,
+    TextFlow,
+    TextSegment,
+    Tour,
+    TourStop,
+    TransparencyMode,
+    TransparencySet,
+    VisualMessage,
+    VisualMessageContent,
+    VoiceMessage,
+)
+from repro.objects.anchors import ImageAnchor, TextAnchor, VoiceAnchor
+from repro.objects.descriptor import DataSource
+from repro.objects.logical import LogicalIndex, LogicalUnit, LogicalUnitKind
+from repro.objects.parts import VoiceSegment
+from repro.objects.relationships import Relevance, RelevanceKind, RelevantLink
+
+
+def _rich_object(generator: IdGenerator) -> MultimediaObject:
+    """An object exercising every serializable feature."""
+    obj = MultimediaObject(
+        object_id=generator.object_id(),
+        driving_mode=DrivingMode.VISUAL,
+        attributes=AttributeSet.of(kind="rich", serial=7),
+    )
+    text = TextSegment(
+        segment_id=generator.segment_id(),
+        markup="@title{Rich}\n@chapter{One}\nBody text with **bold** words.",
+    )
+    obj.add_text_segment(text)
+
+    recording = synthesize_speech("spoken segment with fracture word", seed=8)
+    recognizer = VocabularyRecognizer(["fracture"], seed=8)
+    voice = VoiceSegment(
+        segment_id=generator.segment_id(),
+        recording=recording,
+        logical_index=LogicalIndex(
+            [LogicalUnit(LogicalUnitKind.CHAPTER, 0.0, recording.duration, "intro")]
+        ),
+        utterances=recognizer.recognize(recording),
+    )
+    obj.add_voice_segment(voice)
+
+    label_voice = synthesize_speech("label voice", seed=9)
+    image = Image(
+        image_id=generator.image_id(),
+        width=64,
+        height=48,
+        bitmap=Bitmap.from_function(64, 48, lambda x, y: (3 * x + y) % 256),
+        graphics=[
+            GraphicsObject(
+                "spot",
+                Circle(Point(30, 20), 5),
+                label=Label(LabelKind.VOICE, "the spot", Point(30, 12),
+                            voice=label_voice),
+                filled=True,
+            ),
+        ],
+    )
+    obj.add_image(image)
+    overlay = Image(image_id=generator.image_id(), width=64, height=48,
+                    graphics=[GraphicsObject("mark", Point(5, 5))])
+    obj.add_image(overlay)
+
+    obj.attach_voice_message(
+        VoiceMessage(
+            message_id=generator.message_id(),
+            recording=synthesize_speech("voice note", seed=10),
+            anchors=[
+                TextAnchor(text.segment_id, 0, 10),
+                ImageAnchor(image.image_id),
+                VoiceAnchor(voice.segment_id, 0.5, 1.5),
+            ],
+        )
+    )
+    obj.attach_visual_message(
+        VisualMessage(
+            message_id=generator.message_id(),
+            content=VisualMessageContent(text="hint", image_ids=[image.image_id]),
+            anchors=[TextAnchor(text.segment_id, 5, 25)],
+            display_once=True,
+        )
+    )
+    obj.add_relevant_link(
+        RelevantLink(
+            indicator_id=generator.indicator_id(),
+            label="related",
+            target_object_id=generator.object_id(),
+            parent_anchor=ImageAnchor(image.image_id),
+            relevances=[
+                Relevance(kind=RelevanceKind.TEXT, segment_id=text.segment_id,
+                          text_start=0, text_end=10),
+                Relevance(
+                    kind=RelevanceKind.IMAGE,
+                    image_id=image.image_id,
+                    region=Polygon([Point(0, 0), Point(10, 0), Point(10, 10)]),
+                ),
+                Relevance(kind=RelevanceKind.VOICE, segment_id=voice.segment_id,
+                          voice_start=0.0, voice_end=1.0),
+            ],
+        )
+    )
+    obj.presentation = PresentationSpec(
+        items=[
+            TextFlow(text.segment_id),
+            ImagePage(image.image_id),
+            TransparencySet([overlay.image_id], mode=TransparencyMode.SEPARATE),
+            ProcessSimulation(
+                [SimStep(overlay.image_id, SimStepKind.OVERWRITE)], interval_s=0.5
+            ),
+            Tour(image.image_id, 20, 20, [TourStop(1, 2)], dwell_s=1.0),
+        ],
+        audio_order=[voice.segment_id],
+        audio_page_seconds=6.0,
+    )
+    return obj
+
+
+class TestCompositionFile:
+    def test_registry_rejects_duplicates(self):
+        registry = BlobRegistry()
+        registry.add("a", "text", b"1")
+        with pytest.raises(FormationError):
+            registry.add("a", "text", b"2")
+
+    def test_registry_rejects_unknown_kind(self):
+        with pytest.raises(FormationError):
+            BlobRegistry().add("a", "mystery", b"1")
+
+    def test_locations_are_contiguous(self):
+        registry = BlobRegistry()
+        registry.add("a", "text", b"12345")
+        registry.add("b", "image", b"678")
+        composition = CompositionFile.from_registry(registry)
+        locations = composition.locations
+        assert locations[0].offset == 0 and locations[0].length == 5
+        assert locations[1].offset == 5 and locations[1].length == 3
+        assert composition.size == 8
+        assert composition.to_bytes() == b"12345678"
+
+    def test_read_by_tag(self):
+        registry = BlobRegistry()
+        registry.add("a", "text", b"hello")
+        composition = CompositionFile.from_registry(registry)
+        assert composition.read("a") == b"hello"
+        with pytest.raises(FormationError):
+            composition.read("nope")
+
+
+class TestRoundTrip:
+    def test_full_object_roundtrip(self, generator):
+        original = _rich_object(generator)
+        formed = ObjectFormatter().form(original)
+        rebuilt = rebuild_object(formed.descriptor, formed.composition)
+
+        assert rebuilt.object_id == original.object_id
+        assert rebuilt.driving_mode is DrivingMode.VISUAL
+        assert rebuilt.attributes.as_dict() == original.attributes.as_dict()
+        assert rebuilt.text_segments[0].markup == original.text_segments[0].markup
+
+        voice_in = original.voice_segments[0]
+        voice_out = rebuilt.voice_segments[0]
+        assert voice_out.duration == pytest.approx(voice_in.duration)
+        assert voice_out.utterances == voice_in.utterances
+        assert voice_out.logical_index.count(LogicalUnitKind.CHAPTER) == 1
+        assert np.abs(
+            voice_out.recording.samples - voice_in.recording.samples
+        ).max() < 0.03
+
+        image_in = original.images[0]
+        image_out = rebuilt.images[0]
+        assert image_out.bitmap.equals(image_in.bitmap)
+        spot = image_out.find_object("spot")
+        assert spot.label is not None and spot.label.kind is LabelKind.VOICE
+        assert spot.label.voice is not None
+        assert spot.filled
+
+        assert len(rebuilt.voice_messages) == 1
+        assert len(rebuilt.voice_messages[0].anchors) == 3
+        assert rebuilt.visual_messages[0].display_once
+        assert rebuilt.visual_messages[0].content.image_ids == [image_in.image_id]
+
+        link = rebuilt.relevant_links[0]
+        assert link.label == "related"
+        assert [r.kind for r in link.relevances] == [
+            RelevanceKind.TEXT,
+            RelevanceKind.IMAGE,
+            RelevanceKind.VOICE,
+        ]
+
+        spec = rebuilt.presentation
+        assert len(spec.items) == 5
+        assert isinstance(spec.items[0], TextFlow)
+        assert isinstance(spec.items[2], TransparencySet)
+        assert spec.items[2].mode is TransparencyMode.SEPARATE
+        assert spec.audio_page_seconds == 6.0
+
+        from repro.objects import ObjectState
+
+        assert rebuilt.state is ObjectState.ARCHIVED
+
+    def test_formation_validates_first(self, generator):
+        from repro.ids import SegmentId
+
+        obj = MultimediaObject(object_id=generator.object_id())
+        obj.presentation = PresentationSpec(items=[TextFlow(SegmentId("ghost"))])
+        with pytest.raises(Exception):
+            ObjectFormatter().form(obj)
+
+
+class TestSharedArchiverData:
+    def test_shared_piece_not_duplicated(self, generator):
+        obj = _rich_object(generator)
+        formed_plain = ObjectFormatter().form(obj)
+        image_tag = f"image/{obj.images[0].image_id}"
+        piece = formed_plain.descriptor.location(image_tag)
+
+        formed_shared = ObjectFormatter(
+            {image_tag: (5_000, piece.length)}
+        ).form(obj)
+        location = formed_shared.descriptor.location(image_tag)
+        assert location.source is DataSource.ARCHIVER
+        assert location.offset == 5_000
+        assert len(formed_shared.composition) == (
+            len(formed_plain.composition) - piece.length
+        )
+
+    def test_shared_length_mismatch_rejected(self, generator):
+        obj = _rich_object(generator)
+        image_tag = f"image/{obj.images[0].image_id}"
+        with pytest.raises(FormationError):
+            ObjectFormatter({image_tag: (0, 1)}).form(obj)
+
+    def test_rebuild_needs_archiver_reader(self, generator):
+        obj = _rich_object(generator)
+        image_tag = f"image/{obj.images[0].image_id}"
+        piece = ObjectFormatter().form(obj).descriptor.location(image_tag)
+        formed = ObjectFormatter({image_tag: (0, piece.length)}).form(obj)
+        with pytest.raises(FormationError):
+            rebuild_object(formed.descriptor, formed.composition)
+
+
+class TestArchiveBytes:
+    def test_pack_unpack_roundtrip(self, generator):
+        formed = ObjectFormatter().form(_rich_object(generator))
+        packed = pack_archived(formed.descriptor, formed.composition)
+        descriptor, composition = unpack_archived(packed.data)
+        assert composition == formed.composition
+        assert descriptor.to_bytes() == formed.descriptor.to_bytes()
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(FormationError):
+            unpack_archived(b"XXXX\x00\x00\x00\x01z")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(FormationError):
+            unpack_archived(b"MN")
+
+
+class TestMailOutside:
+    def test_mail_resolves_archiver_pointers(self, generator):
+        obj = _rich_object(generator)
+        image_tag = f"image/{obj.images[0].image_id}"
+        plain = ObjectFormatter().form(obj)
+        piece = plain.descriptor.location(image_tag)
+        piece_bytes = plain.composition[
+            piece.offset: piece.offset + piece.length
+        ]
+        # Pretend the archiver stores the image at offset 1234.
+        formed = ObjectFormatter({image_tag: (1234, piece.length)}).form(obj)
+
+        def archiver_read(offset, length):
+            assert offset == 1234
+            return piece_bytes
+
+        descriptor, composition = mail_outside(
+            formed.descriptor, formed.composition, archiver_read
+        )
+        assert descriptor.archiver_tags() == []
+        assert len(composition) == len(formed.composition) + piece.length
+        rebuilt = rebuild_object(descriptor, composition)
+        assert rebuilt.images[0].bitmap.equals(obj.images[0].bitmap)
+
+    def test_mail_without_pointers_is_identity(self, generator):
+        formed = ObjectFormatter().form(_rich_object(generator))
+        descriptor, composition = mail_outside(
+            formed.descriptor, formed.composition, lambda o, l: b""
+        )
+        assert descriptor is formed.descriptor
+        assert composition is formed.composition
+
+    def test_mail_detects_short_reads(self, generator):
+        obj = _rich_object(generator)
+        image_tag = f"image/{obj.images[0].image_id}"
+        piece = ObjectFormatter().form(obj).descriptor.location(image_tag)
+        formed = ObjectFormatter({image_tag: (0, piece.length)}).form(obj)
+        with pytest.raises(FormationError):
+            mail_outside(formed.descriptor, formed.composition, lambda o, l: b"x")

@@ -1,0 +1,118 @@
+"""The synthesis file and data directory."""
+
+import pytest
+
+from repro.audio.signal import synthesize_speech
+from repro.errors import DataDirectoryError, FormationError
+from repro.formatter.datadir import DataDirectory, DataEntry, DataStatus
+from repro.formatter.synthesis import SynthesisFile
+from repro.ids import IdGenerator
+from repro.images.bitmap import Bitmap
+from repro.images.image import Image
+from repro.objects import DrivingMode, ObjectState
+from repro.objects.descriptor import DataKind
+
+
+def _image(generator):
+    return Image(
+        image_id=generator.image_id(),
+        width=32,
+        height=32,
+        bitmap=Bitmap.blank(32, 32),
+    )
+
+
+class TestDataDirectory:
+    def test_register_and_lookup(self):
+        directory = DataDirectory()
+        directory.register(
+            DataEntry("tag", DataKind.IMAGE, "file:tag", 100)
+        )
+        assert "tag" in directory
+        assert directory.entry("tag").length == 100
+        with pytest.raises(DataDirectoryError):
+            directory.entry("missing")
+
+    def test_final_form_tracking(self):
+        directory = DataDirectory()
+        directory.register(DataEntry("a", DataKind.TEXT, "f", 1))
+        directory.register(
+            DataEntry("b", DataKind.IMAGE, "f", 1, status=DataStatus.FINAL)
+        )
+        assert [e.name for e in directory.drafts()] == ["a"]
+        with pytest.raises(DataDirectoryError):
+            directory.require_all_final()
+        directory.mark_final("a")
+        directory.require_all_final()
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(DataDirectoryError):
+            DataEntry("x", DataKind.TEXT, "f", -1)
+
+    def test_entries_sorted(self):
+        directory = DataDirectory()
+        directory.register(DataEntry("z", DataKind.TEXT, "f", 1))
+        directory.register(DataEntry("a", DataKind.TEXT, "f", 1))
+        assert [e.name for e in directory.entries()] == ["a", "z"]
+
+
+class TestSynthesisFile:
+    def test_markup_edit_invalidates(self, generator):
+        synthesis = SynthesisFile(generator.object_id())
+        synthesis.update_markup("hello")
+        synthesis.update_markup("hello again")
+        assert synthesis.rebuild_count == 2
+
+    def test_miniature_preview_pages(self, generator):
+        synthesis = SynthesisFile(generator.object_id())
+        synthesis.update_markup("@title{T}\n" + ("word " * 400))
+        pages = synthesis.miniature_pages(width=30, page_height=10)
+        assert len(pages) > 1
+
+    def test_preview_rejects_unregistered_image(self, generator):
+        synthesis = SynthesisFile(generator.object_id())
+        synthesis.update_markup("@image{ghost}")
+        with pytest.raises(FormationError):
+            synthesis.miniature_pages()
+
+    def test_build_visual_object(self, generator):
+        synthesis = SynthesisFile(generator.object_id())
+        image = _image(generator)
+        synthesis.register_image(image.image_id.value, image)
+        synthesis.update_markup(
+            "@title{Doc}\nbody\n@image{" + image.image_id.value + "}"
+        )
+        obj = synthesis.build_object()
+        assert obj.state is ObjectState.EDITING
+        assert len(obj.text_segments) == 1
+        assert len(obj.images) == 1
+        assert len(obj.presentation.items) == 1
+
+    def test_build_rejects_unregistered_image(self, generator):
+        synthesis = SynthesisFile(generator.object_id())
+        synthesis.update_markup("@image{nope}")
+        with pytest.raises(FormationError):
+            synthesis.build_object()
+
+    def test_build_audio_object(self, generator):
+        synthesis = SynthesisFile(
+            generator.object_id(), driving_mode=DrivingMode.AUDIO
+        )
+        synthesis.register_voice("note", synthesize_speech("a note", seed=1))
+        obj = synthesis.build_object()
+        assert obj.driving_mode is DrivingMode.AUDIO
+        assert len(obj.voice_segments) == 1
+        assert obj.presentation.audio_order == [
+            obj.voice_segments[0].segment_id
+        ]
+
+    def test_draft_data_blocks_build(self, generator):
+        synthesis = SynthesisFile(generator.object_id())
+        image = _image(generator)
+        synthesis.register_image(image.image_id.value, image)
+        synthesis.data_directory.entry(image.image_id.value).status = (
+            DataStatus.DRAFT
+        )
+        synthesis.update_markup("plain text")
+        with pytest.raises(DataDirectoryError):
+            synthesis.build_object()

@@ -1,0 +1,132 @@
+"""Plane geometry."""
+
+import pytest
+
+from repro.images.geometry import Circle, Point, PolyLine, Polygon, Rect
+
+
+class TestPoint:
+    def test_translated(self):
+        assert Point(1, 2).translated(3, -1) == Point(4, 1)
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+
+class TestRect:
+    def test_edges_and_area(self):
+        rect = Rect(2, 3, 10, 5)
+        assert rect.x2 == 12
+        assert rect.y2 == 8
+        assert rect.area == 50
+
+    def test_negative_sides_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 5)
+
+    def test_contains_point_half_open(self):
+        rect = Rect(0, 0, 10, 10)
+        assert rect.contains_point(Point(0, 0))
+        assert rect.contains_point(Point(9.9, 9.9))
+        assert not rect.contains_point(Point(10, 5))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 5, 5))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5, 5, 10, 10))
+
+    def test_intersection(self):
+        a = Rect(0, 0, 10, 10)
+        b = Rect(5, 5, 10, 10)
+        overlap = a.intersection(b)
+        assert overlap == Rect(5, 5, 5, 5)
+
+    def test_disjoint_intersection_is_none(self):
+        assert Rect(0, 0, 5, 5).intersection(Rect(10, 10, 5, 5)) is None
+
+    def test_touching_rects_do_not_intersect(self):
+        assert not Rect(0, 0, 5, 5).intersects(Rect(5, 0, 5, 5))
+
+    def test_translated_and_resized(self):
+        rect = Rect(1, 1, 4, 4)
+        assert rect.translated(2, 3) == Rect(3, 4, 4, 4)
+        assert rect.resized(2, -1) == Rect(1, 1, 6, 3)
+
+    def test_clamped_within_shifts_back_inside(self):
+        bounds = Rect(0, 0, 100, 100)
+        assert Rect(95, 95, 10, 10).clamped_within(bounds) == Rect(90, 90, 10, 10)
+        assert Rect(-5, 50, 10, 10).clamped_within(bounds) == Rect(0, 50, 10, 10)
+
+    def test_clamped_within_shrinks_oversize(self):
+        bounds = Rect(0, 0, 20, 20)
+        clamped = Rect(0, 0, 50, 50).clamped_within(bounds)
+        assert clamped == Rect(0, 0, 20, 20)
+
+    def test_center(self):
+        assert Rect(0, 0, 10, 20).center == Point(5, 10)
+
+
+class TestPolygon:
+    def test_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_point_in_square(self):
+        square = Polygon(
+            [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)]
+        )
+        assert square.contains_point(Point(5, 5))
+        assert not square.contains_point(Point(15, 5))
+
+    def test_point_in_concave_polygon(self):
+        # A "C" shape: the notch is outside.
+        shape = Polygon(
+            [
+                Point(0, 0), Point(10, 0), Point(10, 3),
+                Point(3, 3), Point(3, 7), Point(10, 7),
+                Point(10, 10), Point(0, 10),
+            ]
+        )
+        assert shape.contains_point(Point(1, 5))
+        assert not shape.contains_point(Point(7, 5))
+
+    def test_area_shoelace(self):
+        square = Polygon(
+            [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)]
+        )
+        assert square.area == pytest.approx(16.0)
+
+    def test_bounding_rect(self):
+        triangle = Polygon([Point(1, 1), Point(5, 2), Point(3, 6)])
+        bounds = triangle.bounding_rect()
+        assert bounds.x == 1 and bounds.y == 1
+        assert bounds.x2 >= 5 and bounds.y2 >= 6
+
+
+class TestPolyLine:
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            PolyLine([Point(0, 0)])
+
+    def test_length(self):
+        line = PolyLine([Point(0, 0), Point(3, 4), Point(3, 10)])
+        assert line.length == pytest.approx(11.0)
+
+
+class TestCircle:
+    def test_positive_radius_required(self):
+        with pytest.raises(ValueError):
+            Circle(Point(0, 0), 0)
+
+    def test_contains_point(self):
+        circle = Circle(Point(10, 10), 5)
+        assert circle.contains_point(Point(13, 10))
+        assert circle.contains_point(Point(15, 10))  # boundary
+        assert not circle.contains_point(Point(16, 10))
+
+    def test_bounding_rect_covers_circle(self):
+        circle = Circle(Point(10, 10), 5)
+        bounds = circle.bounding_rect()
+        assert bounds.contains_point(Point(5, 5))
+        assert bounds.contains_point(Point(14.9, 14.9))

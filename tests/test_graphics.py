@@ -1,0 +1,86 @@
+"""Graphics objects, labels, hit-testing."""
+
+import pytest
+
+from repro.audio.signal import synthesize_speech
+from repro.errors import ImageError
+from repro.images.geometry import Circle, Point, PolyLine, Polygon
+from repro.images.graphics import GraphicsObject, Label, LabelKind
+
+
+@pytest.fixture(scope="module")
+def voice():
+    return synthesize_speech("station label", seed=4)
+
+
+class TestLabelKind:
+    def test_visibility(self):
+        assert LabelKind.TEXT.is_visible
+        assert LabelKind.VOICE.is_visible
+        assert not LabelKind.INVISIBLE_TEXT.is_visible
+        assert not LabelKind.INVISIBLE_VOICE.is_visible
+
+    def test_voiceness(self):
+        assert LabelKind.VOICE.is_voice
+        assert LabelKind.INVISIBLE_VOICE.is_voice
+        assert not LabelKind.TEXT.is_voice
+
+
+class TestLabel:
+    def test_voice_label_requires_recording(self):
+        with pytest.raises(ImageError):
+            Label(LabelKind.VOICE, "x", Point(0, 0))
+
+    def test_text_label_must_not_carry_voice(self, voice):
+        with pytest.raises(ImageError):
+            Label(LabelKind.TEXT, "x", Point(0, 0), voice=voice)
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ImageError):
+            Label(LabelKind.TEXT, "", Point(0, 0))
+
+    def test_matches_case_insensitive(self):
+        label = Label(LabelKind.TEXT, "General Hospital", Point(0, 0))
+        assert label.matches("hospital")
+        assert label.matches("GENERAL")
+        assert not label.matches("school")
+
+    def test_voice_label_keeps_transcript(self, voice):
+        label = Label(LabelKind.VOICE, "station label", Point(0, 0), voice=voice)
+        assert label.matches("station")
+
+
+class TestHitTesting:
+    def test_point_hit_within_tolerance(self):
+        obj = GraphicsObject("p", Point(10, 10))
+        assert obj.hit(Point(12, 10))
+        assert not obj.hit(Point(20, 10))
+
+    def test_circle_hit(self):
+        obj = GraphicsObject("c", Circle(Point(50, 50), 10))
+        assert obj.hit(Point(55, 50))
+        assert not obj.hit(Point(70, 50))
+
+    def test_polygon_hit(self):
+        obj = GraphicsObject(
+            "square",
+            Polygon([Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)]),
+        )
+        assert obj.hit(Point(5, 5))
+        assert not obj.hit(Point(15, 15))
+
+    def test_polyline_hit_near_segment(self):
+        obj = GraphicsObject("line", PolyLine([Point(0, 0), Point(100, 0)]))
+        assert obj.hit(Point(50, 2))
+        assert not obj.hit(Point(50, 10))
+
+    def test_bounding_rect_cached_and_correct(self):
+        obj = GraphicsObject("c", Circle(Point(20, 20), 5))
+        first = obj.bounding_rect()
+        assert first is obj.bounding_rect()
+        assert first.contains_point(Point(20, 20))
+
+    def test_point_bounding_rect(self):
+        obj = GraphicsObject("p", Point(7, 9))
+        bounds = obj.bounding_rect()
+        assert (bounds.x, bounds.y, bounds.width, bounds.height) == (7, 9, 1, 1)

@@ -1,0 +1,182 @@
+"""Idle-time recognition over the archiver."""
+
+import pytest
+
+from repro.audio.recognition import VocabularyRecognizer
+from repro.audio.signal import synthesize_speech
+from repro.core.manager import PresentationManager
+from repro.ids import IdGenerator
+from repro.objects import DrivingMode, MultimediaObject, PresentationSpec
+from repro.objects.parts import VoiceSegment
+from repro.server import Archiver, IdleRecognizer, QueryInterface
+from repro.workstation.station import Workstation
+
+
+def _unrecognized_dictation(generator, script, seed):
+    """An audio object archived *without* insertion-time recognition."""
+    obj = MultimediaObject(
+        object_id=generator.object_id(), driving_mode=DrivingMode.AUDIO
+    )
+    segment = VoiceSegment(
+        segment_id=generator.segment_id(),
+        recording=synthesize_speech(script, seed=seed),
+    )
+    obj.add_voice_segment(segment)
+    obj.presentation = PresentationSpec(audio_order=[segment.segment_id])
+    return obj.archive()
+
+
+@pytest.fixture
+def archive():
+    generator = IdGenerator("idle")
+    archiver = Archiver()
+    raw = _unrecognized_dictation(
+        generator, "urgent fracture case in the east clinic", seed=90
+    )
+    recognized_at_insertion = _unrecognized_dictation(
+        generator, "routine budget review for the archive", seed=91
+    )
+    # Give the second object insertion-time utterances before archiving
+    # is impossible (already archived) — emulate by attaching through
+    # the recognizer path on a fresh object instead.
+    archiver.store(raw)
+    archiver.store(recognized_at_insertion)
+    return archiver, raw, recognized_at_insertion
+
+
+class TestIdleRecognizer:
+    def test_sweep_recognizes_pending_objects(self, archive):
+        archiver, raw, other = archive
+        worker = IdleRecognizer(
+            archiver,
+            VocabularyRecognizer(
+                ["fracture", "budget"], miss_rate=0.0, confusion_rate=0.0
+            ),
+        )
+        assert len(worker.pending) == 2
+        report = worker.run()
+        assert report.objects_scanned == 2
+        assert report.segments_recognized == 2
+        assert report.utterances_found >= 2
+        assert worker.pending == []
+
+    def test_terms_become_queryable(self, archive):
+        archiver, raw, _ = archive
+        interface = QueryInterface(archiver)
+        assert interface.select(terms=["fracture"]) == []  # not yet
+        worker = IdleRecognizer(
+            archiver,
+            VocabularyRecognizer(["fracture"], miss_rate=0.0, confusion_rate=0.0),
+        )
+        worker.run()
+        assert interface.select(terms=["fracture"]) == [raw.object_id]
+
+    def test_rebuilt_objects_carry_idle_utterances(self, archive):
+        archiver, raw, _ = archive
+        IdleRecognizer(
+            archiver,
+            VocabularyRecognizer(["fracture"], miss_rate=0.0, confusion_rate=0.0),
+        ).run()
+        rebuilt, _ = archiver.fetch_object(raw.object_id)
+        terms = rebuilt.voice_segments[0].utterance_terms()
+        assert "fracture" in terms
+
+    def test_browse_time_search_works_after_idle_sweep(self, archive):
+        archiver, raw, _ = archive
+        IdleRecognizer(
+            archiver,
+            VocabularyRecognizer(["fracture"], miss_rate=0.0, confusion_rate=0.0),
+        ).run()
+        manager = PresentationManager(archiver, Workstation())
+        session = manager.open(raw.object_id)
+        session.interrupt()
+        assert session.find_pattern("fracture") is not None
+
+    def test_max_objects_bounds_the_sweep(self, archive):
+        archiver, _, _ = archive
+        worker = IdleRecognizer(
+            archiver, VocabularyRecognizer(["fracture"], miss_rate=0.0)
+        )
+        report = worker.run(max_objects=1)
+        assert report.objects_scanned == 1
+        assert len(worker.pending) == 1
+
+    def test_sweep_is_idempotent(self, archive):
+        archiver, _, _ = archive
+        worker = IdleRecognizer(
+            archiver, VocabularyRecognizer(["fracture"], miss_rate=0.0)
+        )
+        worker.run()
+        second = worker.run()
+        assert second.objects_scanned == 0
+
+    def test_insertion_time_recognition_never_redone(self, generator):
+        archiver = Archiver()
+        obj = MultimediaObject(
+            object_id=generator.object_id(), driving_mode=DrivingMode.AUDIO
+        )
+        recording = synthesize_speech("budget meeting today", seed=92)
+        recognizer = VocabularyRecognizer(["budget"], miss_rate=0.0)
+        segment = VoiceSegment(
+            segment_id=generator.segment_id(),
+            recording=recording,
+            utterances=recognizer.recognize(recording),
+        )
+        obj.add_voice_segment(segment)
+        obj.presentation = PresentationSpec(audio_order=[segment.segment_id])
+        archiver.store(obj.archive())
+        worker = IdleRecognizer(archiver, recognizer)
+        report = worker.run()
+        assert report.objects_scanned == 1
+        assert report.segments_recognized == 0  # already recognized
+
+
+class TestFramebuffer:
+    def test_frame_shows_menu_and_content(self):
+        from repro.core.manager import LocalStore
+        from repro.scenarios import build_office_document
+
+        obj = build_office_document()
+        store = LocalStore()
+        store.add(obj)
+        session = PresentationManager(store, Workstation()).open(obj.object_id)
+        frame = session.render_screen()
+        rendered = frame.render()
+        assert "[next page]" in rendered
+        assert "Office Filing in MINOS" in rendered
+
+    def test_pinned_region_occupies_top(self):
+        from repro.core.manager import LocalStore
+        from repro.scenarios import build_visual_report_with_xray
+
+        obj = build_visual_report_with_xray()
+        store = LocalStore()
+        store.add(obj)
+        session = PresentationManager(store, Workstation()).open(obj.object_id)
+        pinned_pages = [
+            p.number for p in session.program.pages if p.pinned_message_id
+        ]
+        session.goto_page(pinned_pages[0])
+        frame = session.render_screen()
+        assert "[IMAGE]" in frame.row(0)
+        rule_row = frame.layout.pinned_rows - 1
+        assert "-" * 10 in frame.row(rule_row)
+        # Content flows below the pinned region.
+        below = "\n".join(
+            frame.row(i) for i in range(frame.layout.pinned_rows, frame.layout.height)
+        )
+        assert below.strip()
+
+    def test_unpinned_page_uses_full_height(self):
+        from repro.core.manager import LocalStore
+        from repro.scenarios import build_visual_report_with_xray
+
+        obj = build_visual_report_with_xray()
+        store = LocalStore()
+        store.add(obj)
+        session = PresentationManager(store, Workstation()).open(obj.object_id)
+        frame = session.render_screen()  # page 1: no pin
+        assert "[IMAGE]" not in frame.row(0)
+        assert frame.row(0).strip().startswith("Radiology Report") or frame.row(
+            0
+        ).strip()

@@ -1,0 +1,49 @@
+"""Identifier generation."""
+
+from repro.ids import IdGenerator, ObjectId, SegmentId
+
+
+class TestIdGenerator:
+    def test_object_ids_are_unique(self):
+        generator = IdGenerator("a")
+        ids = {generator.object_id() for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_ids_are_deterministic_across_generators(self):
+        a, b = IdGenerator("x"), IdGenerator("x")
+        assert a.object_id() == b.object_id()
+        assert a.segment_id() == b.segment_id()
+
+    def test_prefix_namespaces_generators(self):
+        a, b = IdGenerator("left"), IdGenerator("right")
+        assert a.object_id() != b.object_id()
+
+    def test_kinds_share_one_counter(self):
+        generator = IdGenerator("k")
+        first = generator.object_id()
+        second = generator.segment_id()
+        assert first.value.endswith("000000")
+        assert second.value.endswith("000001")
+
+    def test_all_kind_factories(self):
+        generator = IdGenerator("all")
+        assert "obj" in generator.object_id().value
+        assert "seg" in generator.segment_id().value
+        assert "img" in generator.image_id().value
+        assert "msg" in generator.message_id().value
+        assert "ind" in generator.indicator_id().value
+
+
+class TestIdValueTypes:
+    def test_object_id_equality_is_by_value(self):
+        assert ObjectId("a") == ObjectId("a")
+        assert ObjectId("a") != ObjectId("b")
+
+    def test_different_kinds_never_compare_equal(self):
+        assert ObjectId("a") != SegmentId("a")
+
+    def test_ids_are_hashable(self):
+        assert len({ObjectId("a"), ObjectId("a"), ObjectId("b")}) == 2
+
+    def test_str_renders_the_value(self):
+        assert str(ObjectId("minos-obj-7")) == "minos-obj-7"

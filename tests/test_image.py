@@ -1,0 +1,87 @@
+"""The Image container."""
+
+import pytest
+
+from repro.audio.signal import synthesize_speech
+from repro.errors import ImageError
+from repro.ids import ImageId
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Circle, Point, Rect
+from repro.images.graphics import GraphicsObject, Label, LabelKind
+from repro.images.image import Image
+
+
+def _image_with_labels():
+    voice = synthesize_speech("voice note", seed=6)
+    return Image(
+        image_id=ImageId("img"),
+        width=200,
+        height=200,
+        graphics=[
+            GraphicsObject(
+                "hospital-a",
+                Circle(Point(50, 50), 10),
+                label=Label(LabelKind.TEXT, "General Hospital", Point(50, 35)),
+            ),
+            GraphicsObject(
+                "school",
+                Circle(Point(150, 50), 10),
+                label=Label(LabelKind.TEXT, "High School", Point(150, 35)),
+            ),
+            GraphicsObject(
+                "hospital-b",
+                Circle(Point(50, 150), 10),
+                label=Label(
+                    LabelKind.VOICE, "Childrens Hospital", Point(50, 135), voice=voice
+                ),
+            ),
+            GraphicsObject("unlabelled", Point(100, 100)),
+        ],
+    )
+
+
+class TestImageValidation:
+    def test_bitmap_size_must_match(self):
+        with pytest.raises(ImageError):
+            Image(ImageId("x"), width=10, height=10, bitmap=Bitmap.blank(5, 5))
+
+    def test_representation_requires_source(self):
+        with pytest.raises(ImageError):
+            Image(ImageId("x"), width=10, height=10, is_representation=True)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ImageError):
+            Image(ImageId("x"), width=0, height=10)
+
+
+class TestImageQueries:
+    def test_labelled_and_voice_labelled(self):
+        image = _image_with_labels()
+        assert len(image.labelled_objects()) == 3
+        assert [g.name for g in image.voice_labelled_objects()] == ["hospital-b"]
+
+    def test_find_object(self):
+        image = _image_with_labels()
+        assert image.find_object("school").name == "school"
+        with pytest.raises(ImageError):
+            image.find_object("missing")
+
+    def test_objects_matching_label(self):
+        image = _image_with_labels()
+        names = [g.name for g in image.objects_matching_label("hospital")]
+        assert names == ["hospital-a", "hospital-b"]
+
+    def test_object_at_picks_topmost(self):
+        image = _image_with_labels()
+        assert image.object_at(Point(50, 50)).name == "hospital-a"
+        assert image.object_at(Point(10, 10)) is None
+
+    def test_labels_within_rect(self):
+        image = _image_with_labels()
+        labels = image.labels_within(Rect(0, 0, 100, 100))
+        assert [l.text for l in labels] == ["General Hospital"]
+
+    def test_nbytes_counts_graphics_and_labels(self):
+        image = _image_with_labels()
+        # 4 objects * 64 + label texts + voice bytes
+        assert image.nbytes > 4 * 64

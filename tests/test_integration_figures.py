@@ -1,0 +1,150 @@
+"""End-to-end walkthroughs of every paper figure, through the archiver.
+
+Unlike the unit tests, these store the scenario objects on the optical
+archiver and browse them through a server-backed presentation manager,
+exercising the full stack: formation, archiving, selective fetching,
+browsing, and the trace.
+"""
+
+import pytest
+
+from repro.core.browsing import BrowseCommand
+from repro.core.manager import PresentationManager
+from repro.scenarios import (
+    build_audio_mode_report,
+    build_city_walk_simulation,
+    build_map_tour_object,
+    build_office_document,
+    build_subway_map_with_relevants,
+    build_visual_report_with_xray,
+    build_xray_transparency_object,
+)
+from repro.server import Archiver
+from repro.trace import EventKind
+from repro.workstation.station import Workstation
+
+
+@pytest.fixture(scope="module")
+def archive():
+    """All figure scenarios stored in one archiver."""
+    archiver = Archiver()
+    objects = {
+        "office": build_office_document(),
+        "fig34": build_visual_report_with_xray(),
+        "fig56": build_xray_transparency_object(),
+        "audio": build_audio_mode_report(),
+        "walk": build_city_walk_simulation(),
+        "tour": build_map_tour_object(),
+    }
+    parent, overlays = build_subway_map_with_relevants()
+    objects["map"] = parent
+    for index, overlay in enumerate(overlays):
+        objects[f"overlay{index}"] = overlay
+    for obj in objects.values():
+        archiver.store(obj)
+    return archiver, objects
+
+
+def _open(archive, key):
+    archiver, objects = archive
+    workstation = Workstation()
+    manager = PresentationManager(archiver, workstation)
+    session = manager.open(objects[key].object_id)
+    return session, workstation, manager
+
+
+class TestFigures12:
+    def test_browse_office_document(self, archive):
+        session, workstation, _ = _open(archive, "office")
+        assert session.page_count >= 2
+        session.execute(BrowseCommand.NEXT_PAGE)
+        session.execute(BrowseCommand.NEXT_CHAPTER)
+        hit = session.execute(BrowseCommand.FIND_PATTERN, pattern="archive")
+        assert hit is not None
+        displays = workstation.trace.of_kind(EventKind.DISPLAY_PAGE)
+        assert len(displays) >= 4
+
+
+class TestFigures34:
+    def test_xray_pinned_through_related_pages(self, archive):
+        session, workstation, _ = _open(archive, "fig34")
+        pinned_pages = [
+            p.number for p in session.program.pages if p.pinned_message_id
+        ]
+        assert len(pinned_pages) >= 2
+        for number in pinned_pages:
+            session.goto_page(number)
+            assert workstation.screen.pinned is not None
+        session.goto_page(pinned_pages[-1])
+        session.next_page()
+        assert workstation.screen.pinned is None
+
+
+class TestFigures56:
+    def test_transparencies_over_stored_xray(self, archive):
+        session, workstation, _ = _open(archive, "fig56")
+        session.next_page()
+        session.next_page()
+        assert workstation.screen.transparency_depth == 2
+
+
+class TestFigures78:
+    def test_relevant_objects_from_archiver(self, archive):
+        session, workstation, manager = _open(archive, "map")
+        indicators = session.visible_indicators()
+        assert {i["label"] for i in indicators} == {
+            "University sites",
+            "Hospitals",
+        }
+        before = workstation.screen.composite.pixels.copy()
+        child = manager.select_relevant(session, indicators[1]["indicator"])
+        assert (workstation.screen.composite.pixels != before).sum() > 0
+        manager.return_from_relevant(child)
+        assert manager.current_session is session
+
+
+class TestFigures910:
+    def test_walk_simulation_from_archiver(self, archive):
+        session, workstation, _ = _open(archive, "walk")
+        session.next_page()
+        assert len(workstation.trace.of_kind(EventKind.SIM_PAGE)) == 5
+        assert len(workstation.trace.of_kind(EventKind.PLAY_MESSAGE)) == 5
+
+
+class TestTourFigure:
+    def test_tour_from_archiver(self, archive):
+        session, workstation, _ = _open(archive, "tour")
+        controller = session.execute(BrowseCommand.START_TOUR)
+        controller.run_all()
+        assert len(workstation.trace.of_kind(EventKind.TOUR_STOP)) == 4
+
+
+class TestAudioTwin:
+    def test_audio_report_from_archiver(self, archive):
+        session, workstation, _ = _open(archive, "audio")
+        session.play_for(session.duration * 0.5)
+        session.interrupt()
+        assert workstation.screen.pinned is not None  # mid-dictation x-ray
+        session.goto_page(1)
+        session.interrupt()
+        page = session.find_pattern("fracture")
+        assert page is not None
+
+
+class TestCrossCutting:
+    def test_voice_waveforms_survive_the_archiver(self, archive):
+        archiver, objects = archive
+        original = objects["audio"].voice_segments[0].recording
+        rebuilt, _ = archiver.fetch_object(objects["audio"].object_id)
+        restored = rebuilt.voice_segments[0].recording
+        assert restored.duration == pytest.approx(original.duration)
+
+    def test_every_stored_object_is_queryable(self, archive):
+        archiver, objects = archive
+        assert len(archiver.index) == len(objects)
+
+    def test_clock_advances_only_through_simulated_actions(self, archive):
+        session, workstation, _ = _open(archive, "office")
+        t0 = workstation.clock.now
+        session.next_page()  # instant in simulated time
+        assert workstation.clock.now == t0

@@ -1,0 +1,106 @@
+"""The logical structure index."""
+
+import pytest
+
+from repro.objects.logical import LogicalIndex, LogicalUnit, LogicalUnitKind
+
+
+def _chaptered_index():
+    chapters = []
+    for i in range(3):
+        start = i * 100.0
+        chapter = LogicalUnit(LogicalUnitKind.CHAPTER, start, start + 100, f"ch{i}")
+        for j in range(2):
+            section = LogicalUnit(
+                LogicalUnitKind.SECTION,
+                start + j * 50,
+                start + (j + 1) * 50,
+                f"ch{i}s{j}",
+            )
+            chapter.children.append(section)
+        chapters.append(chapter)
+    return LogicalIndex(chapters)
+
+
+class TestLogicalUnit:
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            LogicalUnit(LogicalUnitKind.WORD, 5, 3)
+
+    def test_contains(self):
+        unit = LogicalUnit(LogicalUnitKind.SECTION, 10, 20)
+        assert unit.contains(10)
+        assert unit.contains(19.9)
+        assert not unit.contains(20)
+
+    def test_walk_preorder(self):
+        index = _chaptered_index()
+        walked = list(index.roots[0].walk())
+        assert [u.kind for u in walked] == [
+            LogicalUnitKind.CHAPTER,
+            LogicalUnitKind.SECTION,
+            LogicalUnitKind.SECTION,
+        ]
+
+    def test_rank_ordering(self):
+        assert LogicalUnitKind.CHAPTER.rank < LogicalUnitKind.SECTION.rank
+        assert LogicalUnitKind.SENTENCE.rank < LogicalUnitKind.WORD.rank
+
+
+class TestLogicalIndex:
+    def test_kinds_present(self):
+        index = _chaptered_index()
+        assert index.kinds_present() == {
+            LogicalUnitKind.CHAPTER,
+            LogicalUnitKind.SECTION,
+        }
+
+    def test_counts(self):
+        index = _chaptered_index()
+        assert index.count(LogicalUnitKind.CHAPTER) == 3
+        assert index.count(LogicalUnitKind.SECTION) == 6
+        assert index.count(LogicalUnitKind.WORD) == 0
+
+    def test_next_start(self):
+        index = _chaptered_index()
+        unit = index.next_start(LogicalUnitKind.CHAPTER, 0.0)
+        assert unit.label == "ch1"
+        assert index.next_start(LogicalUnitKind.CHAPTER, 250.0) is None
+
+    def test_next_start_strictly_after(self):
+        index = _chaptered_index()
+        # At exactly a chapter start, "next" is the following chapter.
+        assert index.next_start(LogicalUnitKind.CHAPTER, 100.0).label == "ch2"
+
+    def test_previous_start(self):
+        index = _chaptered_index()
+        unit = index.previous_start(LogicalUnitKind.CHAPTER, 250.0)
+        assert unit.label == "ch2"
+        assert index.previous_start(LogicalUnitKind.CHAPTER, 0.0) is None
+
+    def test_previous_start_skips_current_start(self):
+        index = _chaptered_index()
+        # Standing exactly at ch1's start, previous is ch0.
+        assert index.previous_start(LogicalUnitKind.CHAPTER, 100.0).label == "ch0"
+
+    def test_enclosing(self):
+        index = _chaptered_index()
+        assert index.enclosing(LogicalUnitKind.SECTION, 160.0).label == "ch1s1"
+        assert index.enclosing(LogicalUnitKind.SECTION, -5.0) is None
+
+    def test_empty_index(self):
+        index = LogicalIndex.empty()
+        assert index.kinds_present() == set()
+        assert index.next_start(LogicalUnitKind.CHAPTER, 0) is None
+        assert index.previous_start(LogicalUnitKind.CHAPTER, 10) is None
+        assert index.enclosing(LogicalUnitKind.WORD, 0) is None
+
+    def test_units_sorted_by_start(self):
+        # Roots given out of order still index sorted.
+        units = [
+            LogicalUnit(LogicalUnitKind.PARAGRAPH, 50, 60),
+            LogicalUnit(LogicalUnitKind.PARAGRAPH, 10, 20),
+        ]
+        index = LogicalIndex(units)
+        starts = [u.start for u in index.units(LogicalUnitKind.PARAGRAPH)]
+        assert starts == [10, 50]

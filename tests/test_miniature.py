@@ -1,0 +1,76 @@
+"""Representations (miniatures)."""
+
+import pytest
+
+from repro.errors import ImageError
+from repro.ids import ImageId
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Circle, Point, Polygon
+from repro.images.graphics import GraphicsObject, Label, LabelKind
+from repro.images.image import Image
+from repro.images.miniature import make_miniature
+
+
+def _image():
+    return Image(
+        image_id=ImageId("full"),
+        width=400,
+        height=200,
+        bitmap=Bitmap.from_function(400, 200, lambda x, y: x % 256),
+        graphics=[
+            GraphicsObject(
+                "site",
+                Circle(Point(200, 100), 40),
+                label=Label(LabelKind.TEXT, "site", Point(200, 60)),
+            ),
+            GraphicsObject(
+                "zone",
+                Polygon([Point(40, 40), Point(120, 40), Point(120, 120), Point(40, 120)]),
+            ),
+        ],
+    )
+
+
+class TestMakeMiniature:
+    def test_scale_reduces_bitmap(self):
+        mini = make_miniature(_image(), 4, ImageId("mini"))
+        assert mini.width == 100 and mini.height == 50
+        assert mini.is_representation
+        assert mini.source_image_id == ImageId("full")
+        assert mini.scale == 4
+
+    def test_graphics_positions_correspond(self):
+        mini = make_miniature(_image(), 4, ImageId("mini"))
+        site = mini.find_object("site")
+        assert site.shape.center == Point(50, 25)
+        assert site.shape.radius == pytest.approx(10)
+
+    def test_labels_dropped_names_kept(self):
+        mini = make_miniature(_image(), 4, ImageId("mini"))
+        assert all(g.label is None for g in mini.graphics)
+        assert {g.name for g in mini.graphics} == {"site", "zone"}
+
+    def test_much_smaller_than_source(self):
+        image = _image()
+        mini = make_miniature(image, 8, ImageId("mini"))
+        assert mini.nbytes < image.nbytes / 32
+
+    def test_scale_below_two_rejected(self):
+        with pytest.raises(ImageError):
+            make_miniature(_image(), 1, ImageId("mini"))
+
+    def test_representation_of_representation_rejected(self):
+        mini = make_miniature(_image(), 4, ImageId("mini"))
+        with pytest.raises(ImageError):
+            make_miniature(mini, 2, ImageId("mini2"))
+
+    def test_graphics_only_image(self):
+        image = Image(
+            image_id=ImageId("vector"),
+            width=300,
+            height=300,
+            graphics=[GraphicsObject("p", Point(150, 150))],
+        )
+        mini = make_miniature(image, 3, ImageId("mini"))
+        assert mini.bitmap is None
+        assert mini.width == 100

@@ -1,0 +1,237 @@
+"""The multimedia object: parts, state machine, integrity."""
+
+import pytest
+
+from repro.audio.signal import synthesize_speech
+from repro.errors import DescriptorError, ObjectStateError
+from repro.ids import IdGenerator, ImageId, MessageId, SegmentId
+from repro.images.bitmap import Bitmap
+from repro.images.image import Image
+from repro.objects import (
+    AttributeSet,
+    DrivingMode,
+    ImagePage,
+    MultimediaObject,
+    ObjectState,
+    PresentationSpec,
+    TextFlow,
+    TextSegment,
+    VisualMessage,
+    VisualMessageContent,
+    VoiceMessage,
+)
+from repro.objects.anchors import ImageAnchor, TextAnchor, VoiceAnchor
+from repro.objects.parts import VoiceSegment
+from repro.objects.relationships import RelevantLink
+
+
+@pytest.fixture
+def obj(generator):
+    return MultimediaObject(object_id=generator.object_id())
+
+
+def _text_segment(generator, markup="hello world"):
+    return TextSegment(segment_id=generator.segment_id(), markup=markup)
+
+
+def _image(generator, size=16):
+    return Image(
+        image_id=generator.image_id(),
+        width=size,
+        height=size,
+        bitmap=Bitmap.blank(size, size),
+    )
+
+
+class TestStateMachine:
+    def test_starts_editing(self, obj):
+        assert obj.state is ObjectState.EDITING
+
+    def test_archive_freezes(self, obj, generator):
+        obj.add_text_segment(_text_segment(generator))
+        obj.archive()
+        assert obj.state is ObjectState.ARCHIVED
+        with pytest.raises(ObjectStateError):
+            obj.add_text_segment(_text_segment(generator))
+        with pytest.raises(ObjectStateError):
+            obj.add_image(_image(generator))
+
+    def test_double_archive_rejected(self, obj):
+        obj.archive()
+        with pytest.raises(ObjectStateError):
+            obj.archive()
+
+    def test_require_archived(self, obj):
+        with pytest.raises(ObjectStateError):
+            obj.require_archived()
+        obj.archive()
+        obj.require_archived()
+
+
+class TestLookups:
+    def test_text_segment_lookup(self, obj, generator):
+        segment = _text_segment(generator)
+        obj.add_text_segment(segment)
+        assert obj.text_segment(segment.segment_id) is segment
+        with pytest.raises(DescriptorError):
+            obj.text_segment(SegmentId("missing"))
+
+    def test_voice_segment_lookup(self, obj, generator):
+        segment = VoiceSegment(
+            segment_id=generator.segment_id(),
+            recording=synthesize_speech("short note", seed=1),
+        )
+        obj.add_voice_segment(segment)
+        assert obj.voice_segment(segment.segment_id) is segment
+        with pytest.raises(DescriptorError):
+            obj.voice_segment(SegmentId("missing"))
+
+    def test_image_lookup(self, obj, generator):
+        image = _image(generator)
+        obj.add_image(image)
+        assert obj.image(image.image_id) is image
+        with pytest.raises(DescriptorError):
+            obj.image(ImageId("missing"))
+
+    def test_message_lookup_both_kinds(self, obj, generator):
+        segment = _text_segment(generator)
+        obj.add_text_segment(segment)
+        voice_message = VoiceMessage(
+            message_id=generator.message_id(),
+            recording=synthesize_speech("note", seed=2),
+            anchors=[TextAnchor(segment.segment_id, 0, 5)],
+        )
+        visual_message = VisualMessage(
+            message_id=generator.message_id(),
+            content=VisualMessageContent(text="hint"),
+            anchors=[TextAnchor(segment.segment_id, 0, 5)],
+        )
+        obj.attach_voice_message(voice_message)
+        obj.attach_visual_message(visual_message)
+        assert obj.message(voice_message.message_id) is voice_message
+        assert obj.message(visual_message.message_id) is visual_message
+        with pytest.raises(DescriptorError):
+            obj.message(MessageId("missing"))
+
+    def test_related_object_ids(self, obj, generator):
+        target = generator.object_id()
+        obj.add_relevant_link(
+            RelevantLink(
+                indicator_id=generator.indicator_id(),
+                label="more",
+                target_object_id=target,
+            )
+        )
+        assert obj.related_object_ids() == [target]
+
+
+class TestValidation:
+    def test_dangling_message_anchor(self, obj, generator):
+        obj.attach_voice_message(
+            VoiceMessage(
+                message_id=generator.message_id(),
+                recording=synthesize_speech("x", seed=3),
+                anchors=[TextAnchor(SegmentId("ghost"), 0, 1)],
+            )
+        )
+        with pytest.raises(DescriptorError):
+            obj.validate()
+
+    def test_dangling_image_in_visual_message(self, obj, generator):
+        segment = _text_segment(generator)
+        obj.add_text_segment(segment)
+        obj.attach_visual_message(
+            VisualMessage(
+                message_id=generator.message_id(),
+                content=VisualMessageContent(image_ids=[ImageId("ghost")]),
+                anchors=[TextAnchor(segment.segment_id, 0, 1)],
+            )
+        )
+        with pytest.raises(DescriptorError):
+            obj.validate()
+
+    def test_dangling_presentation_reference(self, obj):
+        obj.presentation = PresentationSpec(items=[TextFlow(SegmentId("ghost"))])
+        with pytest.raises(DescriptorError):
+            obj.validate()
+
+    def test_dangling_image_page(self, obj):
+        obj.presentation = PresentationSpec(items=[ImagePage(ImageId("ghost"))])
+        with pytest.raises(DescriptorError):
+            obj.validate()
+
+    def test_dangling_audio_order(self, obj):
+        obj.presentation = PresentationSpec(audio_order=[SegmentId("ghost")])
+        with pytest.raises(DescriptorError):
+            obj.validate()
+
+    def test_dangling_voice_anchor(self, obj, generator):
+        obj.attach_voice_message(
+            VoiceMessage(
+                message_id=generator.message_id(),
+                recording=synthesize_speech("y", seed=4),
+                anchors=[VoiceAnchor(SegmentId("ghost"), 0.0, 1.0)],
+            )
+        )
+        with pytest.raises(DescriptorError):
+            obj.validate()
+
+    def test_archive_runs_validation(self, obj):
+        obj.presentation = PresentationSpec(items=[TextFlow(SegmentId("ghost"))])
+        with pytest.raises(DescriptorError):
+            obj.archive()
+        assert obj.state is ObjectState.EDITING
+
+    def test_valid_object_passes(self, obj, generator):
+        segment = _text_segment(generator)
+        image = _image(generator)
+        obj.add_text_segment(segment)
+        obj.add_image(image)
+        obj.attach_voice_message(
+            VoiceMessage(
+                message_id=generator.message_id(),
+                recording=synthesize_speech("ok", seed=5),
+                anchors=[ImageAnchor(image.image_id)],
+            )
+        )
+        obj.presentation = PresentationSpec(
+            items=[TextFlow(segment.segment_id), ImagePage(image.image_id)]
+        )
+        obj.validate()
+
+
+class TestSizing:
+    def test_nbytes_sums_parts(self, obj, generator):
+        obj.add_text_segment(_text_segment(generator, markup="x" * 100))
+        obj.add_image(_image(generator, size=10))
+        assert obj.nbytes >= 100 + 100
+
+
+class TestAttributes:
+    def test_attribute_set(self):
+        attributes = AttributeSet.of(author="sc", year=1986, draft=False)
+        assert attributes.get("author") == "sc"
+        assert "year" in attributes
+        assert len(attributes) == 3
+        assert attributes.names() == ["author", "draft", "year"]
+
+    def test_matches(self):
+        attributes = AttributeSet.of(kind="memo", topic="budget")
+        assert attributes.matches(kind="memo")
+        assert attributes.matches(kind="memo", topic="budget")
+        assert not attributes.matches(kind="memo", topic="tourism")
+
+    def test_type_enforcement(self):
+        attributes = AttributeSet()
+        with pytest.raises(TypeError):
+            attributes.set("bad", [1, 2, 3])
+
+    def test_iteration_sorted(self):
+        attributes = AttributeSet.of(b=2, a=1)
+        assert list(attributes) == [("a", 1), ("b", 2)]
+
+    def test_as_dict_is_copy(self):
+        attributes = AttributeSet.of(a=1)
+        copy = attributes.as_dict()
+        copy["a"] = 99
+        assert attributes.get("a") == 1

@@ -1,0 +1,106 @@
+"""Visual-page construction."""
+
+import pytest
+
+from repro.errors import PaginationError
+from repro.text.formatter import TextFormatter
+from repro.text.markup import parse_markup
+from repro.text.pagination import PageElementKind, PageMap, Paginator
+
+
+def _pages(markup: str, page_height: int = 10, width: int = 30, **kwargs):
+    lines = TextFormatter(width=width).format(parse_markup(markup))
+    return Paginator(page_height=page_height, **kwargs).paginate(lines)
+
+
+class TestPaginator:
+    def test_pages_respect_height(self):
+        pages = _pages("word " * 300, page_height=8)
+        assert len(pages) > 1
+        for page in pages:
+            assert page.height_lines <= 8
+
+    def test_page_numbers_sequential(self):
+        pages = _pages("word " * 300, page_height=8)
+        assert [p.number for p in pages] == list(range(1, len(pages) + 1))
+
+    def test_char_spans_are_monotone(self):
+        pages = _pages("word " * 300, page_height=8)
+        for a, b in zip(pages, pages[1:]):
+            assert a.char_end <= b.char_start or b.char_start >= a.char_start
+
+    def test_page_never_starts_with_blank(self):
+        pages = _pages("para one\n\npara two\n\npara three", page_height=4)
+        for page in pages:
+            first = page.elements[0]
+            assert first.kind is PageElementKind.IMAGE or first.line.text != ""
+
+    def test_image_consumes_lines(self):
+        pages = _pages(
+            "one line\n@image{big}\nafter image",
+            page_height=10,
+            image_lines=lambda tag: 8,
+        )
+        # 1 text + 8 image > 10 - no; 1+8=9 fits, "after" makes 10.
+        assert pages[0].image_tags == ["big"]
+
+    def test_image_taller_than_page_rejected(self):
+        with pytest.raises(PaginationError):
+            _pages("@image{huge}", page_height=6, image_lines=lambda t: 20)
+
+    def test_image_breaks_to_next_page_when_needed(self):
+        pages = _pages(
+            ("text line " * 40) + "\n@image{pic}",
+            page_height=8,
+            image_lines=lambda t: 6,
+        )
+        image_pages = [p for p in pages if p.image_tags]
+        assert len(image_pages) == 1
+        # The image region fits entirely on its page.
+        assert image_pages[0].height_lines <= 8
+
+    def test_reserved_top_shrinks_capacity(self):
+        full = _pages("word " * 200, page_height=10)
+        shrunk = _pages("word " * 200, page_height=10)
+        lines = TextFormatter(width=30).format(parse_markup("word " * 200))
+        reserved = Paginator(page_height=10).paginate(lines, reserved_top=5)
+        assert len(reserved) > len(full)
+        for page in reserved:
+            assert page.height_lines <= 5
+        __ = shrunk
+
+    def test_reservation_leaving_no_room_rejected(self):
+        lines = TextFormatter(width=30).format(parse_markup("hello"))
+        with pytest.raises(PaginationError):
+            Paginator(page_height=10).paginate(lines, reserved_top=9)
+
+    def test_empty_document_yields_one_empty_page(self):
+        pages = Paginator(page_height=10).paginate([])
+        assert len(pages) == 1
+        assert pages[0].elements == []
+
+    def test_rendered_text_contains_content(self):
+        pages = _pages("hello world paragraph")
+        assert "hello world" in pages[0].rendered_text()
+
+    def test_minimum_page_height(self):
+        with pytest.raises(PaginationError):
+            Paginator(page_height=2)
+
+
+class TestPageMap:
+    def test_offsets_map_to_pages(self):
+        pages = _pages("word " * 300, page_height=8)
+        page_map = PageMap(pages)
+        for page in pages:
+            if page.char_end > page.char_start:
+                middle = (page.char_start + page.char_end) // 2
+                assert page_map.page_for_offset(middle) == page.number
+
+    def test_offset_before_first_page(self):
+        pages = _pages("word " * 50, page_height=8)
+        assert PageMap(pages).page_for_offset(-100) == 1
+
+    def test_empty_page_list_rejected(self):
+        with pytest.raises(PaginationError):
+            PageMap([]).page_for_offset(0)

@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) on core data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.audio.codec import mu_law_decode, mu_law_encode
+from repro.audio.pages import AudioPager
+from repro.audio.pauses import AdaptivePauseClassifier, Pause, PauseIndex, PauseKind
+from repro.audio.signal import Recording
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Rect
+from repro.storage.cache import LRUCache
+from repro.text.formatter import LineKind, TextFormatter
+from repro.text.markup import parse_markup
+from repro.text.pagination import Paginator
+from repro.text.search import TextSearchIndex, tokenize
+
+# ----------------------------------------------------------------------
+# geometry
+# ----------------------------------------------------------------------
+
+rects = st.builds(
+    Rect,
+    x=st.integers(-50, 50),
+    y=st.integers(-50, 50),
+    width=st.integers(0, 60),
+    height=st.integers(0, 60),
+)
+
+
+@given(rects, rects)
+def test_intersection_is_commutative_and_contained(a, b):
+    ab = a.intersection(b)
+    ba = b.intersection(a)
+    assert ab == ba
+    if ab is not None:
+        assert a.contains_rect(ab)
+        assert b.contains_rect(ab)
+
+
+@given(rects, st.integers(-30, 30), st.integers(-30, 30))
+def test_translation_preserves_area(rect, dx, dy):
+    assert rect.translated(dx, dy).area == rect.area
+
+
+@given(rects)
+def test_clamping_into_bounds_stays_inside(rect):
+    bounds = Rect(0, 0, 100, 100)
+    clamped = rect.clamped_within(bounds)
+    assert bounds.contains_rect(clamped)
+
+
+# ----------------------------------------------------------------------
+# audio
+# ----------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=500,
+    )
+)
+def test_mu_law_roundtrip_bounded_error(values):
+    samples = np.asarray(values, dtype=np.float32)
+    decoded = mu_law_decode(mu_law_encode(samples))
+    assert len(decoded) == len(samples)
+    assert float(np.abs(decoded - samples).max()) < 0.04
+
+
+@given(
+    duration=st.floats(min_value=0.5, max_value=300.0, allow_nan=False),
+    page_seconds=st.floats(min_value=1.0, max_value=60.0, allow_nan=False),
+)
+def test_audio_pages_partition_exactly(duration, page_seconds):
+    recording = Recording(
+        samples=np.zeros(int(duration * 100) + 1, dtype=np.float32),
+        sample_rate=100,
+    )
+    pager = AudioPager(recording, page_seconds=page_seconds)
+    pages = pager.pages
+    assert pages[0].start == 0.0
+    assert abs(pages[-1].end - recording.duration) < 1e-6
+    for a, b in zip(pages, pages[1:]):
+        assert abs(a.end - b.start) < 1e-9
+        assert a.duration > 0
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=500, allow_nan=False),
+            st.floats(min_value=0.05, max_value=3.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    st.floats(min_value=1, max_value=499, allow_nan=False),
+    st.integers(min_value=1, max_value=5),
+)
+def test_rewind_position_is_before_query_point(spans, position, count):
+    pauses = [Pause(start, start + length) for start, length in spans]
+    kinds = AdaptivePauseClassifier().classify(pauses)
+    index = PauseIndex(pauses, kinds)
+    for kind in (PauseKind.SHORT, PauseKind.LONG):
+        target = index.rewind_position(position, kind, count)
+        assert 0.0 <= target <= position + 1e-9
+
+
+# ----------------------------------------------------------------------
+# text
+# ----------------------------------------------------------------------
+
+words = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=0x7F),
+    min_size=1,
+    max_size=12,
+)
+paragraph_texts = st.lists(words, min_size=1, max_size=60).map(" ".join)
+
+
+@given(paragraph_texts, st.integers(min_value=16, max_value=100))
+def test_formatting_preserves_every_word(text, width):
+    document = parse_markup(text)
+    lines = TextFormatter(width=width).format(document)
+    rebuilt = " ".join(
+        line.text.strip() for line in lines if line.kind is LineKind.TEXT
+    )
+    assert rebuilt.split() == text.split()
+
+
+@given(paragraph_texts, st.integers(min_value=4, max_value=30))
+def test_pagination_covers_all_lines(text, page_height):
+    document = parse_markup(text)
+    lines = TextFormatter(width=20).format(document)
+    pages = Paginator(page_height=page_height).paginate(lines)
+    total_text_lines = sum(
+        1 for line in lines if line.kind is LineKind.TEXT
+    )
+    paginated = sum(
+        1
+        for page in pages
+        for element in page.elements
+        if element.line is not None and element.line.kind is LineKind.TEXT
+    )
+    assert paginated == total_text_lines
+
+
+@given(paragraph_texts)
+def test_search_finds_every_token(text):
+    index = TextSearchIndex.from_text(text)
+    for term, offset in tokenize(text):
+        assert float(offset) in index.occurrences(term)
+
+
+@given(paragraph_texts, words)
+def test_next_occurrence_monotone(text, needle):
+    index = TextSearchIndex.from_text(text + " " + needle)
+    position = -1.0
+    seen = []
+    while True:
+        hit = index.next_occurrence(needle, position)
+        if hit is None:
+            break
+        assert hit > position
+        seen.append(hit)
+        position = hit
+        if len(seen) > 200:  # safety
+            break
+    assert seen == sorted(seen)
+
+
+# ----------------------------------------------------------------------
+# bitmaps
+# ----------------------------------------------------------------------
+
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.integers(min_value=2, max_value=40),
+    st.integers(min_value=1, max_value=6),
+)
+def test_downsample_dimensions(width, height, factor):
+    bitmap = Bitmap.blank(width, height, fill=100)
+    if width // factor == 0 or height // factor == 0:
+        return
+    small = bitmap.downsample(factor)
+    assert small.width == width // factor
+    assert small.height == height // factor
+    # A uniform bitmap downsamples to the same value.
+    assert int(small.pixels[0, 0]) == 100
+
+
+# ----------------------------------------------------------------------
+# cache
+# ----------------------------------------------------------------------
+
+@settings(max_examples=50)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 9), st.integers(1, 30)),
+        min_size=1,
+        max_size=60,
+    )
+)
+def test_cache_never_exceeds_budget(operations):
+    cache = LRUCache(64)
+    for key, size in operations:
+        cache.put(f"k{key}", b"x" * size)
+        assert cache.used_bytes <= 64
+        value = cache.get(f"k{key}")
+        if value is not None:
+            assert len(value) == size

@@ -1,0 +1,79 @@
+"""Property-based invariants for the disk request scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server.scheduler import Discipline, DiskRequest, simulate_schedule
+from repro.storage.blockdev import DiskGeometry, Extent
+
+GEOMETRY = DiskGeometry(
+    capacity_bytes=1_000_000,
+    max_seek_s=0.1,
+    rotational_latency_s=0.01,
+    transfer_bytes_per_s=1_000_000,
+)
+
+request_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=30, allow_nan=False),  # arrival
+        st.integers(0, 990_000),  # offset
+        st.integers(1, 10_000),  # length
+    ),
+    min_size=1,
+    max_size=40,
+).map(
+    lambda rows: [
+        DiskRequest(
+            request_id=i, user=f"u{i % 3}", arrival_s=a, extent=Extent(o, l)
+        )
+        for i, (a, o, l) in enumerate(rows)
+    ]
+)
+
+disciplines = st.sampled_from([Discipline.FCFS, Discipline.SCAN])
+
+
+@settings(max_examples=80, deadline=None)
+@given(request_lists, disciplines)
+def test_every_request_served_exactly_once(requests, discipline):
+    completed = simulate_schedule(GEOMETRY, requests, discipline)
+    assert sorted(c.request.request_id for c in completed) == sorted(
+        r.request_id for r in requests
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(request_lists, disciplines)
+def test_service_intervals_never_overlap(requests, discipline):
+    completed = simulate_schedule(GEOMETRY, requests, discipline)
+    for a, b in zip(completed, completed[1:]):
+        assert b.start_s >= a.finish_s - 1e-9
+
+
+@settings(max_examples=80, deadline=None)
+@given(request_lists, disciplines)
+def test_no_request_served_before_arrival(requests, discipline):
+    completed = simulate_schedule(GEOMETRY, requests, discipline)
+    for c in completed:
+        assert c.start_s >= c.request.arrival_s - 1e-9
+        assert c.finish_s > c.start_s
+        assert c.response_time_s >= 0
+        assert c.wait_time_s >= -1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(request_lists)
+def test_fcfs_preserves_arrival_order(requests):
+    completed = simulate_schedule(GEOMETRY, requests, Discipline.FCFS)
+    order = [c.request for c in completed]
+    expected = sorted(requests, key=lambda r: (r.arrival_s, r.request_id))
+    assert order == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(request_lists)
+def test_service_time_at_least_transfer_time(requests):
+    completed = simulate_schedule(GEOMETRY, requests, Discipline.SCAN)
+    for c in completed:
+        transfer = c.request.extent.length / GEOMETRY.transfer_bytes_per_s
+        assert c.finish_s - c.start_s >= transfer - 1e-12

@@ -1,0 +1,171 @@
+"""Property-based round-trip tests for serialization codecs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formatter import serialize
+from repro.images.geometry import Circle, Point, PolyLine, Polygon
+from repro.objects.anchors import (
+    ImageAnchor,
+    TextAnchor,
+    VoiceAnchor,
+    VoicePointAnchor,
+)
+from repro.ids import ImageId, SegmentId
+from repro.objects.logical import LogicalIndex, LogicalUnit, LogicalUnitKind
+
+# ----------------------------------------------------------------------
+# shapes
+# ----------------------------------------------------------------------
+
+coords = st.floats(
+    min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coords, coords)
+
+shapes = st.one_of(
+    points,
+    st.builds(Circle, points, st.floats(min_value=0.1, max_value=500)),
+    st.lists(points, min_size=3, max_size=8).map(Polygon),
+    st.lists(points, min_size=2, max_size=8).map(PolyLine),
+)
+
+
+@given(shapes)
+def test_shape_roundtrip(shape):
+    rebuilt = serialize.shape_from_dict(serialize.shape_to_dict(shape))
+    assert type(rebuilt) is type(shape)
+    assert rebuilt == shape
+
+
+# ----------------------------------------------------------------------
+# anchors
+# ----------------------------------------------------------------------
+
+identifiers = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+    min_size=1,
+    max_size=12,
+)
+
+anchors = st.one_of(
+    st.builds(
+        lambda s, a, b: TextAnchor(SegmentId(s), min(a, b), max(a, b)),
+        identifiers,
+        st.integers(0, 10_000),
+        st.integers(0, 10_000),
+    ),
+    identifiers.map(lambda s: ImageAnchor(ImageId(s))),
+    st.builds(
+        lambda s, a, b: VoiceAnchor(SegmentId(s), min(a, b), max(a, b)),
+        identifiers,
+        st.floats(min_value=0, max_value=1e4, allow_nan=False),
+        st.floats(min_value=0, max_value=1e4, allow_nan=False),
+    ),
+    st.builds(
+        lambda s, t: VoicePointAnchor(SegmentId(s), t),
+        identifiers,
+        st.floats(min_value=0, max_value=1e4, allow_nan=False),
+    ),
+)
+
+
+@given(anchors)
+def test_anchor_roundtrip(anchor):
+    rebuilt = serialize.anchor_from_dict(serialize.anchor_to_dict(anchor))
+    assert rebuilt == anchor
+
+
+# ----------------------------------------------------------------------
+# logical trees
+# ----------------------------------------------------------------------
+
+def _unit_tree(depth: int):
+    kinds = [
+        LogicalUnitKind.CHAPTER,
+        LogicalUnitKind.SECTION,
+        LogicalUnitKind.PARAGRAPH,
+    ]
+    leaf = st.builds(
+        lambda start, length, label: LogicalUnit(
+            kinds[min(depth, 2)], start, start + length, label
+        ),
+        st.floats(min_value=0, max_value=1e4, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        identifiers,
+    )
+    if depth >= 2:
+        return leaf
+    return st.builds(
+        lambda unit, children: (
+            unit.children.extend(children) or unit
+        ),
+        leaf,
+        st.lists(_unit_tree(depth + 1), max_size=3),
+    )
+
+
+@settings(max_examples=60)
+@given(st.lists(_unit_tree(0), max_size=4))
+def test_logical_index_roundtrip(roots):
+    index = LogicalIndex(roots)
+    rebuilt = serialize.logical_index_from_list(
+        serialize.logical_index_to_list(index)
+    )
+    assert rebuilt.kinds_present() == index.kinds_present()
+    for kind in index.kinds_present():
+        original = [(u.start, u.end, u.label) for u in index.units(kind)]
+        restored = [(u.start, u.end, u.label) for u in rebuilt.units(kind)]
+        assert restored == original
+
+
+# ----------------------------------------------------------------------
+# descriptor bytes
+# ----------------------------------------------------------------------
+
+from repro.ids import ObjectId
+from repro.objects.descriptor import DataKind, DataLocation, DataSource, Descriptor
+
+locations = st.builds(
+    lambda tag, kind, source, offset, length: DataLocation(
+        tag, kind, source, offset, length
+    ),
+    identifiers,
+    st.sampled_from(list(DataKind)),
+    st.sampled_from(list(DataSource)),
+    st.integers(0, 10**9),
+    st.integers(0, 10**7),
+)
+
+
+@settings(max_examples=60)
+@given(
+    identifiers,
+    st.sampled_from(["visual", "audio"]),
+    st.lists(locations, max_size=6),
+    st.dictionaries(identifiers, st.integers(-100, 100), max_size=4),
+)
+def test_descriptor_bytes_roundtrip(object_id, mode, locs, attributes):
+    descriptor = Descriptor(
+        object_id=ObjectId(object_id),
+        driving_mode=mode,
+        locations=locs,
+        attributes=attributes,
+    )
+    rebuilt = Descriptor.from_bytes(descriptor.to_bytes())
+    assert rebuilt.object_id == descriptor.object_id
+    assert rebuilt.locations == descriptor.locations
+    assert rebuilt.attributes == descriptor.attributes
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(locations, min_size=1, max_size=6),
+    st.integers(0, 10**6),
+)
+def test_descriptor_rebase_roundtrip(locs, base):
+    descriptor = Descriptor(
+        object_id=ObjectId("x"), driving_mode="visual", locations=locs
+    )
+    there_and_back = descriptor.rebased(base).rebased(-base)
+    assert there_and_back.locations == descriptor.locations

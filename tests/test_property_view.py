@@ -1,0 +1,79 @@
+"""Property-based invariants for views under random operation sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Rect
+from repro.images.image import Image
+from repro.images.view import View
+from repro.ids import ImageId
+
+WIDTH, HEIGHT = 300, 200
+
+
+def _image():
+    return Image(
+        image_id=ImageId("prop"),
+        width=WIDTH,
+        height=HEIGHT,
+        bitmap=Bitmap.from_function(WIDTH, HEIGHT, lambda x, y: (x * 7 + y) % 256),
+    )
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("move"), st.integers(-150, 150), st.integers(-150, 150)
+        ),
+        st.tuples(
+            st.just("jump"), st.integers(-50, 350), st.integers(-50, 250)
+        ),
+        st.tuples(st.just("resize"), st.integers(-30, 60), st.integers(-30, 60)),
+    ),
+    max_size=25,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_view_always_stays_inside_the_image(ops):
+    image = _image()
+    view = View(image, Rect(50, 50, 60, 40))
+    view.fetch()
+    for op, a, b in ops:
+        try:
+            if op == "move":
+                result = view.move(a, b)
+            elif op == "jump":
+                result = view.jump(a, b)
+            else:
+                result = view.resize(a, b)
+        except Exception:
+            continue  # collapse-rejections are fine; state must be intact
+        rect = result.rect
+        assert rect.width > 0 and rect.height > 0
+        assert image.rect.contains_rect(rect)
+        # The returned window always matches the rect's pixels exactly.
+        assert result.bitmap.equals(image.bitmap.crop(rect))
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_bytes_accounting_matches_window_areas(ops):
+    image = _image()
+    view = View(image, Rect(0, 0, 50, 50))
+    expected = 50 * 50
+    view.fetch()
+    for op, a, b in ops:
+        try:
+            if op == "move":
+                result = view.move(a, b)
+            elif op == "jump":
+                result = view.jump(a, b)
+            else:
+                result = view.resize(a, b)
+        except Exception:
+            continue
+        expected += result.rect.area
+    assert view.bytes_fetched == expected

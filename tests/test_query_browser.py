@@ -1,0 +1,133 @@
+"""The query-specification / miniature-browsing / presenting loop."""
+
+import pytest
+
+from repro.core.manager import LocalStore, PresentationManager
+from repro.core.query_session import QueryBrowser, QueryState
+from repro.errors import BrowsingError, QueryError
+from repro.scenarios import build_object_library
+from repro.server import Archiver
+from repro.workstation.station import Workstation
+
+
+@pytest.fixture
+def browser():
+    archiver = Archiver()
+    build_object_library(archiver, visual_count=8, audio_count=4)
+    manager = PresentationManager(archiver, Workstation())
+    return QueryBrowser(manager), manager
+
+
+class TestStates:
+    def test_starts_specifying(self, browser):
+        query, _ = browser
+        assert query.state is QueryState.SPECIFYING
+        assert query.filter_description == "(no filter)"
+
+    def test_specify_moves_to_browsing(self, browser):
+        query, _ = browser
+        count = query.specify(kind="document")
+        assert count == 8
+        assert query.state is QueryState.BROWSING
+        assert "kind=document" in query.filter_description
+
+    def test_requires_archiver_store(self):
+        manager = PresentationManager(LocalStore(), Workstation())
+        with pytest.raises(BrowsingError):
+            QueryBrowser(manager)
+
+
+class TestRefinement:
+    def test_refine_narrows(self, browser):
+        query, _ = browser
+        broad = query.specify(kind="document")
+        narrow = query.refine(extra_terms=["budget"])
+        assert narrow < broad
+        assert "budget" in query.filter_description
+
+    def test_refine_requires_additions(self, browser):
+        query, _ = browser
+        query.specify(kind="document")
+        with pytest.raises(QueryError):
+            query.refine()
+
+    def test_refine_resets_the_stream(self, browser):
+        query, _ = browser
+        query.specify(kind="document")
+        first = query.next_miniature()
+        query.refine(extra_terms=["budget"])
+        fresh = query.next_miniature()
+        assert fresh is not None
+        __ = first
+
+
+class TestSequentialBrowsing:
+    def test_stream_yields_each_result_once(self, browser):
+        query, _ = browser
+        count = query.specify(kind="dictation")
+        seen = []
+        while True:
+            card = query.next_miniature()
+            if card is None:
+                break
+            seen.append(card.object_id)
+        assert len(seen) == count
+        assert len(set(seen)) == count
+
+    def test_browsing_before_specify_rejected(self, browser):
+        query, _ = browser
+        with pytest.raises(BrowsingError):
+            query.next_miniature()
+
+    def test_clock_advances_as_cards_arrive(self, browser):
+        query, manager = browser
+        query.specify(kind="document")
+        before = manager.workstation.clock.now
+        query.next_miniature()
+        assert manager.workstation.clock.now > before
+
+
+class TestPresentAndReturn:
+    def test_select_presents_the_object(self, browser):
+        query, manager = browser
+        query.specify(kind="document")
+        card = query.next_miniature()
+        session = query.select(card)
+        assert query.state is QueryState.PRESENTING
+        assert manager.current_session is session
+        assert session.current_page_number == 1
+
+    def test_back_to_miniatures(self, browser):
+        query, _ = browser
+        query.specify(kind="document")
+        first = query.next_miniature()
+        query.select(first)
+        query.back_to_miniatures()
+        assert query.state is QueryState.BROWSING
+        second = query.next_miniature()
+        assert second is not None
+        assert second.object_id != first.object_id
+
+    def test_back_to_query_allows_respecify(self, browser):
+        query, _ = browser
+        query.specify(kind="document")
+        card = query.next_miniature()
+        query.select(card)
+        query.back_to_query()
+        assert query.state is QueryState.SPECIFYING
+        count = query.specify(kind="dictation")
+        assert count == 4
+
+    def test_select_requires_browsing_state(self, browser):
+        query, _ = browser
+        query.specify(kind="document")
+        card = query.next_miniature()
+        query.select(card)
+        with pytest.raises(BrowsingError):
+            query.select(card)
+
+    def test_back_to_miniatures_requires_presenting(self, browser):
+        query, _ = browser
+        query.specify(kind="document")
+        with pytest.raises(BrowsingError):
+            query.back_to_miniatures()

@@ -1,0 +1,105 @@
+"""Pattern matching: the shared access method for text and voice."""
+
+import pytest
+
+from repro.audio.recognition import RecognizedUtterance
+from repro.errors import QueryError
+from repro.text.search import TextSearchIndex, tokenize
+
+
+class TestTokenize:
+    def test_lowercases_and_offsets(self):
+        tokens = tokenize("Alpha BETA gamma")
+        assert tokens == [("alpha", 0), ("beta", 6), ("gamma", 11)]
+
+    def test_punctuation_splits(self):
+        tokens = tokenize("one, two. three!")
+        assert [t for t, _ in tokens] == ["one", "two", "three"]
+
+    def test_hyphen_and_apostrophe_kept(self):
+        tokens = tokenize("it's a well-known fact")
+        assert [t for t, _ in tokens] == ["it's", "a", "well-known", "fact"]
+
+
+class TestTextIndex:
+    def test_single_word_occurrences(self):
+        index = TextSearchIndex.from_text("the cat and the dog and the bird")
+        assert index.count("the") == 3
+        assert index.count("cat") == 1
+        assert index.count("missing") == 0
+
+    def test_occurrence_positions_are_offsets(self):
+        text = "spot the word here and the word there"
+        index = TextSearchIndex.from_text(text)
+        for position in index.occurrences("word"):
+            assert text[int(position): int(position) + 4] == "word"
+
+    def test_next_occurrence(self):
+        index = TextSearchIndex.from_text("a b a b a")
+        hits = index.occurrences("a")
+        assert index.next_occurrence("a", -1) == hits[0]
+        assert index.next_occurrence("a", hits[0]) == hits[1]
+        assert index.next_occurrence("a", hits[-1]) is None
+
+    def test_phrase_matching(self):
+        index = TextSearchIndex.from_text(
+            "the optical disk stores data. the magnetic disk is faster."
+        )
+        assert index.count("optical disk") == 1
+        assert index.count("magnetic disk") == 1
+        assert index.count("optical magnetic") == 0
+
+    def test_phrase_returns_first_word_position(self):
+        text = "look at the optical disk now"
+        index = TextSearchIndex.from_text(text)
+        position = index.occurrences("optical disk")[0]
+        assert text[int(position):].startswith("optical")
+
+    def test_phrase_with_missing_term_empty(self):
+        index = TextSearchIndex.from_text("only these words")
+        assert index.occurrences("only missing") == []
+
+    def test_empty_pattern_rejected(self):
+        index = TextSearchIndex.from_text("content")
+        with pytest.raises(QueryError):
+            index.occurrences("...")
+
+    def test_case_insensitive(self):
+        index = TextSearchIndex.from_text("The Fracture was visible")
+        assert index.count("FRACTURE") == 1
+
+    def test_vocabulary(self):
+        index = TextSearchIndex.from_text("a b b c")
+        assert index.vocabulary == {"a", "b", "c"}
+        assert len(index) == 4
+
+
+class TestVoiceIndexSymmetry:
+    def test_from_utterances_same_interface(self):
+        utterances = [
+            RecognizedUtterance("fracture", 3.2),
+            RecognizedUtterance("joint", 5.0),
+            RecognizedUtterance("fracture", 9.7),
+        ]
+        index = TextSearchIndex.from_utterances(utterances)
+        assert index.count("fracture") == 2
+        assert index.next_occurrence("fracture", 3.2) == pytest.approx(9.7)
+        assert index.next_occurrence("joint", 10.0) is None
+
+    def test_voice_phrase_over_consecutive_utterances(self):
+        utterances = [
+            RecognizedUtterance("optical", 1.0),
+            RecognizedUtterance("disk", 1.4),
+            RecognizedUtterance("budget", 6.0),
+        ]
+        index = TextSearchIndex.from_utterances(utterances)
+        assert index.occurrences("optical disk") == [1.0]
+
+    def test_text_and_voice_share_machinery(self):
+        # The symmetry claim in miniature: same type, same methods.
+        text_index = TextSearchIndex.from_text("fracture near the joint")
+        voice_index = TextSearchIndex.from_utterances(
+            [RecognizedUtterance("fracture", 0.5), RecognizedUtterance("joint", 1.5)]
+        )
+        assert type(text_index) is type(voice_index)
+        assert text_index.count("fracture") == voice_index.count("fracture")

@@ -1,0 +1,176 @@
+"""Content queries, miniature streams, versioning, network."""
+
+import pytest
+
+from repro.errors import QueryError, VersionError
+from repro.ids import IdGenerator
+from repro.scenarios import build_object_library
+from repro.server import Archiver, NetworkLink, QueryInterface, VersionStore
+
+
+@pytest.fixture(scope="module")
+def library():
+    archiver = Archiver()
+    objects = build_object_library(archiver, visual_count=6, audio_count=3)
+    return archiver, objects
+
+
+class TestNetworkLink:
+    def test_transfer_time(self):
+        link = NetworkLink(bandwidth_bytes_per_s=1000, latency_s=0.01)
+        assert link.transfer_time(2000) == pytest.approx(2.01)
+
+    def test_zero_bytes_costs_latency(self):
+        link = NetworkLink(latency_s=0.005)
+        assert link.transfer_time(0) == pytest.approx(0.005)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkLink(bandwidth_bytes_per_s=0)
+        with pytest.raises(ValueError):
+            NetworkLink(latency_s=-1)
+        with pytest.raises(ValueError):
+            NetworkLink().transfer_time(-5)
+
+
+class TestSelect:
+    def test_term_query_partitions_by_topic(self, library):
+        archiver, objects = library
+        interface = QueryInterface(archiver)
+        budget_ids = interface.select(terms=["budget"])
+        assert budget_ids
+        for object_id in budget_ids:
+            obj = next(o for o in objects if o.object_id == object_id)
+            assert obj.attributes.get("topic") == "budget"
+
+    def test_attribute_query(self, library):
+        archiver, objects = library
+        interface = QueryInterface(archiver)
+        dictations = interface.select(kind="dictation")
+        assert len(dictations) == 3
+
+    def test_combined_query(self, library):
+        archiver, _ = library
+        interface = QueryInterface(archiver)
+        combined = interface.select(terms=["urgent"], kind="dictation")
+        assert set(combined) <= set(interface.select(kind="dictation"))
+
+    def test_voice_terms_reach_the_index(self, library):
+        # 'urgent' is only spoken, never written: recognized utterances
+        # made it content-addressable.
+        archiver, objects = library
+        interface = QueryInterface(archiver)
+        hits = interface.select(terms=["urgent"])
+        modes = {
+            next(o for o in objects if o.object_id == i).driving_mode.value
+            for i in hits
+        }
+        assert modes == {"audio"}
+
+    def test_empty_query_rejected(self, library):
+        archiver, _ = library
+        with pytest.raises(QueryError):
+            QueryInterface(archiver).select()
+
+    def test_results_in_storage_order(self, library):
+        archiver, _ = library
+        interface = QueryInterface(archiver)
+        everything = interface.select(kind="document")
+        order = archiver.object_ids()
+        assert everything == [i for i in order if i in set(everything)]
+
+
+class TestMiniatureStream:
+    def test_cards_arrive_sequentially(self, library):
+        archiver, _ = library
+        interface = QueryInterface(archiver)
+        ids = interface.select(kind="document")
+        cards = list(interface.miniature_stream(ids))
+        assert len(cards) == len(ids)
+        times = [c.available_at_s for c in cards]
+        assert times == sorted(times)
+
+    def test_visual_cards_carry_miniatures(self, library):
+        archiver, _ = library
+        interface = QueryInterface(archiver)
+        ids = interface.select(kind="document")
+        card = next(iter(interface.miniature_stream(ids)))
+        assert card.miniature is not None
+        assert card.miniature.is_representation
+        assert card.voice_sample is None
+        assert card.summary  # first line of text
+
+    def test_audio_cards_carry_voice_samples(self, library):
+        archiver, _ = library
+        interface = QueryInterface(archiver)
+        ids = interface.select(kind="dictation")
+        card = next(iter(interface.miniature_stream(ids)))
+        assert card.driving_mode == "audio"
+        assert card.voice_sample is not None
+        assert card.voice_sample.duration <= 3.01
+        assert card.miniature is None
+
+    def test_miniatures_much_smaller_than_objects(self, library):
+        archiver, _ = library
+        interface = QueryInterface(archiver)
+        ids = interface.select(kind="document")
+        cards = list(interface.miniature_stream(ids))
+        full = list(interface.full_object_stream(ids))
+        card_bytes = sum(c.nbytes for c in cards)
+        full_bytes = sum(n for _, n, _ in full)
+        assert card_bytes * 5 < full_bytes
+
+    def test_first_card_beats_first_full_object(self, library):
+        archiver, _ = library
+        interface = QueryInterface(archiver)
+        ids = interface.select(kind="document")
+        first_card = next(iter(interface.miniature_stream(ids)))
+        first_full = next(iter(interface.full_object_stream(ids)))
+        assert first_card.available_at_s < first_full[2]
+
+
+class TestVersionStore:
+    def test_commit_and_latest(self):
+        archiver = Archiver()
+        store = VersionStore(archiver)
+        generator = IdGenerator("ver")
+        first = build_object_library(
+            archiver=Archiver(), visual_count=0, audio_count=0
+        )  # no-op helper keeps archiver clean
+        __ = first
+
+        from tests.test_server_archiver import _simple_object
+
+        v1 = _simple_object(generator, "draft")
+        v2 = _simple_object(generator, "final")
+        store.commit("report", v1)
+        store.commit("report", v2)
+        chain = store.chain("report")
+        assert chain.versions == [v1.object_id, v2.object_id]
+        latest, _ = store.latest("report")
+        assert latest.object_id == v2.object_id
+        old, _ = store.fetch_version("report", 0)
+        assert old.object_id == v1.object_id
+
+    def test_duplicate_version_rejected(self):
+        archiver = Archiver()
+        store = VersionStore(archiver)
+        generator = IdGenerator("ver2")
+        from tests.test_server_archiver import _simple_object
+
+        obj = _simple_object(generator)
+        store.commit("doc", obj)
+        with pytest.raises(VersionError):
+            store.commit("doc", obj)
+
+    def test_unknown_name_and_bad_index(self):
+        store = VersionStore(Archiver())
+        with pytest.raises(VersionError):
+            store.chain("ghost")
+        generator = IdGenerator("ver3")
+        from tests.test_server_archiver import _simple_object
+
+        store.commit("doc", _simple_object(generator))
+        with pytest.raises(VersionError):
+            store.fetch_version("doc", 5)
+        assert store.names() == ["doc"]

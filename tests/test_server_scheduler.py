@@ -1,0 +1,124 @@
+"""Request scheduling and queueing."""
+
+import pytest
+
+from repro.errors import ArchiverError
+from repro.server.scheduler import (
+    CompletedRequest,
+    Discipline,
+    DiskRequest,
+    poisson_requests,
+    simulate_schedule,
+)
+from repro.storage.blockdev import DiskGeometry, Extent
+
+GEOMETRY = DiskGeometry(
+    capacity_bytes=1_000_000,
+    max_seek_s=0.1,
+    rotational_latency_s=0.01,
+    transfer_bytes_per_s=1_000_000,
+)
+
+
+def _request(i, arrival, offset, length=1000, user="u"):
+    return DiskRequest(
+        request_id=i, user=user, arrival_s=arrival, extent=Extent(offset, length)
+    )
+
+
+class TestFcfs:
+    def test_serves_in_arrival_order(self):
+        requests = [
+            _request(0, 0.0, 500_000),
+            _request(1, 0.01, 0),
+            _request(2, 0.02, 900_000),
+        ]
+        completed = simulate_schedule(GEOMETRY, requests, Discipline.FCFS)
+        assert [c.request.request_id for c in completed] == [0, 1, 2]
+
+    def test_response_exceeds_service_under_contention(self):
+        requests = [_request(i, 0.0, i * 1000) for i in range(10)]
+        completed = simulate_schedule(GEOMETRY, requests, Discipline.FCFS)
+        # The last request waited behind nine others.
+        assert completed[-1].wait_time_s > completed[0].wait_time_s
+
+    def test_idle_gap_advances_clock(self):
+        requests = [_request(0, 0.0, 0), _request(1, 100.0, 0)]
+        completed = simulate_schedule(GEOMETRY, requests, Discipline.FCFS)
+        assert completed[1].start_s == pytest.approx(100.0)
+
+    def test_empty(self):
+        assert simulate_schedule(GEOMETRY, []) == []
+
+
+class TestScan:
+    def test_sweeps_in_offset_order(self):
+        # All arrive together; SCAN should serve in ascending offsets
+        # (head starts at 0).
+        requests = [
+            _request(0, 0.0, 800_000),
+            _request(1, 0.0, 100_000),
+            _request(2, 0.0, 400_000),
+        ]
+        completed = simulate_schedule(GEOMETRY, requests, Discipline.SCAN)
+        assert [c.request.request_id for c in completed] == [1, 2, 0]
+
+    def test_reverses_at_end(self):
+        requests = [
+            _request(0, 0.0, 900_000),
+            _request(1, 0.0, 100_000, length=1),
+        ]
+        # Head at 0: serves 1 first (ahead), then 0; a late arrival
+        # behind the head is served on the way back.
+        late = _request(2, 0.0, 500_000)
+        completed = simulate_schedule(
+            GEOMETRY, requests + [late], Discipline.SCAN
+        )
+        assert [c.request.request_id for c in completed] == [1, 2, 0]
+
+    def test_scan_beats_fcfs_total_time_under_load(self):
+        extents = [Extent((i * 37) % 900 * 1000, 2000) for i in range(60)]
+        requests = [
+            DiskRequest(i, "u", 0.0, extents[i]) for i in range(len(extents))
+        ]
+        fcfs = simulate_schedule(GEOMETRY, requests, Discipline.FCFS)
+        scan = simulate_schedule(GEOMETRY, requests, Discipline.SCAN)
+        assert scan[-1].finish_s < fcfs[-1].finish_s
+
+    def test_all_requests_served_exactly_once(self):
+        requests = [_request(i, i * 0.001, (i * 131) % 999 * 1000) for i in range(50)]
+        completed = simulate_schedule(GEOMETRY, requests, Discipline.SCAN)
+        assert sorted(c.request.request_id for c in completed) == list(range(50))
+
+
+class TestCompletedRequest:
+    def test_timing_properties(self):
+        completed = CompletedRequest(
+            request=_request(0, 1.0, 0), start_s=2.0, finish_s=3.5
+        )
+        assert completed.wait_time_s == pytest.approx(1.0)
+        assert completed.response_time_s == pytest.approx(2.5)
+
+
+class TestPoissonWorkload:
+    def test_rate_controls_count(self):
+        extents = [Extent(0, 100)]
+        low = poisson_requests(1.0, 100.0, extents, seed=1)
+        high = poisson_requests(10.0, 100.0, extents, seed=1)
+        assert len(high) > 5 * len(low)
+
+    def test_arrivals_sorted_and_bounded(self):
+        requests = poisson_requests(5.0, 50.0, [Extent(0, 10)], seed=2)
+        arrivals = [r.arrival_s for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert all(0 < a < 50.0 for a in arrivals)
+
+    def test_reproducible(self):
+        extents = [Extent(i * 100, 50) for i in range(5)]
+        a = poisson_requests(3.0, 30.0, extents, seed=7)
+        b = poisson_requests(3.0, 30.0, extents, seed=7)
+        assert a == b
+
+    def test_needs_extents(self):
+        with pytest.raises(ArchiverError):
+            poisson_requests(1.0, 10.0, [])

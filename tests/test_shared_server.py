@@ -1,0 +1,76 @@
+"""Several workstations sharing one object server (Section 5).
+
+"We envision the overall system architecture for MINOS as being
+composed of a multimedia object server subsystem and a number of
+workstations interconnected through high capacity links."
+"""
+
+import pytest
+
+from repro.core.manager import PresentationManager
+from repro.scenarios import build_object_library
+from repro.server import Archiver, NetworkLink
+from repro.workstation.station import Workstation
+
+
+@pytest.fixture(scope="module")
+def server():
+    archiver = Archiver()
+    build_object_library(archiver, visual_count=4, audio_count=2)
+    return archiver
+
+
+class TestSharedArchiver:
+    def test_independent_sessions_on_one_server(self, server):
+        ids = server.object_ids()
+        stations = [Workstation() for _ in range(3)]
+        managers = [PresentationManager(server, ws) for ws in stations]
+        sessions = [
+            manager.open(ids[index]) for index, manager in enumerate(managers)
+        ]
+        # Each workstation displays its own object; traces are disjoint.
+        for index, (session, workstation) in enumerate(zip(sessions, stations)):
+            assert session.object.object_id == ids[index]
+            assert len(workstation.trace) > 0
+        assert stations[0].trace is not stations[1].trace
+
+    def test_clocks_advance_independently(self, server):
+        ids = server.object_ids()
+        first_ws, second_ws = Workstation(), Workstation()
+        first = PresentationManager(server, first_ws)
+        second = PresentationManager(server, second_ws)
+        first.open(ids[0])
+        t_first = first_ws.clock.now
+        second.open(ids[1])
+        # Opening on workstation 2 does not move workstation 1's clock.
+        assert first_ws.clock.now == t_first
+        assert second_ws.clock.now > 0
+
+    def test_server_disk_stats_accumulate_across_users(self, server):
+        reads_before = server.disk.stats.reads
+        ids = server.object_ids()
+        for _ in range(2):
+            manager = PresentationManager(server, Workstation())
+            manager.open(ids[0])
+        assert server.disk.stats.reads > reads_before
+
+    def test_slow_link_costs_more_wall_time(self, server):
+        ids = server.object_ids()
+        fast_ws, slow_ws = Workstation(), Workstation()
+        fast = PresentationManager(
+            server, fast_ws, link=NetworkLink(bandwidth_bytes_per_s=1_250_000)
+        )
+        slow = PresentationManager(
+            server, slow_ws, link=NetworkLink(bandwidth_bytes_per_s=50_000)
+        )
+        fast.open(ids[0])
+        slow.open(ids[0])
+        assert slow_ws.clock.now > fast_ws.clock.now
+
+    def test_queries_see_everything_stored(self, server):
+        manager = PresentationManager(server, Workstation())
+        cards = list(manager.browse_by_content(kind="document"))
+        assert len(cards) == 4
+        other = PresentationManager(server, Workstation())
+        cards2 = list(other.browse_by_content(kind="dictation"))
+        assert len(cards2) == 2

@@ -1,0 +1,56 @@
+"""The uniform-grid spatial index."""
+
+import pytest
+
+from repro.images.geometry import Circle, Point, Rect
+from repro.images.graphics import GraphicsObject
+from repro.images.spatial import SpatialGrid
+
+
+def _circle(name: str, x: int, y: int, r: int = 5) -> GraphicsObject:
+    return GraphicsObject(name, Circle(Point(x, y), r))
+
+
+class TestSpatialGrid:
+    def test_insert_and_len(self):
+        grid = SpatialGrid(Rect(0, 0, 1000, 1000))
+        grid.insert(_circle("a", 10, 10))
+        grid.insert(_circle("b", 500, 500))
+        assert len(grid) == 2
+
+    def test_cell_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpatialGrid(Rect(0, 0, 10, 10), cell_size=0)
+
+    def test_query_rect_finds_only_intersecting(self):
+        grid = SpatialGrid.for_objects(
+            Rect(0, 0, 1000, 1000),
+            [_circle("near", 50, 50), _circle("far", 900, 900)],
+        )
+        found = grid.query_rect(Rect(0, 0, 100, 100))
+        assert [o.name for o in found] == ["near"]
+
+    def test_query_rect_deduplicates_multi_cell_objects(self):
+        # A big circle spanning many cells must be returned once.
+        grid = SpatialGrid(Rect(0, 0, 1000, 1000), cell_size=64)
+        grid.insert(_circle("big", 500, 500, r=300))
+        found = grid.query_rect(Rect(0, 0, 1000, 1000))
+        assert len(found) == 1
+
+    def test_query_point_uses_shape_hit(self):
+        grid = SpatialGrid.for_objects(
+            Rect(0, 0, 200, 200), [_circle("c", 100, 100, r=10)]
+        )
+        assert [o.name for o in grid.query_point(Point(105, 100))] == ["c"]
+        # Inside the bounding rect but outside the circle:
+        assert grid.query_point(Point(109, 109)) == []
+
+    def test_many_objects_query_is_selective(self):
+        objects = [
+            _circle(f"o{i}{j}", i * 100 + 50, j * 100 + 50, r=4)
+            for i in range(10)
+            for j in range(10)
+        ]
+        grid = SpatialGrid.for_objects(Rect(0, 0, 1000, 1000), objects)
+        found = grid.query_rect(Rect(0, 0, 200, 200))
+        assert len(found) == 4

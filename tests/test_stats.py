@@ -1,0 +1,80 @@
+"""Session statistics from the trace."""
+
+import pytest
+
+from repro.core.browsing import BrowseCommand
+from repro.core.manager import LocalStore, PresentationManager
+from repro.scenarios import build_city_walk_simulation, build_office_document
+from repro.trace import EventKind, Trace
+from repro.workstation.stats import SessionStats, summarize
+from repro.workstation.station import Workstation
+
+
+class TestSummarize:
+    def test_empty_trace(self):
+        stats = summarize(Trace())
+        assert stats.pages_displayed == 0
+        assert stats.media_events == 0
+        assert stats.bandwidth_events_per_minute == 0.0
+
+    def test_counts_from_synthetic_trace(self):
+        trace = Trace()
+        trace.record(0.0, EventKind.DISPLAY_PAGE, page=1)
+        trace.record(1.0, EventKind.DISPLAY_PAGE, page=2)
+        trace.record(2.0, EventKind.DISPLAY_PAGE, page=1)
+        trace.record(3.0, EventKind.PLAY_MESSAGE, message="m", duration_s=2.5)
+        trace.record(6.0, EventKind.SUPERIMPOSE, transparency="t")
+        trace.record(7.0, EventKind.TRANSFER, bytes=1234)
+        trace.record(8.0, EventKind.COMMAND, command="next_page")
+        stats = summarize(trace)
+        assert stats.pages_displayed == 3
+        assert stats.distinct_pages == 2
+        assert stats.messages_played == 1
+        assert stats.voice_seconds == pytest.approx(2.5)
+        assert stats.transparencies == 1
+        assert stats.bytes_transferred == 1234
+        assert stats.commands == 1
+        assert stats.elapsed_s == 8.0
+
+    def test_browsing_session_statistics(self):
+        obj = build_office_document()
+        workstation = Workstation()
+        store = LocalStore()
+        store.add(obj)
+        session = PresentationManager(store, workstation).open(obj.object_id)
+        session.execute(BrowseCommand.NEXT_PAGE)
+        session.execute(BrowseCommand.FIND_PATTERN, pattern="archive")
+        stats = summarize(workstation.trace)
+        assert stats.pages_displayed >= 3
+        assert stats.search_hits == 1
+        assert stats.commands == 2
+
+    def test_simulation_bandwidth(self):
+        obj = build_city_walk_simulation()
+        workstation = Workstation()
+        store = LocalStore()
+        store.add(obj)
+        session = PresentationManager(store, workstation).open(obj.object_id)
+        session.next_page()
+        stats = summarize(workstation.trace)
+        assert stats.overwrites == 5
+        assert stats.messages_played == 5
+        assert stats.voice_seconds > 10
+        assert stats.bandwidth_events_per_minute > 0
+
+
+class TestSessionStats:
+    def test_media_events_aggregates(self):
+        stats = SessionStats(
+            pages_displayed=2,
+            voice_plays=1,
+            messages_played=3,
+            labels_played=1,
+            transparencies=2,
+            overwrites=1,
+        )
+        assert stats.media_events == 10
+
+    def test_bandwidth_per_minute(self):
+        stats = SessionStats(pages_displayed=30, elapsed_s=60.0)
+        assert stats.bandwidth_events_per_minute == pytest.approx(30.0)

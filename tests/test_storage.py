@@ -1,0 +1,116 @@
+"""Simulated disks."""
+
+import pytest
+
+from repro.errors import AllocationError, StorageError, WriteOnceViolationError
+from repro.storage.blockdev import DiskGeometry, Extent, SimulatedDisk
+from repro.storage.magnetic import MAGNETIC_GEOMETRY, MagneticDisk
+from repro.storage.optical import OPTICAL_GEOMETRY, OpticalDisk
+
+SMALL = DiskGeometry(
+    capacity_bytes=10_000,
+    max_seek_s=0.1,
+    rotational_latency_s=0.01,
+    transfer_bytes_per_s=1_000_000,
+)
+
+
+class TestGeometry:
+    def test_seek_grows_sublinearly(self):
+        near = SMALL.seek_time(0, 100)
+        far = SMALL.seek_time(0, 10_000)
+        assert 0 < near < far
+        assert far == pytest.approx(0.1)
+        # sqrt model: 100x the distance is only 10x the seek.
+        assert far / near == pytest.approx(10.0, rel=0.01)
+
+    def test_zero_distance_zero_seek(self):
+        assert SMALL.seek_time(500, 500) == 0.0
+
+    def test_access_time_components(self):
+        t = SMALL.access_time(0, Extent(0, 1_000_000))
+        assert t == pytest.approx(0.005 + 1.0)
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            DiskGeometry(0, 0.1, 0.01, 1)
+
+
+class TestSimulatedDisk:
+    def test_append_read_roundtrip(self):
+        disk = SimulatedDisk(SMALL)
+        extent, _ = disk.append(b"hello world")
+        data, service = disk.read(extent)
+        assert data == b"hello world"
+        assert service > 0
+
+    def test_allocation_tracks_usage(self):
+        disk = SimulatedDisk(SMALL)
+        disk.append(b"x" * 100)
+        assert disk.used_bytes == 100
+
+    def test_capacity_enforced(self):
+        disk = SimulatedDisk(SMALL)
+        with pytest.raises(AllocationError):
+            disk.allocate(20_000)
+
+    def test_read_unallocated_rejected(self):
+        disk = SimulatedDisk(SMALL)
+        with pytest.raises(StorageError):
+            disk.read(Extent(0, 10))
+
+    def test_write_length_must_match_extent(self):
+        disk = SimulatedDisk(SMALL)
+        extent = disk.allocate(10)
+        with pytest.raises(StorageError):
+            disk.write(extent, b"short")
+
+    def test_head_position_affects_service(self):
+        disk = SimulatedDisk(SMALL)
+        a, _ = disk.append(b"a" * 100)
+        b, _ = disk.append(b"b" * 100)
+        # Read b (head just after it), then a far... distances differ.
+        disk.read(a)
+        sequential = disk.service_time(Extent(a.end, b.length))
+        disk.read(b)
+        return_seek = disk.service_time(a)
+        assert sequential < return_seek
+
+    def test_stats_accumulate(self):
+        disk = SimulatedDisk(SMALL)
+        extent, _ = disk.append(b"abc")
+        disk.read(extent)
+        assert disk.stats.writes == 1
+        assert disk.stats.reads == 1
+        assert disk.stats.bytes_read == 3
+        assert disk.stats.busy_time_s > 0
+
+
+class TestOpticalDisk:
+    def test_write_once_enforced(self):
+        disk = OpticalDisk(SMALL)
+        extent, _ = disk.append(b"immutable")
+        with pytest.raises(WriteOnceViolationError):
+            disk.write(extent, b"overwrite")
+
+    def test_appends_always_allowed(self):
+        disk = OpticalDisk(SMALL)
+        disk.append(b"first")
+        disk.append(b"second")
+        assert disk.used_bytes == 11
+
+    def test_default_geometry_is_slower_than_magnetic(self):
+        assert OPTICAL_GEOMETRY.max_seek_s > MAGNETIC_GEOMETRY.max_seek_s
+        assert (
+            OPTICAL_GEOMETRY.transfer_bytes_per_s
+            < MAGNETIC_GEOMETRY.transfer_bytes_per_s
+        )
+
+
+class TestMagneticDisk:
+    def test_rewritable(self):
+        disk = MagneticDisk(SMALL)
+        extent, _ = disk.append(b"12345")
+        disk.write(extent, b"54321")
+        data, _ = disk.read(extent)
+        assert data == b"54321"

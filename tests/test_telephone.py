@@ -1,0 +1,166 @@
+"""Telephone access and spoken pattern input."""
+
+import pytest
+
+from repro.audio.recognition import VocabularyRecognizer
+from repro.audio.signal import synthesize_speech
+from repro.core.manager import LocalStore, PresentationManager
+from repro.core.spoken import find_spoken_pattern, recognize_pattern
+from repro.core.telephone import KEYPAD, TelephoneSession
+from repro.errors import BrowsingError, RecognitionError
+from repro.scenarios import build_audio_mode_report, build_office_document
+from repro.trace import EventKind
+from repro.workstation.station import Workstation
+
+
+class TestTelephoneAudioObject:
+    @pytest.fixture
+    def call(self):
+        obj = build_audio_mode_report()
+        workstation = Workstation()
+        session = TelephoneSession(obj, workstation)
+        session.answer()
+        return session, workstation
+
+    def test_answer_announces_and_plays(self, call):
+        session, workstation = call
+        prompts = workstation.trace.of_kind(EventKind.PLAY_VOICE)
+        assert prompts  # the announcement plus the voice part
+        assert not session.is_reading_visual_object
+
+    def test_interrupt_and_resume(self, call):
+        session, workstation = call
+        workstation.clock.advance(2.0)
+        session.press("5")  # interrupt
+        interrupted_at = workstation.trace.last(EventKind.INTERRUPT_VOICE)
+        assert interrupted_at is not None
+        session.press("2")  # resume
+        assert workstation.trace.last(EventKind.RESUME_VOICE) is not None
+
+    def test_page_keys(self, call):
+        session, workstation = call
+        workstation.clock.advance(1.0)
+        session.press("3")  # next voice page (auto-interrupts)
+        seeks = workstation.trace.of_kind(EventKind.SEEK_VOICE)
+        assert seeks
+
+    def test_pause_rewind_keys(self, call):
+        session, workstation = call
+        workstation.clock.advance(20.0)
+        session.press("5")
+        session.press("4")  # one long pause back
+        seeks = workstation.trace.of_kind(EventKind.SEEK_VOICE)
+        assert seeks
+
+    def test_keypad_commands_traced(self, call):
+        session, workstation = call
+        workstation.clock.advance(1.0)
+        session.press("5")
+        commands = workstation.trace.of_kind(EventKind.COMMAND)
+        assert any(
+            e.detail["command"] == "keypad:5" for e in commands
+        )
+
+    def test_unknown_key_rejected(self, call):
+        session, _ = call
+        with pytest.raises(BrowsingError):
+            session.press("8")
+
+    def test_help_announces_keypad(self, call):
+        session, workstation = call
+        workstation.clock.advance(0.5)
+        session.press("5")
+        before = len(workstation.trace.of_kind(EventKind.PLAY_VOICE))
+        session.press("0")
+        after = len(workstation.trace.of_kind(EventKind.PLAY_VOICE))
+        assert after == before + 1
+        assert len(KEYPAD) == 9
+
+
+class TestTelephoneVisualObject:
+    @pytest.fixture
+    def call(self):
+        obj = build_office_document()
+        workstation = Workstation()
+        session = TelephoneSession(obj, workstation)
+        session.answer()
+        return session, workstation
+
+    def test_visual_object_is_read_aloud(self, call):
+        session, workstation = call
+        assert session.is_reading_visual_object
+        # Announcement + page-1 reading both advanced the clock.
+        assert workstation.clock.now > 5.0
+        plays = workstation.trace.of_kind(EventKind.PLAY_VOICE)
+        assert any("phone-page:1" in e.detail["label"] for e in plays)
+
+    def test_next_page_reads_next_page(self, call):
+        session, workstation = call
+        session.press("3")
+        plays = workstation.trace.of_kind(EventKind.PLAY_VOICE)
+        assert any("phone-page:2" in e.detail["label"] for e in plays)
+
+    def test_chapter_navigation_over_phone(self, call):
+        session, workstation = call
+        session.press("9")  # next chapter
+        # Either a new page was read or "no more chapters" announced.
+        plays = workstation.trace.of_kind(EventKind.PLAY_VOICE)
+        assert len(plays) >= 3
+
+    def test_rewind_not_available_for_visual(self, call):
+        session, workstation = call
+        before = len(workstation.trace.of_kind(EventKind.PLAY_VOICE))
+        session.press("4")
+        after = len(workstation.trace.of_kind(EventKind.PLAY_VOICE))
+        assert after == before + 1  # the "not available" prompt
+
+    def test_page_speech_cached(self, call):
+        session, workstation = call
+        session.press("3")
+        session.press("1")  # back to page 1: reuses cached speech
+        plays = [
+            e
+            for e in workstation.trace.of_kind(EventKind.PLAY_VOICE)
+            if "phone-page:1" in e.detail["label"]
+        ]
+        assert len(plays) == 2
+
+
+class TestSpokenPatterns:
+    def test_recognize_pattern_orders_terms(self):
+        utterance = synthesize_speech("find the fracture near the joint", seed=41)
+        recognizer = VocabularyRecognizer(
+            ["joint", "fracture"], miss_rate=0.0, confusion_rate=0.0
+        )
+        assert recognize_pattern(utterance, recognizer) == "fracture joint"
+
+    def test_unrecognizable_utterance_rejected(self):
+        utterance = synthesize_speech("mumble mumble", seed=42)
+        recognizer = VocabularyRecognizer(["fracture"])
+        with pytest.raises(RecognitionError):
+            recognize_pattern(utterance, recognizer)
+
+    def test_spoken_search_on_visual_session(self):
+        obj = build_office_document()
+        store = LocalStore()
+        store.add(obj)
+        session = PresentationManager(store, Workstation()).open(obj.object_id)
+        utterance = synthesize_speech("archive", seed=43)
+        recognizer = VocabularyRecognizer(
+            ["archive"], miss_rate=0.0, confusion_rate=0.0
+        )
+        page = find_spoken_pattern(session, utterance, recognizer)
+        assert page is not None
+
+    def test_spoken_search_on_audio_session(self):
+        obj = build_audio_mode_report()
+        store = LocalStore()
+        store.add(obj)
+        session = PresentationManager(store, Workstation()).open(obj.object_id)
+        session.interrupt()
+        utterance = synthesize_speech("fracture", seed=44)
+        recognizer = VocabularyRecognizer(
+            ["fracture"], miss_rate=0.0, confusion_rate=0.0
+        )
+        page = find_spoken_pattern(session, utterance, recognizer)
+        assert page is not None

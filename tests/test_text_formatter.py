@@ -1,0 +1,83 @@
+"""The text formatting engine."""
+
+import pytest
+
+from repro.errors import PaginationError
+from repro.text.formatter import LineKind, TextFormatter
+from repro.text.markup import parse_markup
+
+
+def _format(markup: str, width: int = 40):
+    return TextFormatter(width=width).format(parse_markup(markup))
+
+
+class TestWrapping:
+    def test_lines_respect_width(self):
+        lines = _format("word " * 50, width=30)
+        for line in lines:
+            if line.kind is LineKind.TEXT:
+                assert len(line.text) <= 30
+
+    def test_long_word_gets_its_own_line(self):
+        lines = _format("a " + "x" * 50 + " b", width=20)
+        texts = [l.text for l in lines if l.kind is LineKind.TEXT]
+        assert any("x" * 50 in t for t in texts)
+
+    def test_offsets_cover_paragraph_monotonically(self):
+        lines = _format("alpha beta gamma delta epsilon zeta", width=16)
+        text_lines = [l for l in lines if l.kind is LineKind.TEXT]
+        assert len(text_lines) >= 2
+        for a, b in zip(text_lines, text_lines[1:]):
+            assert a.end <= b.start
+
+    def test_line_spans_reconstruct_words(self):
+        doc = parse_markup("alpha beta gamma delta")
+        lines = TextFormatter(width=16).format(doc)
+        for line in lines:
+            if line.kind is LineKind.TEXT:
+                for run in line.runs:
+                    snippet = doc.plain_text[run.offset: run.offset + len(run.text)]
+                    assert snippet == run.text
+
+    def test_width_minimum(self):
+        with pytest.raises(PaginationError):
+            TextFormatter(width=4)
+
+
+class TestStructureRendering:
+    def test_title_centred(self):
+        lines = _format("@title{Hi}", width=20)
+        title = next(l for l in lines if l.kind is LineKind.TITLE)
+        assert title.text.startswith(" ")
+        assert title.text.strip() == "Hi"
+
+    def test_heading_has_blank_lines_around(self):
+        lines = _format("@chapter{One}\ncontent here")
+        kinds = [l.kind for l in lines]
+        heading = kinds.index(LineKind.HEADING)
+        assert kinds[heading - 1] is LineKind.BLANK
+
+    def test_section_indented_relative_to_chapter(self):
+        lines = _format("@chapter{C}\n@section{S}\nbody")
+        headings = [l for l in lines if l.kind is LineKind.HEADING]
+        assert headings[0].text == "C"
+        assert headings[1].text == "  S"
+
+    def test_image_line_carries_tag(self):
+        lines = _format("before\n@image{pic-9}\nafter")
+        image = next(l for l in lines if l.kind is LineKind.IMAGE)
+        assert image.image_tag == "pic-9"
+
+    def test_indent_directive(self):
+        lines = _format("@indent{4}\nindented paragraph text")
+        text = next(l for l in lines if l.kind is LineKind.TEXT)
+        assert text.text.startswith("    ")
+
+    def test_abstract_marker_rendered(self):
+        lines = _format("@abstract\nsummary text")
+        heading = next(l for l in lines if l.kind is LineKind.HEADING)
+        assert heading.text == "ABSTRACT"
+
+    def test_trailing_blank_trimmed(self):
+        lines = _format("paragraph one\n\nparagraph two")
+        assert lines[-1].kind is not LineKind.BLANK

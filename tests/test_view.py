@@ -1,0 +1,142 @@
+"""Views over images."""
+
+import pytest
+
+from repro.audio.signal import synthesize_speech
+from repro.errors import ViewError
+from repro.ids import ImageId
+from repro.images.bitmap import Bitmap
+from repro.images.geometry import Circle, Point, Rect
+from repro.images.graphics import GraphicsObject, Label, LabelKind
+from repro.images.image import Image
+from repro.images.miniature import make_miniature
+from repro.images.view import View
+
+
+def _labelled_image(width=400, height=300):
+    voice = synthesize_speech("harbour station", seed=5)
+    graphics = [
+        GraphicsObject(
+            "harbour",
+            Circle(Point(300, 200), 8),
+            label=Label(LabelKind.VOICE, "harbour station", Point(300, 190),
+                        voice=voice),
+        ),
+        GraphicsObject(
+            "market",
+            Circle(Point(60, 60), 8),
+            label=Label(LabelKind.TEXT, "market square", Point(60, 50)),
+        ),
+    ]
+    return Image(
+        image_id=ImageId("map"),
+        width=width,
+        height=height,
+        bitmap=Bitmap.from_function(width, height, lambda x, y: (x + y) % 256),
+        graphics=graphics,
+    )
+
+
+class TestViewBasics:
+    def test_invalid_rect_rejected(self):
+        image = _labelled_image()
+        with pytest.raises(ViewError):
+            View(image, Rect(0, 0, 0, 10))
+        with pytest.raises(ViewError):
+            View(image, Rect(390, 290, 50, 50))
+
+    def test_fetch_returns_window_data(self):
+        image = _labelled_image()
+        view = View(image, Rect(10, 20, 50, 40))
+        window = view.fetch()
+        assert window.width == 50 and window.height == 40
+        assert window.equals(image.bitmap.crop(Rect(10, 20, 50, 40)))
+
+    def test_bytes_accounting(self):
+        image = _labelled_image()
+        view = View(image, Rect(0, 0, 50, 40))
+        view.fetch()
+        view.move(10, 10)
+        assert view.bytes_fetched == 2 * 50 * 40
+
+    def test_move_clamps_to_image(self):
+        image = _labelled_image()
+        view = View(image, Rect(0, 0, 100, 100))
+        result = view.move(-50, -50)
+        assert result.rect == Rect(0, 0, 100, 100)
+        result = view.move(10_000, 10_000)
+        assert result.rect == Rect(300, 200, 100, 100)
+
+    def test_jump(self):
+        image = _labelled_image()
+        view = View(image, Rect(0, 0, 100, 100))
+        result = view.jump(200, 150)
+        assert result.rect == Rect(200, 150, 100, 100)
+
+    def test_resize_grows_and_shrinks(self):
+        image = _labelled_image()
+        view = View(image, Rect(0, 0, 100, 100))
+        assert view.resize(20, -10).rect == Rect(0, 0, 120, 90)
+        with pytest.raises(ViewError):
+            view.resize(-200, 0)
+
+    def test_history_records_operations(self):
+        image = _labelled_image()
+        view = View(image, Rect(0, 0, 50, 50))
+        view.fetch()
+        view.move(5, 5)
+        view.resize(10, 10)
+        assert [m.kind for m in view.history] == ["fetch", "move", "resize"]
+
+
+class TestLabelEncounters:
+    def test_move_into_voice_label_reports_it(self):
+        image = _labelled_image()
+        view = View(image, Rect(0, 0, 100, 100))
+        view.fetch()
+        result = view.jump(250, 150)
+        assert [l.text for l in result.new_labels] == ["harbour station"]
+
+    def test_label_already_in_view_not_reported_again(self):
+        image = _labelled_image()
+        view = View(image, Rect(250, 150, 100, 100))
+        view.fetch()
+        result = view.move(5, 5)  # label still inside
+        assert result.new_labels == []
+
+    def test_text_labels_not_reported(self):
+        image = _labelled_image()
+        view = View(image, Rect(200, 200, 50, 50))
+        view.fetch()
+        result = view.jump(30, 30)  # onto the text-labelled market
+        assert result.new_labels == []
+
+    def test_grow_can_encounter_labels(self):
+        image = _labelled_image()
+        view = View(image, Rect(250, 150, 40, 30))
+        view.fetch()
+        result = view.resize(60, 60)  # grows over the harbour label
+        assert [l.text for l in result.new_labels] == ["harbour station"]
+
+
+class TestViewOnRepresentation:
+    def test_view_coordinates_are_source_space(self):
+        image = _labelled_image(400, 320)
+        mini = make_miniature(image, 4, ImageId("mini"))
+        fetched = {}
+
+        def source(rect):
+            fetched["rect"] = rect
+            return image.bitmap.crop(rect)
+
+        view = View(mini, Rect(100, 100, 80, 60), data_source=source)
+        window = view.fetch()
+        assert fetched["rect"] == Rect(100, 100, 80, 60)
+        assert window.width == 80
+
+    def test_view_can_exceed_miniature_size(self):
+        # The miniature is 100x80 but source coordinates go to 400x320.
+        image = _labelled_image(400, 320)
+        mini = make_miniature(image, 4, ImageId("mini"))
+        view = View(mini, Rect(300, 250, 80, 60), data_source=lambda r: Bitmap.blank(r.width, r.height))
+        assert view.rect == Rect(300, 250, 80, 60)
