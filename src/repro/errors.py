@@ -92,6 +92,14 @@ class ObjectNotFoundError(ArchiverError):
     """No object with the requested identifier exists in the archiver."""
 
 
+class ServerBusyError(ArchiverError):
+    """The server's admission queue is full; the request was rejected.
+
+    Clients are expected to back off and retry; the frontend sheds load
+    rather than letting queueing delay grow without bound.
+    """
+
+
 class VersionError(ArchiverError):
     """A version-control operation failed."""
 

@@ -14,11 +14,29 @@ views fetch windows, not whole images.
 
 from repro.server.network import NetworkLink
 from repro.server.access import ContentIndex
-from repro.server.archiver import Archiver, FetchResult, StoredObjectRecord
+from repro.server.archiver import (
+    Archiver,
+    CachingArchiver,
+    FetchResult,
+    FlightStats,
+    StoredObjectRecord,
+)
+from repro.server.frontend import ServerFrontend, ServerFuture, ServerRequest
+from repro.server.loadgen import (
+    LoadReport,
+    LoadRequest,
+    build_schedule,
+    replay_threaded,
+    replay_virtual,
+    station_subset,
+    zipf_weights,
+)
+from repro.server.metrics import Histogram, MetricsSnapshot, ServerMetrics
 from repro.server.scheduler import (
     CompletedRequest,
     DiskRequest,
     simulate_schedule,
+    total_seek_distance,
 )
 from repro.server.versioning import VersionStore
 from repro.server.idle import IdleRecognizer, IdleRunReport
@@ -26,16 +44,32 @@ from repro.server.query import MiniatureCard, QueryInterface
 
 __all__ = [
     "Archiver",
+    "CachingArchiver",
     "CompletedRequest",
     "ContentIndex",
     "DiskRequest",
     "FetchResult",
+    "FlightStats",
+    "Histogram",
     "IdleRecognizer",
     "IdleRunReport",
+    "LoadReport",
+    "LoadRequest",
+    "MetricsSnapshot",
     "MiniatureCard",
     "NetworkLink",
     "QueryInterface",
+    "ServerFrontend",
+    "ServerFuture",
+    "ServerMetrics",
+    "ServerRequest",
     "StoredObjectRecord",
     "VersionStore",
+    "build_schedule",
+    "replay_threaded",
+    "replay_virtual",
     "simulate_schedule",
+    "station_subset",
+    "total_seek_distance",
+    "zipf_weights",
 ]

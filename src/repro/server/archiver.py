@@ -15,7 +15,8 @@ image piece, not the object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
 
 from repro.errors import ArchiverError, ObjectNotFoundError
 from repro.formatter.archive import _HEADER, pack_archived, unpack_archived
@@ -68,6 +69,10 @@ class Archiver:
         self._disk = disk or OpticalDisk()
         self._cache = cache
         self._records: dict[ObjectId, StoredObjectRecord] = {}
+        # One lock serializes record-table mutation and device access:
+        # the simulated disk tracks a head position, so concurrent reads
+        # from server worker threads must not interleave.
+        self._lock = threading.RLock()
         self.index = ContentIndex()
         # Idle-time recognition results: the platter is write-once, so
         # utterances recognized after archiving live in this side table
@@ -92,7 +97,8 @@ class Archiver:
 
     def object_ids(self) -> list[ObjectId]:
         """Identifiers of all stored objects, in storage order."""
-        return list(self._records)
+        with self._lock:
+            return list(self._records)
 
     # ------------------------------------------------------------------
     # storing
@@ -119,37 +125,38 @@ class Archiver:
             raise ArchiverError(
                 f"object {obj.object_id} must be archived before storing"
             )
-        if obj.object_id in self._records:
-            raise ArchiverError(f"object {obj.object_id} is already stored")
-
         formed = ObjectFormatter(shared_archiver_data).form(obj)
         descriptor, composition = formed.descriptor, formed.composition
 
-        # Rebase composition offsets to archiver-absolute coordinates.
-        # The descriptor is JSON, so growing offsets can grow its byte
-        # length; iterate to the (monotone) fixed point.
-        base = self._disk.used_bytes + _HEADER.size
-        for _ in range(20):
-            rebased = descriptor.rebased(base)
-            blob = rebased.to_bytes()
-            new_base = self._disk.used_bytes + _HEADER.size + len(blob)
-            if new_base == base:
-                break
-            base = new_base
-        else:  # pragma: no cover - the fixed point converges in practice
-            raise ArchiverError("descriptor rebasing did not converge")
+        with self._lock:
+            if obj.object_id in self._records:
+                raise ArchiverError(f"object {obj.object_id} is already stored")
 
-        packed = pack_archived(rebased, composition)
-        extent, _ = self._disk.append(packed.data)
-        record = StoredObjectRecord(
-            object_id=obj.object_id,
-            extent=extent,
-            composition_base=base,
-            descriptor=rebased,
-        )
-        self._records[obj.object_id] = record
-        self.index.index_object(obj)
-        return record
+            # Rebase composition offsets to archiver-absolute coordinates.
+            # The descriptor is JSON, so growing offsets can grow its byte
+            # length; iterate to the (monotone) fixed point.
+            base = self._disk.used_bytes + _HEADER.size
+            for _ in range(20):
+                rebased = descriptor.rebased(base)
+                blob = rebased.to_bytes()
+                new_base = self._disk.used_bytes + _HEADER.size + len(blob)
+                if new_base == base:
+                    break
+                base = new_base
+            else:  # pragma: no cover - the fixed point converges in practice
+                raise ArchiverError("descriptor rebasing did not converge")
+
+            packed = pack_archived(rebased, composition)
+            extent, _ = self._disk.append(packed.data)
+            record = StoredObjectRecord(
+                object_id=obj.object_id,
+                extent=extent,
+                composition_base=base,
+                descriptor=rebased,
+            )
+            self._records[obj.object_id] = record
+            self.index.index_object(obj)
+            return record
 
     # ------------------------------------------------------------------
     # fetching
@@ -163,7 +170,8 @@ class Archiver:
         ObjectNotFoundError
             If the object is not stored here.
         """
-        record = self._records.get(object_id)
+        with self._lock:
+            record = self._records.get(object_id)
         if record is None:
             raise ObjectNotFoundError(f"archiver has no object {object_id}")
         return record
@@ -224,12 +232,13 @@ class Archiver:
         manager's selective fetch) must inject these utterances into
         the rebuilt voice segments.
         """
-        return {
-            segment_id: list(utterances)
-            for segment_id, utterances in self._recognition_table.get(
-                object_id, {}
-            ).items()
-        }
+        with self._lock:
+            return {
+                segment_id: list(utterances)
+                for segment_id, utterances in self._recognition_table.get(
+                    object_id, {}
+                ).items()
+            }
 
     def attach_recognition(self, object_id: ObjectId, side_table: dict) -> None:
         """Record idle-time recognition results for a stored object.
@@ -243,12 +252,13 @@ class Archiver:
             If the object is not stored here.
         """
         self.record(object_id)  # existence check
-        merged = self._recognition_table.setdefault(object_id, {})
-        terms: set[str] = set()
-        for segment_id, utterances in side_table.items():
-            merged[segment_id] = list(utterances)
-            terms.update(u.term for u in utterances)
-        self.index.add_terms(object_id, terms)
+        with self._lock:
+            merged = self._recognition_table.setdefault(object_id, {})
+            terms: set[str] = set()
+            for segment_id, utterances in side_table.items():
+                merged[segment_id] = list(utterances)
+                terms.update(u.term for u in utterances)
+            self.index.add_terms(object_id, terms)
 
     def read_absolute(self, offset: int, length: int) -> tuple[bytes, float]:
         """Read an archiver-absolute byte range (shared-data pointers)."""
@@ -306,36 +316,252 @@ class Archiver:
         piece = self.data_extent(object_id, tag)
         rows: list[bytes] = []
         total_service = 0.0
-        for index, (start, length) in enumerate(ranges):
-            if start < 0 or start + length > piece.length:
-                raise ArchiverError(
-                    f"range [{start}, {start + length}) exceeds piece "
-                    f"{tag!r} of length {piece.length}"
-                )
-            extent = Extent(piece.offset + start, length)
-            if index == 0:
-                data, service = self._disk.read(extent)
-            else:
-                data, service = self._disk.read(extent)
-                # Subsequent window rows are near-sequential: charge
-                # transfer only, not a fresh seek.
-                service = length / self._disk.geometry.transfer_bytes_per_s
-            rows.append(data)
-            total_service += service
+        with self._lock:
+            for index, (start, length) in enumerate(ranges):
+                if start < 0 or start + length > piece.length:
+                    raise ArchiverError(
+                        f"range [{start}, {start + length}) exceeds piece "
+                        f"{tag!r} of length {piece.length}"
+                    )
+                extent = Extent(piece.offset + start, length)
+                if index == 0:
+                    data, service = self._disk.read(extent)
+                else:
+                    data, service = self._disk.read(extent)
+                    # Subsequent window rows are near-sequential: charge
+                    # transfer only, not a fresh seek.
+                    service = length / self._disk.geometry.transfer_bytes_per_s
+                rows.append(data)
+                total_service += service
         return rows, total_service
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
+    def read_raw(self, extent: Extent) -> tuple[bytes, float]:
+        """Read an extent from the backing device, bypassing any cache.
+
+        This is the hook :class:`CachingArchiver` uses: the wrapper owns
+        the shared cache and single-flight table, so the inner read must
+        hit the device unconditionally (while still serializing head
+        movement under the archiver lock).
+        """
+        with self._lock:
+            return self._disk.read(extent)
+
     def _read_extent(self, extent: Extent, key: str) -> tuple[bytes, float]:
         if self._cache is not None:
             cached = self._cache.get(key)
             if cached is not None:
                 return cached, 0.0
-        data, service = self._disk.read(extent)
+        data, service = self.read_raw(extent)
         if self._cache is not None:
             self._cache.put(key, data)
+        return data, service
+
+
+class _Flight:
+    """State of one in-progress device fetch (single-flight)."""
+
+    __slots__ = ("event", "data", "service_time_s", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.data: bytes | None = None
+        self.service_time_s = 0.0
+        self.error: BaseException | None = None
+
+
+@dataclass
+class FlightStats:
+    """Single-flight effectiveness counters."""
+
+    device_fetches: int = 0
+    piggybacks: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def snapshot(self) -> "FlightStats":
+        """A coherent point-in-time copy of the counters."""
+        with self._lock:
+            return FlightStats(
+                device_fetches=self.device_fetches, piggybacks=self.piggybacks
+            )
+
+
+class CachingArchiver:
+    """Thread-safe read front for an :class:`Archiver`.
+
+    Wraps an archiver with a *shared* :class:`LRUCache` and a per-key
+    single-flight table: when N workstations request the same data piece
+    concurrently, exactly one thread (the leader) performs the optical
+    read; the others piggyback on the in-flight fetch and receive the
+    same bytes with zero device service time — the paper's queueing
+    concern attacked at the source, by never queueing duplicate work.
+
+    Piggybacked requests report a service time of 0.0 because they add
+    no device busy time; the leader's read is the only one charged.
+    """
+
+    def __init__(self, archiver: Archiver, cache: LRUCache) -> None:
+        self._archiver = archiver
+        self._cache = cache
+        self._flights: dict[str, _Flight] = {}
+        self._lock = threading.Lock()
+        self.flight_stats = FlightStats()
+
+    @property
+    def archiver(self) -> Archiver:
+        """The wrapped archiver."""
+        return self._archiver
+
+    @property
+    def cache(self) -> LRUCache:
+        """The shared staging cache."""
+        return self._cache
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        """The backing device of the wrapped archiver."""
+        return self._archiver.disk
+
+    def __len__(self) -> int:
+        return len(self._archiver)
+
+    def __contains__(self, object_id: ObjectId) -> bool:
+        return object_id in self._archiver
+
+    def object_ids(self) -> list[ObjectId]:
+        """Identifiers of all stored objects, in storage order."""
+        return self._archiver.object_ids()
+
+    def record(self, object_id: ObjectId) -> StoredObjectRecord:
+        """The storage record of an object (see :meth:`Archiver.record`)."""
+        return self._archiver.record(object_id)
+
+    def data_extent(self, object_id: ObjectId, tag: str) -> Extent:
+        """Archiver-absolute extent of one data piece of an object."""
+        return self._archiver.data_extent(object_id, tag)
+
+    def store(
+        self,
+        obj: MultimediaObject,
+        shared_archiver_data: dict[str, tuple[int, int]] | None = None,
+    ) -> StoredObjectRecord:
+        """Archive an object (delegated; the platter is append-only, so
+        stores never invalidate cached reads)."""
+        return self._archiver.store(obj, shared_archiver_data)
+
+    # ------------------------------------------------------------------
+    # cached, single-flight reads
+    # ------------------------------------------------------------------
+
+    def fetch(self, object_id: ObjectId) -> FetchResult:
+        """Fetch an object's stored form through the shared cache."""
+        record = self._archiver.record(object_id)
+        data, service = self._read(f"obj/{object_id}", record.extent)
+        descriptor, composition = unpack_archived(data)
+        relative = descriptor.rebased(-record.composition_base)
+        return FetchResult(
+            descriptor=relative, composition=composition, service_time_s=service
+        )
+
+    def fetch_object(self, object_id: ObjectId) -> tuple[MultimediaObject, float]:
+        """Fetch and rebuild a complete object, caching each piece read."""
+        record = self._archiver.record(object_id)
+        service_total = 0.0
+
+        def archiver_read(offset: int, length: int) -> bytes:
+            nonlocal service_total
+            data, extra = self.read_absolute(offset, length)
+            service_total += extra
+            return data
+
+        obj = rebuild_object(
+            _all_archiver(record.descriptor), b"", archiver_read=archiver_read
+        )
+        side_table = self._archiver.recognition_for(object_id)
+        if side_table:
+            for segment in obj.voice_segments:
+                extra = side_table.get(segment.segment_id)
+                if extra and not segment.utterances:
+                    segment.utterances = list(extra)
+        return obj, service_total
+
+    def read_absolute(self, offset: int, length: int) -> tuple[bytes, float]:
+        """Read an archiver-absolute byte range through the shared cache."""
+        return self._read(f"abs/{offset}/{length}", Extent(offset, length))
+
+    def read_piece_range(
+        self, object_id: ObjectId, tag: str, start: int, length: int
+    ) -> tuple[bytes, float]:
+        """Read a byte range within a data piece through the shared cache.
+
+        Raises
+        ------
+        ArchiverError
+            If the range exceeds the piece.
+        """
+        extent = self._archiver.data_extent(object_id, tag)
+        if start < 0 or start + length > extent.length:
+            raise ArchiverError(
+                f"range [{start}, {start + length}) exceeds piece "
+                f"{tag!r} of length {extent.length}"
+            )
+        return self._read(
+            f"piece/{object_id}/{tag}/{start}/{length}",
+            Extent(extent.offset + start, length),
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _read(self, key: str, extent: Extent) -> tuple[bytes, float]:
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached, 0.0
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                # Re-check under the flight lock: a leader that finished
+                # between our cache miss and here has already published
+                # to the cache and retired its flight.
+                cached = self._cache.get(key)
+                if cached is not None:
+                    return cached, 0.0
+                flight = _Flight()
+                self._flights[key] = flight
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self.flight_stats._lock:
+                self.flight_stats.piggybacks += 1
+            assert flight.data is not None
+            return flight.data, 0.0
+        try:
+            data, service = self._archiver.read_raw(extent)
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.event.set()
+            raise
+        # Publish to the cache BEFORE retiring the flight so the re-check
+        # under the flight lock always finds either the flight or the
+        # cached bytes — never neither (which would duplicate the read).
+        self._cache.put(key, data)
+        flight.data = data
+        flight.service_time_s = service
+        with self._lock:
+            self._flights.pop(key, None)
+        with self.flight_stats._lock:
+            self.flight_stats.device_fetches += 1
+        flight.event.set()
         return data, service
 
 

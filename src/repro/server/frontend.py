@@ -1,0 +1,283 @@
+"""Concurrent serving front-end for the object server.
+
+"The major concern in the server subsystem is performance.  Performance
+may be crucial due to queueing delays that may be experienced when
+several users try to access data from the same device."
+
+The frontend multiplexes requests from many workstation sessions
+through a bounded pool of worker threads.  Admission control bounds the
+queue: when the queue is full, new requests are rejected with a typed
+:class:`~repro.errors.ServerBusyError` instead of growing the delay
+without bound.  Workers execute against a (thread-safe)
+:class:`~repro.server.archiver.Archiver` or, preferably, a
+:class:`~repro.server.archiver.CachingArchiver` whose shared cache and
+per-key single-flight collapse duplicate optical reads.
+
+Time model: requests carry an optional simulated arrival time; the
+frontend keeps a simulated clock that advances by each request's
+modelled device service time, so the latency recorded in metrics is
+queueing + service in *simulated seconds* — deterministic aggregate
+totals regardless of host thread scheduling.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ArchiverError, ServerBusyError
+from repro.ids import ObjectId
+from repro.server.archiver import Archiver, CachingArchiver
+from repro.server.metrics import ServerMetrics
+from repro.trace import Trace
+
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class ServerRequest:
+    """One request admitted to the frontend."""
+
+    request_id: int
+    station: str
+    op: str
+    params: tuple
+    arrival_s: float = 0.0
+
+
+class ServerFuture:
+    """Completion handle for a submitted request."""
+
+    def __init__(self, request: ServerRequest) -> None:
+        self.request = request
+        self._event = threading.Event()
+        self._payload: Any = None
+        self._service_s = 0.0
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Whether the request has completed (successfully or not)."""
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = 30.0) -> tuple[Any, float]:
+        """Block until completion; returns ``(payload, service_time_s)``.
+
+        Raises the worker-side exception if the request failed, or
+        :class:`ArchiverError` on timeout.
+        """
+        if not self._event.wait(timeout):
+            raise ArchiverError(
+                f"request {self.request.request_id} did not complete "
+                f"within {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._payload, self._service_s
+
+    def _complete(self, payload: Any, service_s: float) -> None:
+        self._payload = payload
+        self._service_s = service_s
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class ServerFrontend:
+    """Bounded worker pool with admission control over one archiver.
+
+    Parameters
+    ----------
+    archiver:
+        A :class:`CachingArchiver` (recommended — shared cache and
+        single-flight) or a bare thread-safe :class:`Archiver`.
+    workers:
+        Number of worker threads draining the admission queue.
+    queue_depth:
+        Maximum number of requests waiting for a worker; submissions
+        beyond this are rejected with :class:`ServerBusyError`.
+    metrics:
+        Instrumentation sink (a fresh one is created if omitted).
+    trace:
+        Convenience: trace to attach to a fresh metrics object.
+    """
+
+    #: Operations a request may name, mapped to archiver methods.
+    _OPS = ("fetch", "fetch_object", "read_absolute", "read_piece_range")
+
+    def __init__(
+        self,
+        archiver: Archiver | CachingArchiver,
+        *,
+        workers: int = 4,
+        queue_depth: int = 32,
+        metrics: ServerMetrics | None = None,
+        trace: Trace | None = None,
+    ) -> None:
+        if workers <= 0:
+            raise ArchiverError(f"worker pool must be positive: {workers}")
+        if queue_depth <= 0:
+            raise ArchiverError(f"queue depth must be positive: {queue_depth}")
+        self._archiver = archiver
+        self._workers_n = workers
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self.metrics = metrics if metrics is not None else ServerMetrics(trace)
+        self._ids = itertools.count()
+        self._threads: list[threading.Thread] = []
+        self._sim_lock = threading.Lock()
+        self._sim_time = 0.0
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def archiver(self) -> Archiver | CachingArchiver:
+        """The archiver requests execute against."""
+        return self._archiver
+
+    @property
+    def sim_time_s(self) -> float:
+        """Accumulated simulated device time across all served requests."""
+        with self._sim_lock:
+            return self._sim_time
+
+    def start(self) -> "ServerFrontend":
+        """Spawn the worker pool (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        for index in range(self._workers_n):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"server-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Drain outstanding work and stop the workers (idempotent)."""
+        if not self._started:
+            return
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join(timeout=30.0)
+        self._threads.clear()
+        self._started = False
+
+    def __enter__(self) -> "ServerFrontend":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        op: str,
+        *params,
+        station: str = "ws-0",
+        arrival_s: float = 0.0,
+    ) -> ServerFuture:
+        """Admit a request; returns a future.
+
+        Raises
+        ------
+        ServerBusyError
+            If the admission queue is full.
+        ArchiverError
+            If the frontend is not started or the operation is unknown.
+        """
+        if not self._started:
+            raise ArchiverError("frontend is not started")
+        if op not in self._OPS:
+            raise ArchiverError(f"unknown server operation {op!r}")
+        request = ServerRequest(
+            request_id=next(self._ids), station=station, op=op,
+            params=params, arrival_s=arrival_s,
+        )
+        future = ServerFuture(request)
+        depth = self._queue.qsize()
+        try:
+            self._queue.put_nowait(future)
+        except queue.Full:
+            self.metrics.on_reject(station, op, depth, self.sim_time_s)
+            raise ServerBusyError(
+                f"admission queue full ({depth} waiting); request "
+                f"{request.request_id} ({op}) rejected"
+            ) from None
+        self.metrics.on_admit(station, op, depth, self.sim_time_s)
+        return future
+
+    def fetch(self, object_id: ObjectId, *, station: str = "ws-0"):
+        """Blocking convenience: fetch an object's stored form."""
+        payload, _ = self.submit("fetch", object_id, station=station).result()
+        return payload
+
+    def read_piece_range(
+        self, object_id: ObjectId, tag: str, start: int, length: int,
+        *, station: str = "ws-0",
+    ) -> tuple[bytes, float]:
+        """Blocking convenience: byte-range read within a data piece."""
+        return self.submit(
+            "read_piece_range", object_id, tag, start, length, station=station
+        ).result()
+
+    def read_absolute(
+        self, offset: int, length: int, *, station: str = "ws-0"
+    ) -> tuple[bytes, float]:
+        """Blocking convenience: archiver-absolute byte-range read."""
+        return self.submit(
+            "read_absolute", offset, length, station=station
+        ).result()
+
+    # ------------------------------------------------------------------
+    # workers
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            future: ServerFuture = item
+            request = future.request
+            try:
+                payload, service = self._execute(request)
+            except Exception as exc:  # typed errors flow to the caller
+                self.metrics.on_error(request.station, request.op)
+                future._fail(exc)
+                continue
+            with self._sim_lock:
+                self._sim_time += service
+                now = self._sim_time
+            # Latency in simulated terms: queueing is the time the
+            # device spent on *other* requests between this request's
+            # arrival and its completion, bounded below by its own
+            # service time.
+            latency = max(now - request.arrival_s, service)
+            self.metrics.on_complete(
+                request.station, request.op, latency, service, now,
+                cache_hit=(service == 0.0),
+            )
+            future._complete(payload, service)
+
+    def _execute(self, request: ServerRequest) -> tuple[Any, float]:
+        method: Callable = getattr(self._archiver, request.op)
+        result = method(*request.params)
+        if request.op == "fetch":
+            return result, result.service_time_s
+        # fetch_object / read_absolute / read_piece_range all return
+        # (payload, service_time_s) pairs already.
+        payload, service = result
+        return payload, service

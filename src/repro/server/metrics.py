@@ -1,0 +1,250 @@
+"""Server observability: counters and latency histograms.
+
+Section 5's performance concern is only actionable if it is measurable:
+the frontend records per-request latency, queue depth at admission,
+rejections, and cache effectiveness.  Everything is thread-safe (worker
+threads record concurrently) and everything important is mirrored into
+a :class:`repro.trace.Trace` as ``SERVER_*`` events, so the existing
+trace tooling (dump, of_kind, since) works on server activity exactly
+as it does on workstation activity.
+
+Latencies are recorded in *simulated seconds* — the modelled service
+and queueing time of the storage substrate — so histograms are
+deterministic for a deterministic workload, independent of host speed.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass, field
+
+from repro.trace import EventKind, Trace
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable point-in-time view of a :class:`Histogram`."""
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]
+    count: int
+    total: float
+    min_value: float
+    max_value: float
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of recorded values (0.0 if empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper bound of the bucket containing the ``p``-th percentile.
+
+        ``p`` is in [0, 100].  Returns 0.0 for an empty histogram.  The
+        estimate is conservative (never below the true percentile by
+        more than one bucket width).
+        """
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        if self.count == 0:
+            return 0.0
+        threshold = math.ceil(self.count * p / 100.0)
+        seen = 0
+        for bound, bucket in zip(self.bounds, self.counts):
+            seen += bucket
+            if seen >= threshold:
+                return min(bound, self.max_value)
+        return self.max_value
+
+
+class Histogram:
+    """Log-scale bucketed histogram of nonnegative values.
+
+    Buckets are geometric between ``min_value`` and ``max_value`` with
+    ``buckets_per_decade`` resolution; values below the first bound go
+    into the first bucket, values above the last into an overflow
+    bucket.  ``record`` is O(log buckets) and thread-safe.
+    """
+
+    def __init__(
+        self,
+        min_value: float = 1e-6,
+        max_value: float = 1e4,
+        buckets_per_decade: int = 8,
+    ) -> None:
+        if min_value <= 0 or max_value <= min_value:
+            raise ValueError(
+                f"invalid histogram range [{min_value}, {max_value}]"
+            )
+        decades = math.log10(max_value / min_value)
+        n = max(1, math.ceil(decades * buckets_per_decade))
+        ratio = (max_value / min_value) ** (1.0 / n)
+        bounds = [min_value * ratio ** (i + 1) for i in range(n)]
+        bounds.append(math.inf)  # overflow bucket
+        self._bounds = tuple(bounds)
+        self._counts = [0] * len(bounds)
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, value: float) -> None:
+        """Record one nonnegative observation."""
+        if value < 0:
+            raise ValueError(f"histogram values must be nonnegative: {value}")
+        index = self._bucket_index(value)
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._total += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    def _bucket_index(self, value: float) -> int:
+        lo, hi = 0, len(self._bounds) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self._bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def count(self) -> int:
+        """Number of recorded observations."""
+        with self._lock:
+            return self._count
+
+    def percentile(self, p: float) -> float:
+        """Percentile estimate (see :meth:`HistogramSnapshot.percentile`)."""
+        return self.snapshot().percentile(p)
+
+    def snapshot(self) -> HistogramSnapshot:
+        """A coherent immutable copy of the histogram state."""
+        with self._lock:
+            return HistogramSnapshot(
+                bounds=self._bounds,
+                counts=tuple(self._counts),
+                count=self._count,
+                total=self._total,
+                min_value=self._min if self._count else 0.0,
+                max_value=self._max,
+            )
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable point-in-time view of :class:`ServerMetrics`."""
+
+    admitted: int
+    rejected: int
+    completed: int
+    errors: int
+    cache_hits: int
+    cache_misses: int
+    latency: HistogramSnapshot
+    service: HistogramSnapshot
+    queue_depths: dict[int, int]
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of completed requests served without device work."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Deepest admission queue observed."""
+        return max(self.queue_depths) if self.queue_depths else 0
+
+
+class ServerMetrics:
+    """Thread-safe instrumentation for the server frontend.
+
+    Parameters
+    ----------
+    trace:
+        Optional trace to mirror events into; ``SERVER_ADMIT``,
+        ``SERVER_COMPLETE`` and ``SERVER_REJECT`` events carry the
+        station, operation, latency and queue depth so existing trace
+        consumers can reconstruct the whole serving timeline.
+    """
+
+    def __init__(self, trace: Trace | None = None) -> None:
+        self.trace = trace if trace is not None else Trace()
+        self.latency = Histogram()
+        self.service = Histogram()
+        self._queue_depths: dict[int, int] = {}
+        self._admitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._errors = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._lock = threading.Lock()
+
+    def on_admit(self, station: str, op: str, depth: int, time_s: float) -> None:
+        """Record one admitted request and the queue depth it saw."""
+        with self._lock:
+            self._admitted += 1
+            self._queue_depths[depth] = self._queue_depths.get(depth, 0) + 1
+            self.trace.record(
+                time_s, EventKind.SERVER_ADMIT, station=station, op=op,
+                queue_depth=depth,
+            )
+
+    def on_reject(self, station: str, op: str, depth: int, time_s: float) -> None:
+        """Record one rejected (admission-control) request."""
+        with self._lock:
+            self._rejected += 1
+            self.trace.record(
+                time_s, EventKind.SERVER_REJECT, station=station, op=op,
+                queue_depth=depth,
+            )
+
+    def on_complete(
+        self,
+        station: str,
+        op: str,
+        latency_s: float,
+        service_s: float,
+        time_s: float,
+        cache_hit: bool,
+    ) -> None:
+        """Record one completed request with its simulated timings."""
+        self.latency.record(latency_s)
+        self.service.record(service_s)
+        with self._lock:
+            self._completed += 1
+            if cache_hit:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+            self.trace.record(
+                time_s, EventKind.SERVER_COMPLETE, station=station, op=op,
+                latency_s=round(latency_s, 6), service_s=round(service_s, 6),
+                cache_hit=cache_hit,
+            )
+
+    def on_error(self, station: str, op: str) -> None:
+        """Record one request that failed with an exception."""
+        with self._lock:
+            self._errors += 1
+
+    def snapshot(self) -> MetricsSnapshot:
+        """A coherent immutable copy of all counters and histograms."""
+        with self._lock:
+            return MetricsSnapshot(
+                admitted=self._admitted,
+                rejected=self._rejected,
+                completed=self._completed,
+                errors=self._errors,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                latency=self.latency.snapshot(),
+                service=self.service.snapshot(),
+                queue_depths=dict(self._queue_depths),
+            )

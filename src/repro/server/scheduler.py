@@ -105,6 +105,25 @@ def simulate_schedule(
     return completed
 
 
+def total_seek_distance(
+    completions: list[CompletedRequest], initial_head: int = 0
+) -> int:
+    """Total head travel (bytes) implied by a completion order.
+
+    Replays the head movement of :func:`simulate_schedule`: the head
+    starts at ``initial_head``, travels to each request's offset and is
+    left at the request's end.  This is the metamorphic yardstick for
+    comparing disciplines on identical request streams.
+    """
+    head = initial_head
+    distance = 0
+    for completion in completions:
+        extent = completion.request.extent
+        distance += abs(extent.offset - head)
+        head = extent.end
+    return distance
+
+
 def _pick_scan(
     queue: list[DiskRequest], head: int, direction: int
 ) -> tuple[DiskRequest, int]:

@@ -4,33 +4,87 @@ The server subsystem "provides access methods, scheduling, cashing,
 version control" [sic].  This cache fronts the optical archiver with
 magnetic-disk (or main-memory) speed for hot data pieces; the C-QUEUE
 benchmark shows how it flattens the response-time curve under load.
+
+The cache is thread-safe: many workstation sessions share one staging
+cache through the concurrent server frontend, so every structural
+operation and every statistics update happens under a lock.  Readers
+who want coherent statistics must take a :meth:`CacheStats.snapshot`
+rather than reading the mutable counters field by field.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import StorageError
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters."""
+    """Hit/miss counters.
+
+    Counters mutate concurrently when the cache is shared between
+    server worker threads; use :meth:`snapshot` to read a coherent
+    point-in-time copy instead of reading fields one by one.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def record_hit(self) -> None:
+        """Count one cache hit (thread-safe)."""
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self) -> None:
+        """Count one cache miss (thread-safe)."""
+        with self._lock:
+            self.misses += 1
+
+    def record_eviction(self) -> None:
+        """Count one eviction (thread-safe)."""
+        with self._lock:
+            self.evictions += 1
+
+    def snapshot(self) -> "CacheStats":
+        """A coherent point-in-time copy of all counters.
+
+        Reading ``stats.hits`` and ``stats.misses`` as two separate
+        attribute accesses can interleave with a concurrent increment
+        and report a pair of values that never existed together; the
+        snapshot copies all three counters under the lock.
+        """
+        with self._lock:
+            return CacheStats(
+                hits=self.hits, misses=self.misses, evictions=self.evictions
+            )
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups (hits + misses), read coherently."""
+        with self._lock:
+            return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        """Fraction of lookups served from cache."""
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        """Fraction of lookups served from cache (coherent under races)."""
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
 
 class LRUCache:
-    """Least-recently-used cache with a byte capacity."""
+    """Least-recently-used cache with a byte capacity.
+
+    All operations are atomic with respect to each other: the cache is
+    shared by every worker thread of the server frontend.
+    """
 
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes <= 0:
@@ -38,33 +92,43 @@ class LRUCache:
         self._capacity = capacity_bytes
         self._entries: OrderedDict[str, bytes] = OrderedDict()
         self._used = 0
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     @property
     def used_bytes(self) -> int:
         """Bytes currently cached."""
-        return self._used
+        with self._lock:
+            return self._used
 
     @property
     def capacity_bytes(self) -> int:
         """Configured byte budget."""
         return self._capacity
 
+    def keys(self) -> list[str]:
+        """Cached keys in LRU-to-MRU order (a point-in-time copy)."""
+        with self._lock:
+            return list(self._entries)
+
     def get(self, key: str) -> bytes | None:
         """Look up ``key``, refreshing its recency.  None on miss."""
-        data = self._entries.get(key)
-        if data is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return data
+        with self._lock:
+            data = self._entries.get(key)
+            if data is None:
+                self.stats.record_miss()
+                return None
+            self._entries.move_to_end(key)
+            self.stats.record_hit()
+            return data
 
     def put(self, key: str, data: bytes) -> None:
         """Insert (or refresh) an entry, evicting LRU entries to fit.
@@ -75,22 +139,25 @@ class LRUCache:
         """
         if len(data) > self._capacity:
             return
-        if key in self._entries:
-            self._used -= len(self._entries.pop(key))
-        while self._used + len(data) > self._capacity and self._entries:
-            _, evicted = self._entries.popitem(last=False)
-            self._used -= len(evicted)
-            self.stats.evictions += 1
-        self._entries[key] = data
-        self._used += len(data)
+        with self._lock:
+            if key in self._entries:
+                self._used -= len(self._entries.pop(key))
+            while self._used + len(data) > self._capacity and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self._used -= len(evicted)
+                self.stats.record_eviction()
+            self._entries[key] = data
+            self._used += len(data)
 
     def invalidate(self, key: str) -> None:
         """Drop an entry if present."""
-        data = self._entries.pop(key, None)
-        if data is not None:
-            self._used -= len(data)
+        with self._lock:
+            data = self._entries.pop(key, None)
+            if data is not None:
+                self._used -= len(data)
 
     def clear(self) -> None:
         """Drop everything (stats are preserved)."""
-        self._entries.clear()
-        self._used = 0
+        with self._lock:
+            self._entries.clear()
+            self._used = 0

@@ -45,6 +45,9 @@ class EventKind(enum.Enum):
     MINIATURE_SHOWN = "miniature_shown"
     SEARCH_HIT = "search_hit"
     TRANSFER = "transfer"
+    SERVER_ADMIT = "server_admit"
+    SERVER_COMPLETE = "server_complete"
+    SERVER_REJECT = "server_reject"
 
 
 @dataclass(frozen=True, slots=True)

@@ -75,3 +75,59 @@ class TestLRUCache:
     def test_capacity_must_be_positive(self):
         with pytest.raises(StorageError):
             LRUCache(0)
+
+
+class TestCacheStatsSnapshot:
+    """Regression: statistics reads must be coherent under mutation.
+
+    ``hit_rate`` used to read ``hits`` and ``misses`` as two separate
+    attribute accesses; an increment between the two reads could yield
+    a ratio computed from a (hits, misses) pair that never existed.
+    Both ``hit_rate`` and ``snapshot()`` now copy under the lock.
+    """
+
+    def test_snapshot_is_a_coherent_copy(self):
+        cache = LRUCache(100)
+        cache.put("a", b"1")
+        cache.get("a")
+        cache.get("b")
+        snap = cache.stats.snapshot()
+        assert (snap.hits, snap.misses, snap.evictions) == (1, 1, 0)
+        cache.get("a")  # later mutation does not alter the snapshot
+        assert snap.hits == 1
+
+    def test_hit_rate_consistent_under_concurrent_mutation(self):
+        import threading
+
+        from repro.storage.cache import CacheStats
+
+        stats = CacheStats()
+        stop = threading.Event()
+
+        def mutate():
+            while not stop.is_set():
+                stats.record_hit()
+                stats.record_miss()
+
+        thread = threading.Thread(target=mutate, daemon=True)
+        thread.start()
+        try:
+            for _ in range(2000):
+                rate = stats.hit_rate
+                assert 0.0 <= rate <= 1.0
+                snap = stats.snapshot()
+                # hits never exceed total lookups in any coherent view
+                assert snap.hits <= snap.hits + snap.misses
+                assert abs(snap.hits - snap.misses) <= 1  # paired writer
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+
+    def test_snapshot_survives_field_by_field_reads(self):
+        cache = LRUCache(10)
+        cache.put("a", b"12345")
+        cache.put("b", b"123456")  # evicts a
+        cache.get("a")
+        snap = cache.stats.snapshot()
+        assert snap.hits + snap.misses == snap.lookups == 1
+        assert snap.evictions == 1

@@ -1,0 +1,181 @@
+"""Property-based invariants for the byte-budgeted LRU cache.
+
+A reference model (plain dict + recency list) is driven in lockstep
+with the real cache through random operation sequences; every invariant
+the server frontend relies on is asserted after each step.  A threaded
+hammer then checks the same invariants hold under concurrency.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.cache import LRUCache
+
+KEYS = [f"k{i}" for i in range(8)]
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("put"), st.sampled_from(KEYS), st.integers(0, 40)
+        ),
+        st.tuples(st.just("get"), st.sampled_from(KEYS), st.just(0)),
+        st.tuples(st.just("invalidate"), st.sampled_from(KEYS), st.just(0)),
+        st.tuples(st.just("clear"), st.just("k0"), st.just(0)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class _Model:
+    """Independent reference implementation of the cache contract."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: dict[str, bytes] = {}
+        self.recency: list[str] = []  # LRU first, MRU last
+        self.lookups = 0
+        self.hits = 0
+
+    def put(self, key: str, data: bytes) -> None:
+        if len(data) > self.capacity:
+            return
+        if key in self.entries:
+            del self.entries[key]
+            self.recency.remove(key)
+        used = sum(len(v) for v in self.entries.values())
+        while used + len(data) > self.capacity and self.recency:
+            victim = self.recency.pop(0)
+            used -= len(self.entries.pop(victim))
+        self.entries[key] = data
+        self.recency.append(key)
+
+    def get(self, key: str) -> bytes | None:
+        self.lookups += 1
+        if key not in self.entries:
+            return None
+        self.hits += 1
+        self.recency.remove(key)
+        self.recency.append(key)
+        return self.entries[key]
+
+    def invalidate(self, key: str) -> None:
+        if key in self.entries:
+            del self.entries[key]
+            self.recency.remove(key)
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.recency.clear()
+
+
+def _check_against_model(cache: LRUCache, model: _Model) -> None:
+    assert cache.used_bytes <= cache.capacity_bytes
+    assert cache.used_bytes == sum(len(v) for v in model.entries.values())
+    assert len(cache) == len(model.entries)
+    # Eviction order is LRU: the cache's internal ordering must match
+    # the model's recency list exactly.
+    assert cache.keys() == model.recency
+    stats = cache.stats.snapshot()
+    assert stats.hits == model.hits
+    assert stats.hits + stats.misses == model.lookups
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.integers(1, 100), operations)
+def test_cache_matches_reference_model(capacity, ops):
+    cache = LRUCache(capacity)
+    model = _Model(capacity)
+    for op, key, size in ops:
+        if op == "put":
+            data = bytes(size)
+            cache.put(key, data)
+            model.put(key, data)
+        elif op == "get":
+            assert cache.get(key) == model.get(key)
+        elif op == "invalidate":
+            cache.invalidate(key)
+            model.invalidate(key)
+        else:
+            cache.clear()
+            model.clear()
+        _check_against_model(cache, model)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 50), operations)
+def test_hits_plus_misses_equals_lookups(capacity, ops):
+    cache = LRUCache(capacity)
+    lookups = 0
+    for op, key, size in ops:
+        if op == "put":
+            cache.put(key, bytes(size))
+        elif op == "get":
+            cache.get(key)
+            lookups += 1
+        elif op == "invalidate":
+            cache.invalidate(key)
+        else:
+            cache.clear()
+    stats = cache.stats.snapshot()
+    assert stats.hits + stats.misses == lookups
+    assert stats.lookups == lookups
+
+
+def _hammer(cache: LRUCache, threads: int, ops_per_thread: int) -> None:
+    lookup_counts = [0] * threads
+    errors: list[BaseException] = []
+
+    def worker(index: int) -> None:
+        rng = random.Random(1000 + index)
+        try:
+            for _ in range(ops_per_thread):
+                key = f"k{rng.randrange(16)}"
+                roll = rng.random()
+                if roll < 0.5:
+                    cache.get(key)
+                    lookup_counts[index] += 1
+                elif roll < 0.9:
+                    cache.put(key, bytes(rng.randrange(0, 64)))
+                else:
+                    cache.invalidate(key)
+                assert cache.used_bytes <= cache.capacity_bytes
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    pool = [
+        threading.Thread(target=worker, args=(i,)) for i in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join()
+    assert not errors
+    assert cache.used_bytes <= cache.capacity_bytes
+    # Residual entries must exactly account for used_bytes (no torn
+    # bookkeeping): re-read every possible key without perturbing the
+    # totals we assert on.
+    stats = cache.stats.snapshot()
+    assert stats.hits + stats.misses == sum(lookup_counts)
+    total = sum(
+        len(data)
+        for key in [f"k{i}" for i in range(16)]
+        if (data := cache.get(key)) is not None
+    )
+    assert total == cache.used_bytes
+    assert 0.0 <= stats.hit_rate <= 1.0
+
+
+def test_invariants_hold_under_threaded_hammer():
+    _hammer(LRUCache(256), threads=4, ops_per_thread=400)
+
+
+@pytest.mark.slow
+def test_invariants_hold_under_heavy_threaded_hammer():
+    _hammer(LRUCache(512), threads=8, ops_per_thread=20_000)

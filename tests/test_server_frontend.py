@@ -1,0 +1,161 @@
+"""The concurrent server frontend: worker pool, admission control, metrics."""
+
+import pytest
+
+from repro.errors import ArchiverError, ServerBusyError
+from repro.scenarios import build_object_library
+from repro.server import (
+    Archiver,
+    CachingArchiver,
+    ServerFrontend,
+    ServerMetrics,
+)
+from repro.storage.cache import LRUCache
+from repro.trace import EventKind, Trace
+
+
+@pytest.fixture(scope="module")
+def library():
+    archiver = Archiver()
+    build_object_library(archiver, visual_count=3, audio_count=1)
+    return archiver
+
+
+@pytest.fixture
+def frontend(library):
+    caching = CachingArchiver(library, LRUCache(50_000_000))
+    with ServerFrontend(caching, workers=3, queue_depth=16) as fe:
+        yield fe
+
+
+class TestServerFrontend:
+    def test_fetch_matches_direct_archiver(self, library, frontend):
+        object_id = library.object_ids()[0]
+        direct = library.fetch(object_id)
+        served = frontend.fetch(object_id)
+        assert served.descriptor.object_id == direct.descriptor.object_id
+        assert served.composition == direct.composition
+
+    def test_piece_range_reads_through_pool(self, library, frontend):
+        object_id = library.object_ids()[0]
+        record = library.record(object_id)
+        tag = record.descriptor.locations[0].tag
+        direct, _ = library.read_piece_range(object_id, tag, 0, 16)
+        served, service = frontend.read_piece_range(object_id, tag, 0, 16)
+        assert served == direct
+        assert service >= 0.0
+
+    def test_submit_requires_started_frontend(self, library):
+        fe = ServerFrontend(library)
+        with pytest.raises(ArchiverError):
+            fe.submit("fetch", library.object_ids()[0])
+
+    def test_unknown_operation_rejected(self, frontend, library):
+        with pytest.raises(ArchiverError):
+            frontend.submit("drop_table", library.object_ids()[0])
+
+    def test_worker_errors_flow_to_caller(self, frontend):
+        from repro.ids import ObjectId
+
+        future = frontend.submit("fetch", ObjectId("no-such-object"))
+        with pytest.raises(ArchiverError):
+            future.result()
+
+    def test_stop_is_idempotent(self, library):
+        fe = ServerFrontend(library).start()
+        fe.stop()
+        fe.stop()
+        assert fe.start() is fe
+        fe.stop()
+
+    def test_invalid_pool_parameters(self, library):
+        with pytest.raises(ArchiverError):
+            ServerFrontend(library, workers=0)
+        with pytest.raises(ArchiverError):
+            ServerFrontend(library, queue_depth=0)
+
+
+class TestAdmissionControl:
+    def test_overflow_raises_typed_busy_error(self, library):
+        # No workers running: the queue fills and overflows.
+        fe = ServerFrontend(library, workers=1, queue_depth=2)
+        fe._started = True  # admit without draining
+        object_id = library.object_ids()[0]
+        fe.submit("fetch", object_id)
+        fe.submit("fetch", object_id)
+        with pytest.raises(ServerBusyError):
+            fe.submit("fetch", object_id)
+        snap = fe.metrics.snapshot()
+        assert snap.admitted == 2
+        assert snap.rejected == 1
+        assert fe.metrics.trace.of_kind(EventKind.SERVER_REJECT)
+
+    def test_busy_error_is_archiver_error(self):
+        assert issubclass(ServerBusyError, ArchiverError)
+
+
+class TestMetricsWiring:
+    def test_completions_recorded_in_trace(self, library):
+        trace = Trace()
+        caching = CachingArchiver(library, LRUCache(50_000_000))
+        with ServerFrontend(
+            caching, workers=2, metrics=ServerMetrics(trace)
+        ) as fe:
+            for object_id in library.object_ids():
+                fe.fetch(object_id, station="ws-7")
+        admits = trace.of_kind(EventKind.SERVER_ADMIT)
+        completes = trace.of_kind(EventKind.SERVER_COMPLETE)
+        assert len(admits) == len(completes) == len(library.object_ids())
+        assert all(e.detail["station"] == "ws-7" for e in completes)
+        assert all(e.detail["latency_s"] >= 0 for e in completes)
+
+    def test_snapshot_counts_hits_and_misses(self, library):
+        caching = CachingArchiver(library, LRUCache(50_000_000))
+        with ServerFrontend(caching, workers=2) as fe:
+            object_id = library.object_ids()[0]
+            fe.fetch(object_id)  # cold: device read
+            fe.fetch(object_id)  # warm: cache hit, zero service
+            snap = fe.metrics.snapshot()
+        assert snap.completed == 2
+        assert snap.cache_hits == 1
+        assert snap.cache_misses == 1
+        assert snap.hit_rate == pytest.approx(0.5)
+        assert snap.latency.count == 2
+
+    def test_sim_time_accumulates_service(self, library):
+        caching = CachingArchiver(library, LRUCache(50_000_000))
+        with ServerFrontend(caching, workers=1) as fe:
+            object_id = library.object_ids()[0]
+            fe.fetch(object_id)
+            after_cold = fe.sim_time_s
+            fe.fetch(object_id)
+            after_warm = fe.sim_time_s
+        assert after_cold > 0.0
+        assert after_warm == after_cold  # cache hit adds no device time
+
+
+class TestHistogram:
+    def test_percentiles_bracket_observations(self):
+        from repro.server.metrics import Histogram
+
+        histogram = Histogram(min_value=1e-3, max_value=10.0)
+        for value in (0.01, 0.02, 0.05, 0.1, 1.0):
+            histogram.record(value)
+        snap = histogram.snapshot()
+        assert snap.count == 5
+        assert snap.percentile(0) <= 0.02
+        assert snap.percentile(100) == pytest.approx(1.0)
+        assert 0.05 <= snap.percentile(50) <= 0.1
+        assert snap.mean == pytest.approx(sum((0.01, 0.02, 0.05, 0.1, 1.0)) / 5)
+
+    def test_empty_and_invalid(self):
+        from repro.server.metrics import Histogram
+
+        histogram = Histogram()
+        assert histogram.percentile(95) == 0.0
+        with pytest.raises(ValueError):
+            histogram.record(-1.0)
+        with pytest.raises(ValueError):
+            histogram.snapshot().percentile(101)
+        with pytest.raises(ValueError):
+            Histogram(min_value=0)
