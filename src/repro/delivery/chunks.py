@@ -1,0 +1,149 @@
+"""Chunk requests and link arbitration disciplines.
+
+A delivery is a sequence of *chunks*: byte ranges of one stored data
+piece, each small enough that the shared medium frees frequently and
+arbitration can react.  Voice chunks carry playout deadlines derived
+from the codec rate; page chunks are bulk.  The scheduler decides which
+ready chunk transmits when the medium frees:
+
+``FIFO``
+    First ready, first sent — the naive fetch-on-demand baseline.  A
+    voice chunk due in 40 ms waits behind every image page already
+    queued.
+
+``EDF``
+    Earliest-deadline-first: any deadline-bearing (audio) chunk
+    preempts bulk at chunk boundaries; among audio, the tightest
+    deadline wins; among bulk, stations are served *fair* — the station
+    with the fewest bulk bytes granted so far goes next, so one
+    station's miniature sweep cannot starve everyone else's page turns.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import DeliveryError
+
+
+class TrafficClass(enum.Enum):
+    """What a chunk carries, hence how it may be scheduled."""
+
+    AUDIO = "audio"  # continuous playout, deadline-bearing
+    BULK = "bulk"    # pages, images, miniatures, prefetches
+
+
+class LinkDiscipline(enum.Enum):
+    """Arbitration rule applied when the shared medium frees."""
+
+    FIFO = "fifo"
+    EDF = "edf"
+
+
+@dataclass
+class ChunkRequest:
+    """One byte-range transfer wanting the shared medium.
+
+    Attributes
+    ----------
+    seq:
+        Global issue order; the deterministic tie-breaker everywhere.
+    deadline_s:
+        Playout deadline for AUDIO chunks; ``math.inf`` for bulk.
+    ready_s:
+        When the bytes are available server-side (fetch complete);
+        set by the pipeline before the chunk is offered to the link.
+    meta:
+        Pipeline bookkeeping (stream/page identity, prefetch
+        generation); opaque to the scheduler.
+    """
+
+    seq: int
+    station: str
+    nbytes: int
+    traffic_class: TrafficClass
+    deadline_s: float = math.inf
+    ready_s: float = 0.0
+    issued_s: float = 0.0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nbytes <= 0:
+            raise DeliveryError(f"chunk must carry bytes: {self.nbytes}")
+        if self.traffic_class is TrafficClass.BULK and self.deadline_s != math.inf:
+            raise DeliveryError("bulk chunks do not carry deadlines")
+
+
+class ChunkScheduler:
+    """Arbitration queue for the shared medium.
+
+    Holds chunks whose server fetch has completed and picks the next
+    one to transmit under the configured discipline.  Pure policy: no
+    clock, no medium — the pipeline drives it with the current
+    simulated time.
+    """
+
+    def __init__(self, discipline: LinkDiscipline = LinkDiscipline.FIFO) -> None:
+        self._discipline = discipline
+        self._queue: list[ChunkRequest] = []
+        self._bulk_granted: dict[str, int] = {}
+
+    @property
+    def discipline(self) -> LinkDiscipline:
+        """The configured arbitration rule."""
+        return self._discipline
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def add(self, chunk: ChunkRequest) -> None:
+        """Offer a fetched chunk to the medium."""
+        self._queue.append(chunk)
+
+    def next_ready_s(self) -> float:
+        """Earliest time any queued chunk becomes ready (inf if empty)."""
+        if not self._queue:
+            return math.inf
+        return min(chunk.ready_s for chunk in self._queue)
+
+    def cancel_where(
+        self, predicate: Callable[[ChunkRequest], bool]
+    ) -> list[ChunkRequest]:
+        """Remove and return every queued chunk matching ``predicate``.
+
+        This is how a browse jump revokes queued prefetches that have
+        not yet touched the medium.
+        """
+        cancelled = [chunk for chunk in self._queue if predicate(chunk)]
+        if cancelled:
+            self._queue = [c for c in self._queue if not predicate(c)]
+        return cancelled
+
+    def pop_next(self, now_s: float) -> ChunkRequest | None:
+        """The chunk to transmit at ``now_s``, or None if none is ready."""
+        ready = [c for c in self._queue if c.ready_s <= now_s]
+        if not ready:
+            return None
+        if self._discipline is LinkDiscipline.FIFO:
+            choice = min(ready, key=lambda c: (c.ready_s, c.seq))
+        else:
+            choice = self._pick_edf(ready)
+        self._queue.remove(choice)
+        if choice.traffic_class is TrafficClass.BULK:
+            self._bulk_granted[choice.station] = (
+                self._bulk_granted.get(choice.station, 0) + choice.nbytes
+            )
+        return choice
+
+    def _pick_edf(self, ready: list[ChunkRequest]) -> ChunkRequest:
+        audio = [c for c in ready if c.traffic_class is TrafficClass.AUDIO]
+        if audio:
+            return min(audio, key=lambda c: (c.deadline_s, c.seq))
+        # Fair bulk: least-granted station first, then issue order.
+        return min(
+            ready,
+            key=lambda c: (self._bulk_granted.get(c.station, 0), c.seq),
+        )

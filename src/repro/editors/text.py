@@ -10,7 +10,7 @@ have to be deleted and recreated" behaviour of Section 4.
 
 from __future__ import annotations
 
-from repro.errors import FormationError, MarkupError
+from repro.errors import FormationError
 from repro.objects.parts import TextSegment
 from repro.text.markup import parse_markup
 

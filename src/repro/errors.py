@@ -100,8 +100,28 @@ class ServerBusyError(ArchiverError):
     """
 
 
+class RequestTimeoutError(ArchiverError):
+    """A server request did not complete within its wall-clock budget.
+
+    Raised by :meth:`repro.server.frontend.ServerFuture.result` when the
+    *host* clock runs out while waiting on a worker thread.  Distinct
+    from queueing delay in *simulated* seconds: a request can report a
+    large simulated latency yet complete instantly in wall-clock terms.
+    Delivery clients catch this (not a bare :class:`ArchiverError`) to
+    retry or degrade instead of aborting a presentation.
+    """
+
+
 class VersionError(ArchiverError):
     """A version-control operation failed."""
+
+
+class DeliveryError(MinosError):
+    """The streaming delivery pipeline was misused or misconfigured."""
+
+
+class StreamStateError(DeliveryError):
+    """A stream-session operation was invalid in its current state."""
 
 
 class QueryError(ArchiverError):

@@ -78,4 +78,5 @@ __all__ = [
     "VoiceAnchor",
     "VoicePointAnchor",
     "VoiceMessage",
+    "VoiceSegment",
 ]

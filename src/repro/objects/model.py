@@ -256,7 +256,7 @@ class MultimediaObject:
                         )
                     if step.message_id is not None and step.message_id not in message_ids:
                         raise DescriptorError(
-                            f"presentation: missing simulation message "
+                            "presentation: missing simulation message "
                             f"{step.message_id}"
                         )
             elif isinstance(item, Tour):

@@ -28,7 +28,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.errors import ArchiverError, ServerBusyError
+from repro.errors import ArchiverError, RequestTimeoutError, ServerBusyError
 from repro.ids import ObjectId
 from repro.server.archiver import Archiver, CachingArchiver
 from repro.server.metrics import ServerMetrics
@@ -65,13 +65,26 @@ class ServerFuture:
     def result(self, timeout: float | None = 30.0) -> tuple[Any, float]:
         """Block until completion; returns ``(payload, service_time_s)``.
 
+        Two clocks are in play and must not be confused.  ``timeout``
+        is measured on the *host* (wall) clock: it bounds how long the
+        calling thread sleeps waiting for a worker.  The returned
+        ``service_time_s`` — and every latency in the metrics — is
+        *simulated* time: the modelled device/queueing cost.  A request
+        can cost many simulated seconds yet complete in microseconds of
+        wall time, so a ``timeout`` expiry means a worker is genuinely
+        stuck (or the pool was never started), never that the simulated
+        workload was "slow".
+
         Raises the worker-side exception if the request failed, or
-        :class:`ArchiverError` on timeout.
+        :class:`~repro.errors.RequestTimeoutError` if the wall-clock
+        budget runs out — typed so delivery retries can catch exactly
+        the timeout case without swallowing other archiver failures.
         """
         if not self._event.wait(timeout):
-            raise ArchiverError(
+            raise RequestTimeoutError(
                 f"request {self.request.request_id} did not complete "
-                f"within {timeout}s"
+                f"within {timeout}s of wall-clock time (simulated-time "
+                "latencies never trip this timeout)"
             )
         if self._error is not None:
             raise self._error

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.trace import EventKind, Trace
 

@@ -48,6 +48,12 @@ class EventKind(enum.Enum):
     SERVER_ADMIT = "server_admit"
     SERVER_COMPLETE = "server_complete"
     SERVER_REJECT = "server_reject"
+    DELIVERY_START = "delivery_start"
+    DELIVERY_CHUNK = "delivery_chunk"
+    DELIVERY_UNDERRUN = "delivery_underrun"
+    DELIVERY_PAGE = "delivery_page"
+    DELIVERY_PREFETCH = "delivery_prefetch"
+    DELIVERY_CANCEL = "delivery_cancel"
 
 
 @dataclass(frozen=True, slots=True)

@@ -179,3 +179,128 @@ def test_invariants_hold_under_threaded_hammer():
 @pytest.mark.slow
 def test_invariants_hold_under_heavy_threaded_hammer():
     _hammer(LRUCache(512), threads=8, ops_per_thread=20_000)
+
+
+# ----------------------------------------------------------------------
+# Read-ahead through the shared cache (repro.delivery.prefetch)
+# ----------------------------------------------------------------------
+
+from repro.delivery import Prefetcher, page_extents_for  # noqa: E402
+from repro.scenarios.library import build_object_library  # noqa: E402
+from repro.server.archiver import Archiver, CachingArchiver  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def visual_library():
+    archiver = Archiver()
+    objects = build_object_library(archiver, visual_count=3, audio_count=1)
+    visual = [o for o in objects if o.images]
+    return archiver, visual
+
+
+def test_prefetched_ranges_hit_in_cache_stats(visual_library):
+    """Read-ahead pages are cache hits when read on demand later.
+
+    The prefetcher publishes under exactly the key
+    ``CachingArchiver.read_piece_range`` looks up, so every prefetched
+    page shows up in :class:`CacheStats` as a hit, with zero device
+    service time for the on-demand reader.
+    """
+    archiver, visual = visual_library
+    cache = LRUCache(4_000_000)
+    caching = CachingArchiver(archiver, cache)
+    prefetcher = Prefetcher(caching, cache, depth=2)
+    obj = visual[0]
+    extents = page_extents_for(archiver, obj.object_id, 16_000)
+    assert len(extents) >= 3
+    tasks = prefetcher.observe_view("ws-0", obj.object_id, 0, extents)
+    assert [t.page for t in tasks] == [1, 2]
+    for task in tasks:
+        data, service = prefetcher.execute(task)
+        assert data is not None and service > 0.0
+    before = cache.stats.snapshot()
+    for task in tasks:
+        tag, start, length = extents[task.page]
+        data, service = caching.read_piece_range(
+            obj.object_id, tag, start, length
+        )
+        assert service == 0.0  # staged: no device time
+        assert len(data) == length
+    after = cache.stats.snapshot()
+    assert after.hits == before.hits + len(tasks)
+    assert after.misses == before.misses
+
+
+def test_cancelled_prefetch_never_publishes(visual_library):
+    """A jump revokes planned read-ahead before any publish."""
+    archiver, visual = visual_library
+    cache = LRUCache(4_000_000)
+    prefetcher = Prefetcher(archiver, cache, depth=2)
+    obj = visual[1]
+    extents = page_extents_for(archiver, obj.object_id, 16_000)
+    tasks = prefetcher.observe_view("ws-0", obj.object_id, 0, extents)
+    prefetcher.jump("ws-0")
+    for task in tasks:
+        data, service = prefetcher.execute(task)
+        assert data is None
+        assert service == 0.0  # cancelled before the read: no device work
+        assert cache.get(task.cache_key()) is None
+    assert prefetcher.stats.cancelled == len(tasks)
+    assert len(cache) == 0
+
+
+def test_jump_during_read_blocks_stale_publish(visual_library):
+    """The generation gate closes the read-then-jump race.
+
+    A jump landing while the device is busy (here: between planning
+    and a monkeypatched read that jumps mid-flight) must still prevent
+    the publish — the read happened, but the entry never appears.
+    """
+    archiver, visual = visual_library
+    cache = LRUCache(4_000_000)
+    prefetcher = Prefetcher(archiver, cache, depth=1)
+    obj = visual[2]
+    extents = page_extents_for(archiver, obj.object_id, 16_000)
+    [task] = prefetcher.observe_view("ws-0", obj.object_id, 0, extents)
+
+    real_read = archiver.read_raw
+
+    def read_then_jump(extent):
+        result = real_read(extent)
+        prefetcher.jump("ws-0")  # the user leaps while the head seeks
+        return result
+
+    prefetcher._archiver = type(
+        "JumpyArchiver", (), {
+            "read_raw": staticmethod(read_then_jump),
+            "data_extent": staticmethod(archiver.data_extent),
+        },
+    )()
+    data, service = prefetcher.execute(task)
+    assert data is None
+    assert service > 0.0  # the device read did happen...
+    assert cache.get(task.cache_key()) is None  # ...but nothing published
+    assert prefetcher.stats.cancelled == 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 5), min_size=2, max_size=20))
+def test_browse_direction_inferred_from_page_sequence(pages):
+    """Direction is backward iff the page number decreased."""
+    archiver = Archiver()
+    objects = build_object_library(archiver, visual_count=1, audio_count=1)
+    obj = next(o for o in objects if o.images)
+    extents = page_extents_for(archiver, obj.object_id, 4_000)
+    pages = [p % len(extents) for p in pages]
+    cache = LRUCache(1_000_000)
+    prefetcher = Prefetcher(archiver, cache, depth=1)
+    previous = None
+    for page in pages:
+        tasks = prefetcher.observe_view("ws-0", obj.object_id, page, extents)
+        backward = previous is not None and page < previous
+        expected = page - 1 if backward else page + 1
+        if 0 <= expected < len(extents):
+            assert [t.page for t in tasks] == [expected]
+        else:
+            assert tasks == []
+        previous = page

@@ -1,0 +1,118 @@
+"""Property-based invariants for the network cost model.
+
+The delivery pipeline splits every payload into link chunks, so its
+cost accounting is only honest if the chunked model composes exactly:
+moving ``n`` bytes as ``k`` chunks must cost precisely the
+point-to-point ``transfer_time(n)`` plus ``k - 1`` extra per-chunk
+latencies — nothing hidden, nothing lost.  These tests pin that
+algebra for :class:`NetworkLink` and for the :class:`SharedLink`
+discrete-event wrapper the pipeline actually drives.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.delivery import SharedLink
+from repro.server.network import NetworkLink
+
+links = st.builds(
+    NetworkLink,
+    bandwidth_bytes_per_s=st.floats(1.0, 1e9),
+    latency_s=st.floats(0.0, 1.0),
+)
+
+
+def _split(nbytes: int, sizes: list[int]) -> list[int]:
+    """Partition ``nbytes`` into ``len(sizes)`` positive chunks.
+
+    The draw gives relative weights; the partition is exact (sums to
+    ``nbytes``) with every chunk at least one byte.  At most ``nbytes``
+    chunks can satisfy that, so surplus weights are dropped.
+    """
+    sizes = sizes[:nbytes]
+    k = len(sizes)
+    base = [1] * k
+    remainder = nbytes - k
+    total = sum(sizes) or 1
+    for i, weight in enumerate(sizes):
+        share = (remainder * weight) // total
+        base[i] += share
+        remainder -= share
+    base[-1] += remainder
+    return base
+
+
+@settings(max_examples=200, deadline=None)
+@given(links, st.integers(0, 10_000_000), st.integers(0, 10_000_000))
+def test_transfer_time_monotone_in_nbytes(link, a, b):
+    small, large = sorted((a, b))
+    assert link.transfer_time(small) <= link.transfer_time(large)
+    if small < large:
+        assert link.transfer_time(small) < link.transfer_time(large)
+
+
+@settings(max_examples=200, deadline=None)
+@given(links, st.integers(0, 10_000_000))
+def test_transfer_time_at_least_latency(link, nbytes):
+    assert link.transfer_time(nbytes) >= link.latency_s
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    links,
+    st.integers(2, 5_000_000),
+    st.lists(st.integers(1, 1000), min_size=1, max_size=32),
+)
+def test_chunking_costs_exactly_k_minus_one_latencies(link, nbytes, weights):
+    """k chunks of n total bytes cost transfer_time(n) + (k-1)*latency."""
+    chunks = _split(nbytes, weights)
+    assert sum(chunks) == nbytes and all(c >= 1 for c in chunks)
+    chunked = sum(link.transfer_time(c) for c in chunks)
+    expected = link.transfer_time(nbytes) + (len(chunks) - 1) * link.latency_s
+    assert math.isclose(chunked, expected, rel_tol=1e-9, abs_tol=1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(2, 1_000_000),
+    st.lists(st.integers(1, 1000), min_size=1, max_size=16),
+)
+def test_shared_link_serialization_matches_chunk_algebra(nbytes, weights):
+    """Back-to-back chunks on an idle medium finish at the analytic sum.
+
+    The medium is busy exactly ``transfer_time(n) + (k-1)*latency``
+    seconds and never overlaps transmissions.
+    """
+    model = NetworkLink()
+    shared = SharedLink(model)
+    chunks = _split(nbytes, weights)
+    last_finish = 0.0
+    for size in chunks:
+        tx = shared.transmit("ws-0", size, ready_s=0.0)
+        assert tx.start_s >= last_finish  # no overlap
+        assert math.isclose(
+            tx.finish_s - tx.start_s, model.transfer_time(size), rel_tol=1e-9
+        )
+        last_finish = tx.finish_s
+    expected = model.transfer_time(nbytes) + (len(chunks) - 1) * model.latency_s
+    assert math.isclose(last_finish, expected, rel_tol=1e-9, abs_tol=1e-12)
+    assert math.isclose(shared.stats.busy_s, expected, rel_tol=1e-9, abs_tol=1e-12)
+    assert shared.stats.chunks_sent == len(chunks)
+    assert shared.stats.bytes_sent == nbytes
+
+
+def test_contention_wait_accounts_for_queueing():
+    """Two stations ready at once: the second waits out the first."""
+    model = NetworkLink()
+    shared = SharedLink(model)
+    first = shared.transmit("ws-0", 4000, ready_s=0.0)
+    second = shared.transmit("ws-1", 4000, ready_s=0.0)
+    assert second.start_s == pytest.approx(first.finish_s)
+    assert second.waited_s == pytest.approx(first.finish_s)
+    assert shared.stats.contention_wait_s == pytest.approx(first.finish_s)
+    assert shared.stats.bytes_by_station == {"ws-0": 4000, "ws-1": 4000}
