@@ -1,0 +1,277 @@
+"""C-OPEN — Section 5: the manager "requests the appropriate pieces".
+
+"The presentation manager ... requests the appropriate pieces of
+information from the multimedia object server subsystems."  The claim
+is only worth making if asking for the pieces is *cheap*: a many-piece
+object must not pay one server round-trip — one seek, one rotational
+latency — per piece.  This experiment measures the open path three
+ways across the library and engineering scenarios:
+
+* **cold open, batched vs sequential** — the scatter-gather planner
+  issues at most two server requests (fetch + one batch) where the
+  sequential baseline issues one per piece, ships identical bytes, and
+  spends strictly less simulated device time;
+* **warm re-open** — the decoded-object cache serves repeat opens
+  (relevant-object excursions, tour re-visits) with zero server
+  requests and zero bytes shipped;
+* **lazy voice decode** — opening charges no mu-law expansion; the
+  first playback charges exactly one decode per segment.
+
+Rows go to ``bench_results.txt`` (quoted by EXPERIMENTS.md) and the
+machine-readable summary to ``BENCH_OPEN.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.manager import PresentationManager
+from repro.ids import IdGenerator
+from repro.scenarios import (
+    build_city_walk_simulation,
+    build_engineering_design,
+    build_object_library,
+)
+from repro.server import Archiver, NetworkLink
+from repro.trace import EventKind
+from repro.workstation.station import Workstation
+
+_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_OPEN.json"
+_BENCH: dict = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_json():
+    """Emit whatever this run measured as BENCH_OPEN.json."""
+    yield
+    if _BENCH:
+        _JSON.write_text(json.dumps(_BENCH, indent=2, sort_keys=True) + "\n")
+
+
+def _library_archiver(visual=4, audio=3):
+    archiver = Archiver()
+    build_object_library(archiver, visual_count=visual, audio_count=audio)
+    return archiver
+
+
+def _engineering_archiver():
+    archiver = Archiver()
+    for obj in build_engineering_design():
+        archiver.store(obj)
+    return archiver
+
+
+def _city_walk_archiver():
+    archiver = Archiver()
+    archiver.store(build_city_walk_simulation(IdGenerator("city")))
+    return archiver
+
+
+def _cold_open(archiver, object_id, *, batch):
+    """Open on a fresh workstation; return (requests, bytes, service_s)."""
+    workstation = Workstation()
+    manager = PresentationManager(
+        archiver, workstation, link=NetworkLink(), batch_open=batch
+    )
+    archiver.op_counts.clear()
+    manager.open(object_id)
+    transfer = workstation.trace.last(EventKind.TRANSFER).detail
+    return (
+        sum(archiver.op_counts.values()),
+        transfer["bytes"],
+        transfer["service_s"],
+    )
+
+
+def _compare_scenario(name, make_archiver, object_id, pieces, results):
+    """Cold-open one object batched and sequentially on twin archivers."""
+    seq_reqs, seq_bytes, seq_service = _cold_open(
+        make_archiver(), object_id, batch=False
+    )
+    bat_reqs, bat_bytes, bat_service = _cold_open(
+        make_archiver(), object_id, batch=True
+    )
+    assert bat_reqs <= 2
+    assert seq_reqs >= pieces
+    assert bat_bytes == seq_bytes
+    if pieces >= 2:
+        assert bat_service < seq_service
+    results.record(
+        "C-OPEN fast open path",
+        f"{name} ({pieces} pieces): batched {bat_reqs} requests / "
+        f"{bat_service * 1000:.1f}ms device vs sequential {seq_reqs} "
+        f"requests / {seq_service * 1000:.1f}ms at {bat_bytes:,}B "
+        f"either way ({seq_service / bat_service:.2f}x less device time)",
+    )
+    _BENCH.setdefault("cold_open", {})[name] = {
+        "pieces": pieces,
+        "bytes": bat_bytes,
+        "batched": {"requests": bat_reqs, "service_s": bat_service},
+        "sequential": {"requests": seq_reqs, "service_s": seq_service},
+    }
+
+
+def test_cold_open_library_objects(results):
+    archiver = _library_archiver()
+    for object_id in archiver.object_ids():
+        record = archiver.record(object_id)
+        pieces = len(record.descriptor.locations)
+        mode = record.descriptor.driving_mode
+        _compare_scenario(
+            f"library/{mode}/{object_id}",
+            _library_archiver,
+            object_id,
+            pieces,
+            results,
+        )
+
+
+def test_cold_open_engineering_design(results):
+    archiver = _engineering_archiver()
+    for object_id in archiver.object_ids():
+        pieces = len(archiver.record(object_id).descriptor.locations)
+        _compare_scenario(
+            f"engineering/{object_id}",
+            _engineering_archiver,
+            object_id,
+            pieces,
+            results,
+        )
+
+
+def test_cold_open_city_walk_simulation(results):
+    """The many-piece case: base image + overwrites + voice messages."""
+    archiver = _city_walk_archiver()
+    object_id = archiver.object_ids()[0]
+    pieces = len(archiver.record(object_id).descriptor.locations)
+    assert pieces >= 5
+    _compare_scenario(
+        f"city-walk/{object_id}",
+        _city_walk_archiver,
+        object_id,
+        pieces,
+        results,
+    )
+
+
+def test_warm_reopen_ships_nothing(results):
+    archiver = _library_archiver()
+    manager = PresentationManager(archiver, Workstation(), link=NetworkLink())
+    cold_costs, warm_costs = [], []
+    for object_id in archiver.object_ids():
+        cold_costs.append(manager.open(object_id).open_cost_s)
+    shipped_cold = manager.bytes_shipped
+    archiver.op_counts.clear()
+    for object_id in archiver.object_ids():
+        warm_costs.append(manager.open(object_id).open_cost_s)
+    assert manager.bytes_shipped == shipped_cold
+    assert sum(archiver.op_counts.values()) == 0
+    assert all(cost == 0.0 for cost in warm_costs)
+    assert manager.decoded_cache.hits == len(archiver.object_ids())
+    results.record(
+        "C-OPEN fast open path",
+        f"warm re-open of {len(warm_costs)} objects: 0 requests, 0B "
+        f"shipped, 0.0ms (cold total was {sum(cold_costs) * 1000:.1f}ms, "
+        f"{shipped_cold:,}B)",
+    )
+    _BENCH["warm_reopen"] = {
+        "objects": len(warm_costs),
+        "requests": 0,
+        "bytes": 0,
+        "cold_total_s": sum(cold_costs),
+    }
+
+
+def test_lazy_decode_defers_expansion(results):
+    archiver = _library_archiver()
+    workstation = Workstation()
+    manager = PresentationManager(archiver, workstation, link=NetworkLink())
+    audio_ids = [
+        object_id
+        for object_id in archiver.object_ids()
+        if archiver.record(object_id).descriptor.driving_mode == "audio"
+    ]
+    # Fetch (without starting playback) decodes nothing...
+    segments = 0
+    for object_id in audio_ids:
+        obj, _cost = manager._fetch(object_id)
+        segments += len(obj.voice_segments)
+        assert all(
+            not segment.recording.is_materialized
+            for segment in obj.voice_segments
+        )
+    assert not workstation.trace.of_kind(EventKind.DECODE_VOICE)
+    # ...playback decodes each segment exactly once, replays none.
+    session = manager.open(audio_ids[0])
+    session.play_for(0.2)
+    session.interrupt()
+    session.resume()
+    session.interrupt()
+    decodes = workstation.trace.of_kind(EventKind.DECODE_VOICE)
+    assert len(decodes) == 1
+    results.record(
+        "C-OPEN fast open path",
+        f"lazy decode: fetching {len(audio_ids)} audio objects "
+        f"({segments} voice segments) expanded 0 segments; playback "
+        f"with interrupt/resume decoded exactly 1",
+    )
+    _BENCH["lazy_decode"] = {
+        "audio_objects": len(audio_ids),
+        "segments": segments,
+        "decodes_at_open": 0,
+        "decodes_at_first_play": 1,
+    }
+
+
+def test_cold_open_wall_clock(benchmark):
+    """Wall-clock open latency with the decoded cache defeated."""
+    archiver = _library_archiver()
+    manager = PresentationManager(archiver, Workstation(), link=NetworkLink())
+    object_id = next(
+        object_id
+        for object_id in archiver.object_ids()
+        if archiver.record(object_id).descriptor.driving_mode == "visual"
+    )
+
+    def open_cold():
+        manager.decoded_cache.invalidate(object_id)
+        manager.open(object_id)
+
+    benchmark(open_cold)
+
+
+@pytest.mark.bench_smoke
+def test_smoke_open_path(results):
+    """Reduced-size C-OPEN for the CI bench-smoke job.
+
+    One visual object: batched open beats the sequential baseline on
+    requests and device time at identical bytes, warm re-open ships
+    nothing, and nothing decodes.
+    """
+
+    def small():
+        return _library_archiver(visual=2, audio=1)
+
+    archiver = small()
+    object_id = next(
+        object_id
+        for object_id in archiver.object_ids()
+        if archiver.record(object_id).descriptor.driving_mode == "visual"
+    )
+    pieces = len(archiver.record(object_id).descriptor.locations)
+    assert pieces >= 2
+    _compare_scenario(
+        f"smoke/{object_id}", small, object_id, pieces, results
+    )
+    manager = PresentationManager(archiver, Workstation(), link=NetworkLink())
+    manager.open(object_id)
+    shipped = manager.bytes_shipped
+    archiver.op_counts.clear()
+    second = manager.open(object_id)
+    assert manager.bytes_shipped == shipped
+    assert sum(archiver.op_counts.values()) == 0
+    assert second.open_cost_s == 0.0
+    assert not manager.workstation.trace.of_kind(EventKind.DECODE_VOICE)

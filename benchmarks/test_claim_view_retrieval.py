@@ -97,6 +97,29 @@ def test_window_fetch_latency(benchmark, archive):
     benchmark(move)
 
 
+@pytest.mark.bench_smoke
+def test_smoke_window_retrieval(results):
+    """Reduced-size C-VIEW for the CI bench-smoke job."""
+    size = 256
+    archiver = Archiver()
+    big = build_big_map_object(size=size, miniature_scale=8)
+    archiver.store(big)
+    manager = PresentationManager(
+        archiver, Workstation(), link=NetworkLink()
+    )
+    session = manager.open(big.object_id)
+    assert manager.bytes_shipped * 4 < size * size
+    before = manager.bytes_shipped
+    session.define_view(x=16, y=16, width=64, height=64)
+    shipped = manager.bytes_shipped - before
+    assert shipped == 64 * 64
+    results.record(
+        "C-VIEW window retrieval",
+        f"smoke ({size}px map): 64x64 view shipped {shipped:,}B "
+        f"({size * size // shipped}x less than the full image)",
+    )
+
+
 def test_simulated_time_crossover(archive, results):
     """Find the window size where windowed retrieval stops paying.
 

@@ -96,6 +96,9 @@ class AudioPlayer:
         """
         if self._state is PlayerState.PLAYING:
             raise PlaybackStateError("already playing")
+        # First playback of a lazily-shipped recording expands the
+        # companded bytes here — never at open time.
+        self._recording.materialize()
         if self._position >= self._recording.duration:
             self._position = 0.0
         self._play_from = self._position

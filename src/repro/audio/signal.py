@@ -16,7 +16,7 @@ paging downstream look only at ``recording.samples``.
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -72,14 +72,23 @@ class SpeakerProfile:
             raise AudioError(f"jitter must be in [0, 0.5): {self.jitter}")
 
 
-@dataclass
 class Recording:
     """Digitized voice plus the annotations MINOS keeps alongside it.
+
+    A recording is either *materialized* (constructed from a float32
+    waveform, the historical path) or *lazy*: constructed from the
+    companded ``encoded`` bytes plus a ``decoder`` callable, in which
+    case the waveform is expanded on first access to :attr:`samples`.
+    Mu-law companding is exactly one byte per sample, so duration,
+    storage size and audio paging are all computable without decoding —
+    an object open ships and holds the encoded bytes, and the expansion
+    cost is paid at first *playback* (``PLAY_VOICE``), not at open time.
 
     Attributes
     ----------
     samples:
-        Float32 waveform in ``[-1, 1]``.
+        Float32 waveform in ``[-1, 1]``.  Reading this on a lazy
+        recording decodes it (and fires ``on_decode`` once).
     sample_rate:
         Samples per second.
     words:
@@ -90,32 +99,111 @@ class Recording:
         sentence / paragraph).
     speaker:
         Name of the speaker profile used at synthesis time.
+    on_decode:
+        Optional one-shot callback ``cb(recording)`` invoked when a
+        lazy recording materializes — the presentation manager hooks
+        the DECODE_VOICE trace event here.
     """
 
-    samples: np.ndarray
-    sample_rate: int
-    words: list[TimedWord] = field(default_factory=list)
-    sentence_ends: list[float] = field(default_factory=list)
-    paragraph_ends: list[float] = field(default_factory=list)
-    speaker: str = "unknown"
+    def __init__(
+        self,
+        samples: np.ndarray | None = None,
+        sample_rate: int = 0,
+        words: list[TimedWord] | None = None,
+        sentence_ends: list[float] | None = None,
+        paragraph_ends: list[float] | None = None,
+        speaker: str = "unknown",
+        *,
+        encoded: bytes | None = None,
+        decoder=None,
+        on_decode=None,
+    ) -> None:
+        if sample_rate <= 0:
+            raise AudioError(f"sample rate must be positive: {sample_rate}")
+        self.sample_rate = sample_rate
+        self.words = list(words) if words is not None else []
+        self.sentence_ends = list(sentence_ends) if sentence_ends is not None else []
+        self.paragraph_ends = (
+            list(paragraph_ends) if paragraph_ends is not None else []
+        )
+        self.speaker = speaker
+        self.on_decode = on_decode
+        if samples is not None:
+            self._samples: np.ndarray | None = self._coerce(samples)
+            self._encoded: bytes | None = None
+            self._decoder = None
+        else:
+            if encoded is None:
+                raise AudioError("a recording needs samples or encoded bytes")
+            if decoder is None:
+                raise AudioError("a lazy recording needs a decoder")
+            self._samples = None
+            self._encoded = encoded
+            self._decoder = decoder
 
-    def __post_init__(self) -> None:
-        if self.sample_rate <= 0:
-            raise AudioError(f"sample rate must be positive: {self.sample_rate}")
-        if self.samples.ndim != 1:
-            raise AudioError(f"recording must be mono, got shape {self.samples.shape}")
-        if self.samples.dtype != np.float32:
-            self.samples = self.samples.astype(np.float32)
+    @staticmethod
+    def _coerce(samples: np.ndarray) -> np.ndarray:
+        if samples.ndim != 1:
+            raise AudioError(f"recording must be mono, got shape {samples.shape}")
+        if samples.dtype != np.float32:
+            samples = samples.astype(np.float32)
+        return samples
+
+    @property
+    def is_materialized(self) -> bool:
+        """Whether the waveform has been decoded (always True when the
+        recording was constructed from samples)."""
+        return self._samples is not None
+
+    @property
+    def samples(self) -> np.ndarray:
+        """The waveform, decoding the companded bytes on first access."""
+        if self._samples is None:
+            assert self._decoder is not None and self._encoded is not None
+            self._samples = self._coerce(self._decoder(self._encoded))
+            self._encoded = None
+            self._decoder = None
+            if self.on_decode is not None:
+                callback, self.on_decode = self.on_decode, None
+                callback(self)
+        return self._samples
+
+    @samples.setter
+    def samples(self, value: np.ndarray) -> None:
+        self._samples = self._coerce(value)
+        self._encoded = None
+        self._decoder = None
+
+    def materialize(self) -> "Recording":
+        """Force the waveform to be decoded; returns self."""
+        __ = self.samples
+        return self
+
+    @property
+    def n_samples(self) -> int:
+        """Sample count, available without decoding (mu-law is one byte
+        per sample)."""
+        if self._samples is not None:
+            return len(self._samples)
+        assert self._encoded is not None
+        return len(self._encoded)
 
     @property
     def duration(self) -> float:
         """Length in seconds."""
-        return len(self.samples) / self.sample_rate
+        return self.n_samples / self.sample_rate
 
     @property
     def nbytes(self) -> int:
         """Storage size after 8-bit companding (1 byte per sample)."""
-        return len(self.samples)
+        return self.n_samples
+
+    def __repr__(self) -> str:
+        state = "materialized" if self.is_materialized else "lazy"
+        return (
+            f"Recording({state}, n_samples={self.n_samples}, "
+            f"sample_rate={self.sample_rate}, speaker={self.speaker!r})"
+        )
 
     def slice(self, start: float, end: float) -> "Recording":
         """Return the sub-recording covering ``[start, end)`` seconds.

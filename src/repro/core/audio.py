@@ -60,6 +60,9 @@ class AudioSession:
         self._obj = obj
         self._ws = workstation
         self._manager = manager
+        #: Simulated cost (disk service + network) of fetching this
+        #: object; set by the presentation manager on session creation.
+        self.open_cost_s = 0.0
         self._messages = MessageEngine(obj)
 
         order = obj.presentation.audio_order or [
@@ -297,6 +300,11 @@ class AudioSession:
         return page.start
 
     def _start_output(self, from_position: float) -> None:
+        # Voice output needs real samples: a lazily-shipped segment
+        # decodes at its first playback, firing DECODE_VOICE via the
+        # recording's on_decode hook.
+        segment, _local = self.locate(from_position)
+        segment.recording.materialize()
         self._playing_from = from_position
         self._playing_since = self._ws.clock.now
         self._ws.trace.record(

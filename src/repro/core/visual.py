@@ -76,6 +76,9 @@ class VisualSession:
         self._obj = obj
         self._ws = workstation
         self._manager = manager
+        #: Simulated cost (disk service + network) of fetching this
+        #: object; set by the presentation manager on session creation.
+        self.open_cost_s = 0.0
         self._program = compile_visual_program(
             obj, page_height=workstation.screen.text_lines
         )

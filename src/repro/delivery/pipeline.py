@@ -507,11 +507,65 @@ class DeliveryPipeline:
             tasks = self._prefetcher.observe_view(
                 station, view.object_id, view.page, extents
             )
-            for index, task in enumerate(tasks):
-                self._schedule(
-                    self._now + (index + 1) * self.config.prefetch_stagger_s,
-                    "prefetch", task,
-                )
+            if self.config.prefetch_stagger_s <= 0.0:
+                # No trickle requested: issue the whole plan as one
+                # scatter-gather device sweep (one seek pattern for the
+                # read-ahead window instead of one per page).
+                if tasks:
+                    self._schedule(self._now, "prefetch_batch", tasks)
+            else:
+                for index, task in enumerate(tasks):
+                    self._schedule(
+                        self._now + (index + 1) * self.config.prefetch_stagger_s,
+                        "prefetch", task,
+                    )
+
+    def _on_prefetch_batch(self, tasks: list) -> None:
+        wanted = []
+        for task in tasks:
+            page_key = (task.station, str(task.object_id), task.page)
+            pending = (
+                task.station, task.generation, str(task.object_id), task.page
+            )
+            if page_key in self._page_store or pending in self._pending_prefetch:
+                continue  # already at (or in flight to) the station
+            wanted.append(task)
+        if not wanted:
+            return
+        payloads, service = self._prefetcher.execute_batch(wanted)
+        # One device occupancy for the whole sweep; every fetched range
+        # becomes ready when the sweep completes.
+        if service > 0.0:
+            start = max(self._device_free, self._now)
+            sweep_ready = start + service
+            self._device_free = sweep_ready
+            self._device_busy += service
+        else:
+            sweep_ready = self._now
+        for task, data in zip(wanted, payloads):
+            if data is None:
+                continue  # cancelled by a jump; nothing was published
+            key = task.cache_key()
+            if service > 0.0:
+                self._key_ready[key] = sweep_ready
+                ready = sweep_ready
+            else:
+                ready = max(self._now, self._key_ready.get(key, self._now))
+            page_key = (task.station, str(task.object_id), task.page)
+            pending = (
+                task.station, task.generation, str(task.object_id), task.page
+            )
+            self.metrics.on_prefetch(task.station, task.page, self._now)
+            total = self._split_bulk(
+                task.station, task.length, ready,
+                {
+                    "kind": "prefetch",
+                    "generation": task.generation,
+                    "page_key": page_key,
+                    "pending_key": pending,
+                },
+            )
+            self._pending_prefetch[pending] = total
 
     def _on_prefetch(self, task) -> None:
         page_key = (task.station, str(task.object_id), task.page)
@@ -733,6 +787,11 @@ def fetch_with_retry(
     (:class:`RequestTimeoutError`) — and let every other archiver
     error propagate, since refetching will not fix a missing object or
     a bad range.  Returns ``(payload, service_time_s)``.
+
+    Every op in :attr:`ServerFrontend._OPS` is retry-safe, including a
+    ``read_scattered`` batch: a rejection happens at admission, before
+    the archiver plans or reads anything, so a retried batch re-plans
+    from untouched cache and disk-head state.
     """
     if attempts < 1:
         raise DeliveryError(f"attempts must be positive: {attempts}")

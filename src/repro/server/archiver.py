@@ -16,6 +16,7 @@ image piece, not the object.
 from __future__ import annotations
 
 import threading
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.errors import ArchiverError, ObjectNotFoundError
@@ -28,6 +29,7 @@ from repro.server.access import ContentIndex
 from repro.storage.blockdev import Extent, SimulatedDisk
 from repro.storage.cache import LRUCache
 from repro.storage.optical import OpticalDisk
+from repro.storage.scatter import gather, plan_scatter
 
 
 @dataclass
@@ -78,6 +80,15 @@ class Archiver:
         # utterances recognized after archiving live in this side table
         # and are injected when objects are rebuilt.
         self._recognition_table: dict[ObjectId, dict] = {}
+        # Monotone per-object version tokens: bumped whenever the
+        # *rebuilt* form of an object changes (today: recognition-table
+        # updates; the platter bytes themselves are write-once).
+        # Workstation-side decoded-object caches revalidate against
+        # these tokens instead of refetching.
+        self._versions: dict[ObjectId, int] = {}
+        # Round-trip accounting: one increment per public read request,
+        # so benchmarks can compare batched vs piecewise open paths.
+        self.op_counts: Counter[str] = Counter()
 
     @property
     def disk(self) -> SimulatedDisk:
@@ -156,6 +167,7 @@ class Archiver:
             )
             self._records[obj.object_id] = record
             self.index.index_object(obj)
+            self._versions[obj.object_id] = 1
             return record
 
     # ------------------------------------------------------------------
@@ -176,6 +188,26 @@ class Archiver:
             raise ObjectNotFoundError(f"archiver has no object {object_id}")
         return record
 
+    def version_of(self, object_id: ObjectId) -> int:
+        """Monotone version token of an object's *rebuilt* form.
+
+        Bumped by :meth:`attach_recognition` (and by any future
+        re-archive path); a workstation's decoded-object cache entry is
+        valid exactly while its token matches.
+
+        Raises
+        ------
+        ObjectNotFoundError
+            If the object is not stored here.
+        """
+        self.record(object_id)  # existence check
+        with self._lock:
+            return self._versions[object_id]
+
+    def _count(self, op: str) -> None:
+        with self._lock:
+            self.op_counts[op] += 1
+
     def fetch(self, object_id: ObjectId) -> FetchResult:
         """Fetch an object's stored form (descriptor + composition).
 
@@ -184,6 +216,7 @@ class Archiver:
         self-contained unit (ready to mail or rebuild); only shared
         ARCHIVER-source pointers still reference this archiver.
         """
+        self._count("fetch")
         record = self.record(object_id)
         data, service = self._read_extent(record.extent, key=f"obj/{object_id}")
         descriptor, composition = unpack_archived(data)
@@ -198,6 +231,7 @@ class Archiver:
         Data pieces whose descriptor locations point elsewhere in the
         archiver (shared data) are resolved transparently.
         """
+        self._count("fetch_object")
         result = self.fetch(object_id)
         record = self.record(object_id)
         service = result.service_time_s
@@ -259,10 +293,77 @@ class Archiver:
                 merged[segment_id] = list(utterances)
                 terms.update(u.term for u in utterances)
             self.index.add_terms(object_id, terms)
+            # The rebuilt form of the object just changed: invalidate
+            # every decoded copy cached against the old token.
+            self._versions[object_id] += 1
 
     def read_absolute(self, offset: int, length: int) -> tuple[bytes, float]:
         """Read an archiver-absolute byte range (shared-data pointers)."""
+        self._count("read_absolute")
         return self._read_extent(Extent(offset, length), key=f"abs/{offset}/{length}")
+
+    def read_scattered(
+        self, ranges: list[tuple[int, int]]
+    ) -> tuple[list[bytes], float]:
+        """Read many archiver-absolute ``(offset, length)`` ranges at once.
+
+        One server round-trip replaces N: ranges are coalesced and
+        sorted into a minimal-seek sweep (see
+        :mod:`repro.storage.scatter`) and the whole batch is served
+        under a single lock acquisition.  Ranges already staged in the
+        archiver's byte cache are served from it; only the misses go to
+        the device.  Payloads come back in request order, byte-identical
+        to piecewise :meth:`read_absolute` calls.
+        """
+        self._count("read_scattered")
+        if not ranges:
+            return [], 0.0
+        results: list[bytes | None] = [None] * len(ranges)
+        missing: list[int] = []
+        for index, (offset, length) in enumerate(ranges):
+            if self._cache is not None:
+                cached = self._cache.get(f"abs/{offset}/{length}")
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            missing.append(index)
+        if missing:
+            payloads, service = self.read_scattered_raw(
+                [ranges[index] for index in missing]
+            )
+            for index, data in zip(missing, payloads):
+                results[index] = data
+                if self._cache is not None:
+                    offset, length = ranges[index]
+                    self._cache.put(f"abs/{offset}/{length}", data)
+        else:
+            service = 0.0
+        return results, service  # type: ignore[return-value]
+
+    def read_scattered_raw(
+        self, ranges: list[tuple[int, int]]
+    ) -> tuple[list[bytes], float]:
+        """Batch-read ranges from the device, bypassing any cache.
+
+        The planning (coalesce + sweep order) and every device read
+        happen under one archiver lock acquisition, so the head moves
+        through the batch without interleaving from other requests.
+        This is the hook :class:`CachingArchiver` and the delivery
+        prefetcher build on.
+        """
+        if not ranges:
+            return [], 0.0
+        with self._lock:
+            plan = plan_scatter(
+                ranges, self._disk.head_position, self._disk.geometry
+            )
+            payloads: dict[Extent, bytes] = {}
+            service = 0.0
+            for extent in plan.reads:
+                data, extra = self._disk.read(extent)
+                payloads[extent] = data
+                service += extra
+            return gather(plan, payloads), service
 
     def data_extent(self, object_id: ObjectId, tag: str) -> Extent:
         """Archiver-absolute extent of one data piece of an object.
@@ -284,6 +385,7 @@ class Archiver:
         ArchiverError
             If the range exceeds the piece.
         """
+        self._count("read_piece_range")
         extent = self.data_extent(object_id, tag)
         if start < 0 or start + length > extent.length:
             raise ArchiverError(
@@ -311,6 +413,7 @@ class Archiver:
         ArchiverError
             If any range exceeds the piece.
         """
+        self._count("read_piece_rows")
         if not ranges:
             return [], 0.0
         piece = self.data_extent(object_id, tag)
@@ -362,13 +465,17 @@ class Archiver:
 
 
 class _Flight:
-    """State of one in-progress device fetch (single-flight)."""
+    """State of one in-progress device fetch (single-flight).
+
+    ``data`` holds bytes for single-extent flights and a list of
+    payloads for scatter-gather batch flights.
+    """
 
     __slots__ = ("event", "data", "service_time_s", "error")
 
     def __init__(self) -> None:
         self.event = threading.Event()
-        self.data: bytes | None = None
+        self.data: bytes | list[bytes] | None = None
         self.service_time_s = 0.0
         self.error: BaseException | None = None
 
@@ -445,6 +552,29 @@ class CachingArchiver:
         """Archiver-absolute extent of one data piece of an object."""
         return self._archiver.data_extent(object_id, tag)
 
+    def version_of(self, object_id: ObjectId) -> int:
+        """Version token of an object (see :meth:`Archiver.version_of`)."""
+        return self._archiver.version_of(object_id)
+
+    def recognition_for(self, object_id: ObjectId) -> dict:
+        """Recognition side table (see :meth:`Archiver.recognition_for`)."""
+        return self._archiver.recognition_for(object_id)
+
+    def attach_recognition(self, object_id: ObjectId, side_table: dict) -> None:
+        """Record recognition results (see :meth:`Archiver.attach_recognition`).
+
+        Delegated as-is: the side table lives outside the byte cache
+        (platter bytes are immutable), so cached reads stay valid; the
+        version bump performed by the inner archiver is what invalidates
+        workstation-side decoded-object caches.
+        """
+        self._archiver.attach_recognition(object_id, side_table)
+
+    @property
+    def op_counts(self) -> Counter[str]:
+        """Round-trip counters of the wrapped archiver."""
+        return self._archiver.op_counts
+
     def store(
         self,
         obj: MultimediaObject,
@@ -460,6 +590,7 @@ class CachingArchiver:
 
     def fetch(self, object_id: ObjectId) -> FetchResult:
         """Fetch an object's stored form through the shared cache."""
+        self._archiver._count("fetch")
         record = self._archiver.record(object_id)
         data, service = self._read(f"obj/{object_id}", record.extent)
         descriptor, composition = unpack_archived(data)
@@ -470,6 +601,7 @@ class CachingArchiver:
 
     def fetch_object(self, object_id: ObjectId) -> tuple[MultimediaObject, float]:
         """Fetch and rebuild a complete object, caching each piece read."""
+        self._archiver._count("fetch_object")
         record = self._archiver.record(object_id)
         service_total = 0.0
 
@@ -492,7 +624,45 @@ class CachingArchiver:
 
     def read_absolute(self, offset: int, length: int) -> tuple[bytes, float]:
         """Read an archiver-absolute byte range through the shared cache."""
+        self._archiver._count("read_absolute")
         return self._read(f"abs/{offset}/{length}", Extent(offset, length))
+
+    def read_scattered(
+        self, ranges: list[tuple[int, int]]
+    ) -> tuple[list[bytes], float]:
+        """Batch-read archiver-absolute ranges through the shared cache.
+
+        Per-range cache hits are served immediately; the remaining
+        misses form one scatter-gather batch executed under a single
+        *batch* flight, so N workstations opening the same object
+        concurrently trigger exactly one device sweep — the others
+        piggyback and are charged zero service time.  Every fetched
+        range is published under the same ``abs/{offset}/{length}`` key
+        :meth:`read_absolute` uses, so piecewise and batched readers
+        share one cache population.
+        """
+        self._archiver._count("read_scattered")
+        if not ranges:
+            return [], 0.0
+        results: list[bytes | None] = [None] * len(ranges)
+        missing: list[int] = []
+        for index, (offset, length) in enumerate(ranges):
+            cached = self._cache.get(f"abs/{offset}/{length}")
+            if cached is not None:
+                results[index] = cached
+            else:
+                missing.append(index)
+        if missing:
+            missing_ranges = [ranges[index] for index in missing]
+            key = "scatter/" + ";".join(
+                f"{offset}+{length}" for offset, length in missing_ranges
+            )
+            payloads, service = self._read_batch(key, missing_ranges)
+            for index, data in zip(missing, payloads):
+                results[index] = data
+        else:
+            service = 0.0
+        return results, service  # type: ignore[return-value]
 
     def read_piece_range(
         self, object_id: ObjectId, tag: str, start: int, length: int
@@ -504,6 +674,7 @@ class CachingArchiver:
         ArchiverError
             If the range exceeds the piece.
         """
+        self._archiver._count("read_piece_range")
         extent = self._archiver.data_extent(object_id, tag)
         if start < 0 or start + length > extent.length:
             raise ArchiverError(
@@ -563,6 +734,58 @@ class CachingArchiver:
             self.flight_stats.device_fetches += 1
         flight.event.set()
         return data, service
+
+    def _read_batch(
+        self, key: str, ranges: list[tuple[int, int]]
+    ) -> tuple[list[bytes], float]:
+        """Single-flight scatter-gather batch over missing ranges.
+
+        ``key`` canonically names the batch; identical concurrent
+        batches collapse onto one leader's device sweep.  Payloads are
+        published per range under the ``abs/…`` keys before the flight
+        retires, preserving the re-check invariant of :meth:`_read`.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                # Re-check under the flight lock: a leader that finished
+                # between our cache misses and here has published every
+                # range to the cache and retired its flight.
+                cached = [
+                    self._cache.get(f"abs/{offset}/{length}")
+                    for offset, length in ranges
+                ]
+                if all(data is not None for data in cached):
+                    return cached, 0.0  # type: ignore[return-value]
+                flight = _Flight()
+                self._flights[key] = flight
+        if not leader:
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self.flight_stats._lock:
+                self.flight_stats.piggybacks += 1
+            assert isinstance(flight.data, list)
+            return list(flight.data), 0.0
+        try:
+            payloads, service = self._archiver.read_scattered_raw(ranges)
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.event.set()
+            raise
+        for (offset, length), data in zip(ranges, payloads):
+            self._cache.put(f"abs/{offset}/{length}", data)
+        flight.data = payloads
+        flight.service_time_s = service
+        with self._lock:
+            self._flights.pop(key, None)
+        with self.flight_stats._lock:
+            self.flight_stats.device_fetches += 1
+        flight.event.set()
+        return payloads, service
 
 
 def _all_archiver(descriptor: Descriptor) -> Descriptor:

@@ -65,6 +65,12 @@ class ServerFuture:
     def result(self, timeout: float | None = 30.0) -> tuple[Any, float]:
         """Block until completion; returns ``(payload, service_time_s)``.
 
+        ``payload`` is op-shaped: bytes for ``read_absolute``, a
+        :class:`~repro.server.archiver.FetchResult` for ``fetch``, and
+        for ``read_scattered`` the *list* of range payloads in request
+        order with ``service_time_s`` covering the whole batch (a
+        cache-warm batch reports 0.0, same as a single-range hit).
+
         Two clocks are in play and must not be confused.  ``timeout``
         is measured on the *host* (wall) clock: it bounds how long the
         calling thread sleeps waiting for a worker.  The returned
@@ -120,7 +126,17 @@ class ServerFrontend:
     """
 
     #: Operations a request may name, mapped to archiver methods.
-    _OPS = ("fetch", "fetch_object", "read_absolute", "read_piece_range")
+    #: ``read_scattered`` serves a whole batch of ``(offset, length)``
+    #: ranges under a single admission slot — one queue entry, one
+    #: worker, one lock acquisition — so an object open costs one
+    #: round-trip instead of one per data piece.
+    _OPS = (
+        "fetch",
+        "fetch_object",
+        "read_absolute",
+        "read_piece_range",
+        "read_scattered",
+    )
 
     def __init__(
         self,
@@ -254,6 +270,21 @@ class ServerFrontend:
             "read_absolute", offset, length, station=station
         ).result()
 
+    def read_scattered(
+        self, ranges: list[tuple[int, int]], *, station: str = "ws-0"
+    ) -> tuple[list[bytes], float]:
+        """Blocking convenience: scatter-gather batch of absolute ranges.
+
+        The batch occupies one admission slot regardless of how many
+        ranges it carries; a rejection (:class:`ServerBusyError`) is
+        raised before the archiver is touched, leaving cache and disk
+        head state unchanged — safe to retry via
+        :func:`repro.delivery.pipeline.fetch_with_retry`.
+        """
+        return self.submit(
+            "read_scattered", ranges, station=station
+        ).result()
+
     # ------------------------------------------------------------------
     # workers
     # ------------------------------------------------------------------
@@ -290,7 +321,7 @@ class ServerFrontend:
         result = method(*request.params)
         if request.op == "fetch":
             return result, result.service_time_s
-        # fetch_object / read_absolute / read_piece_range all return
-        # (payload, service_time_s) pairs already.
+        # fetch_object / read_absolute / read_piece_range /
+        # read_scattered all return (payload, service_time_s) pairs.
         payload, service = result
         return payload, service

@@ -12,6 +12,12 @@ from repro.storage.blockdev import DiskGeometry, Extent, SimulatedDisk
 from repro.storage.optical import OpticalDisk
 from repro.storage.magnetic import MagneticDisk
 from repro.storage.cache import LRUCache
+from repro.storage.scatter import (
+    ScatterPlan,
+    coalesce_ranges,
+    gather,
+    plan_scatter,
+)
 
 __all__ = [
     "DiskGeometry",
@@ -19,5 +25,9 @@ __all__ = [
     "LRUCache",
     "MagneticDisk",
     "OpticalDisk",
+    "ScatterPlan",
     "SimulatedDisk",
+    "coalesce_ranges",
+    "gather",
+    "plan_scatter",
 ]

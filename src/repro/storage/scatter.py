@@ -1,0 +1,167 @@
+"""Scatter-gather read planning over a simulated disk.
+
+The presentation manager "requests the appropriate pieces of
+information" — plural.  An open touches many small pieces of one
+object, and paying a full seek + rotational latency per piece makes
+the open time proportional to the *number* of requests instead of the
+number of bytes.  A :class:`ScatterPlan` turns a list of requested
+``(offset, length)`` ranges into an execution order that the device
+serves cheaply:
+
+1. ranges are sorted by offset and **coalesced** — overlapping or
+   back-to-back ranges become one run, so adjacent pieces of a
+   composition are read with a single seek and a single half-rotation;
+2. candidate orders of the coalesced runs (ascending sweep, descending
+   sweep, and the caller's original order as a fallback) are costed
+   against the device geometry from the *current* head position, and
+   the cheapest wins.
+
+Because the original request order is always a candidate, a plan is
+never more expensive than issuing the requests one by one — the
+monotonicity invariant pinned by ``tests/test_property_scatter.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.storage.blockdev import DiskGeometry, Extent
+
+
+def coalesce_ranges(ranges: list[tuple[int, int]]) -> list[Extent]:
+    """Merge overlapping/adjacent ``(offset, length)`` ranges into runs.
+
+    The result is sorted by offset and pairwise disjoint with gaps
+    (``run[i].end < run[i+1].offset``), so every input range is fully
+    contained in exactly one run.
+
+    Raises
+    ------
+    StorageError
+        If any range has a negative offset or length.
+    """
+    extents = [Extent(offset, length) for offset, length in ranges]
+    if not extents:
+        return []
+    extents.sort(key=lambda e: (e.offset, e.end))
+    runs: list[Extent] = [extents[0]]
+    for extent in extents[1:]:
+        last = runs[-1]
+        if extent.offset <= last.end:
+            if extent.end > last.end:
+                runs[-1] = Extent(last.offset, extent.end - last.offset)
+        else:
+            runs.append(extent)
+    return runs
+
+
+def predicted_service_s(
+    head: int, reads: list[Extent], geometry: DiskGeometry
+) -> float:
+    """Simulated service time of issuing ``reads`` in order from ``head``."""
+    total = 0.0
+    position = head
+    for extent in reads:
+        total += geometry.access_time(position, extent)
+        position = extent.end
+    return total
+
+
+@dataclass(frozen=True)
+class ScatterPlan:
+    """An execution order for a batch of range reads.
+
+    Attributes
+    ----------
+    requested:
+        The caller's ranges, in request order (what :func:`gather`
+        slices the payloads back into).
+    reads:
+        The extents actually issued to the device, in execution order.
+        Either coalesced sorted runs or (fallback) the requested
+        extents verbatim.
+    coalesced:
+        Whether ``reads`` are merged runs (False means the verbatim
+        fallback won the cost comparison).
+    predicted_service_s:
+        Modelled device time of the plan from the planning-time head
+        position.
+    """
+
+    requested: tuple[Extent, ...]
+    reads: tuple[Extent, ...]
+    coalesced: bool
+    predicted_service_s: float
+
+
+def plan_scatter(
+    ranges: list[tuple[int, int]], head: int, geometry: DiskGeometry
+) -> ScatterPlan:
+    """Choose the cheapest execution order for a batch of range reads.
+
+    Candidates are the coalesced runs ascending, the coalesced runs
+    descending, and the verbatim request order; ties prefer the
+    coalesced ascending sweep.  Including the verbatim order guarantees
+    the plan never costs more than piecewise reads in request order.
+    """
+    requested = tuple(Extent(offset, length) for offset, length in ranges)
+    if not requested:
+        return ScatterPlan(
+            requested=(), reads=(), coalesced=True, predicted_service_s=0.0
+        )
+    runs = coalesce_ranges(ranges)
+    ascending = list(runs)
+    descending = list(reversed(runs))
+    candidates: list[tuple[float, bool, list[Extent]]] = [
+        (predicted_service_s(head, ascending, geometry), True, ascending),
+        (predicted_service_s(head, descending, geometry), True, descending),
+        (predicted_service_s(head, list(requested), geometry), False,
+         list(requested)),
+    ]
+    cost, coalesced, reads = min(candidates, key=lambda c: c[0])
+    return ScatterPlan(
+        requested=requested,
+        reads=tuple(reads),
+        coalesced=coalesced,
+        predicted_service_s=cost,
+    )
+
+
+def gather(plan: ScatterPlan, payloads: dict[Extent, bytes]) -> list[bytes]:
+    """Slice run payloads back into the requested ranges, request order.
+
+    ``payloads`` maps each extent of ``plan.reads`` to its bytes.
+
+    Raises
+    ------
+    StorageError
+        If a requested range is not covered by any read (cannot happen
+        for plans produced by :func:`plan_scatter`).
+    """
+    if not plan.coalesced:
+        return [payloads[extent] for extent in plan.requested]
+    runs = sorted(plan.reads, key=lambda e: e.offset)
+    results: list[bytes] = []
+    for extent in plan.requested:
+        run = _containing_run(runs, extent)
+        data = payloads[run]
+        start = extent.offset - run.offset
+        results.append(data[start : start + extent.length])
+    return results
+
+
+def _containing_run(runs: list[Extent], extent: Extent) -> Extent:
+    lo, hi = 0, len(runs) - 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        run = runs[mid]
+        if extent.offset < run.offset:
+            hi = mid - 1
+        elif extent.offset > run.end:
+            lo = mid + 1
+        else:
+            if extent.end > run.end:
+                break
+            return run
+    raise StorageError(f"range {extent} not covered by any coalesced run")

@@ -26,6 +26,7 @@ class EventKind(enum.Enum):
     SUPERIMPOSE = "superimpose"
     OVERWRITE = "overwrite"
     PLAY_VOICE = "play_voice"
+    DECODE_VOICE = "decode_voice"
     INTERRUPT_VOICE = "interrupt_voice"
     RESUME_VOICE = "resume_voice"
     SEEK_VOICE = "seek_voice"

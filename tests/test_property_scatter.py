@@ -1,0 +1,130 @@
+"""Property-based invariants for scatter-gather read planning.
+
+The batched open path is only an *optimisation* if it is invisible:
+``read_scattered`` must return byte-identical payloads to piecewise
+``read_absolute`` calls for any list of ranges (overlapping, adjacent,
+duplicated, in any order), and its planned device cost must never
+exceed the cost of issuing the requests one by one from the same head
+position — the monotonicity that makes "batched is at least as fast"
+a theorem rather than a benchmark observation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.server.archiver import Archiver
+from repro.storage.blockdev import Extent
+from repro.storage.optical import OpticalDisk
+from repro.storage.scatter import (
+    coalesce_ranges,
+    gather,
+    plan_scatter,
+    predicted_service_s,
+)
+
+_DATA_SIZE = 4096
+
+
+def _disk_with_data() -> OpticalDisk:
+    disk = OpticalDisk()
+    payload = bytes(index % 251 for index in range(_DATA_SIZE))
+    disk.append(payload)
+    return disk
+
+
+ranges_lists = st.lists(
+    st.tuples(
+        st.integers(0, _DATA_SIZE - 1),
+        st.integers(1, 128),
+    ).map(lambda r: (r[0], min(r[1], _DATA_SIZE - r[0]))),
+    min_size=1,
+    max_size=24,
+)
+
+
+class TestCoalesce:
+    @settings(max_examples=200, deadline=None)
+    @given(ranges=ranges_lists)
+    def test_runs_sorted_disjoint_and_covering(self, ranges):
+        runs = coalesce_ranges(ranges)
+        for before, after in zip(runs, runs[1:]):
+            assert before.end < after.offset  # disjoint with gaps
+        for offset, length in ranges:
+            covering = [
+                run
+                for run in runs
+                if run.offset <= offset and offset + length <= run.end
+            ]
+            assert len(covering) == 1  # every range inside exactly one run
+
+    @settings(max_examples=200, deadline=None)
+    @given(ranges=ranges_lists)
+    def test_total_run_bytes_never_exceed_span(self, ranges):
+        runs = coalesce_ranges(ranges)
+        total = sum(run.length for run in runs)
+        lo = min(offset for offset, _ in ranges)
+        hi = max(offset + length for offset, length in ranges)
+        assert total <= hi - lo
+        # and never less than the largest single range
+        assert total >= max(length for _, length in ranges)
+
+    def test_rejects_negative_ranges(self):
+        with pytest.raises(StorageError):
+            coalesce_ranges([(-1, 4)])
+
+
+class TestLossless:
+    """Batched data is byte-identical to piecewise reads."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(ranges=ranges_lists)
+    def test_read_scattered_matches_piecewise(self, ranges):
+        piecewise_archiver = Archiver(disk=_disk_with_data())
+        expected = [
+            piecewise_archiver.read_absolute(offset, length)[0]
+            for offset, length in ranges
+        ]
+        batched_archiver = Archiver(disk=_disk_with_data())
+        actual, _service = batched_archiver.read_scattered(ranges)
+        assert actual == expected
+
+    @settings(max_examples=120, deadline=None)
+    @given(ranges=ranges_lists, head=st.integers(0, _DATA_SIZE))
+    def test_gather_reslices_exactly(self, ranges, head):
+        disk = _disk_with_data()
+        plan = plan_scatter(ranges, head, disk.geometry)
+        payloads = {extent: disk.read(extent)[0] for extent in plan.reads}
+        sliced = gather(plan, payloads)
+        direct = [disk.read(Extent(o, n))[0] for o, n in ranges]
+        assert sliced == direct
+
+
+class TestMonotonicity:
+    """A plan never costs more than piecewise reads in request order."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(ranges=ranges_lists, head=st.integers(0, 2 * _DATA_SIZE))
+    def test_planned_cost_never_exceeds_request_order(self, ranges, head):
+        geometry = OpticalDisk().geometry
+        plan = plan_scatter(ranges, head, geometry)
+        piecewise = predicted_service_s(
+            head, [Extent(o, n) for o, n in ranges], geometry
+        )
+        assert plan.predicted_service_s <= piecewise + 1e-12
+
+    @settings(max_examples=100, deadline=None)
+    @given(ranges=ranges_lists)
+    def test_device_service_never_exceeds_piecewise(self, ranges):
+        """End-to-end: actual simulated service time, not just the plan."""
+        piecewise_archiver = Archiver(disk=_disk_with_data())
+        piecewise_total = sum(
+            piecewise_archiver.read_absolute(offset, length)[1]
+            for offset, length in ranges
+        )
+        batched_archiver = Archiver(disk=_disk_with_data())
+        _, batched_total = batched_archiver.read_scattered(ranges)
+        assert batched_total <= piecewise_total + 1e-12
