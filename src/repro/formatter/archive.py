@@ -17,10 +17,16 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, replace
-from typing import Callable
+from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.errors import FormationError
+from repro.index.postings import CHANNELS, TEXT, UNIT_GAP, VOICE
 from repro.objects.descriptor import DataSource, Descriptor
+from repro.text.search import tokenize
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.index.archive_index import RawPosting
+    from repro.objects.model import MultimediaObject
 
 _MAGIC = b"MNOS"
 _HEADER = struct.Struct(">4sI")  # magic, descriptor length
@@ -112,3 +118,84 @@ def mail_outside(
         extra=dict(descriptor.extra),
     )
     return mailed_descriptor, composition + b"".join(appended)
+
+
+# ----------------------------------------------------------------------
+# insertion-time index feed
+# ----------------------------------------------------------------------
+#
+# Archiving an object is the moment its content becomes immutable, so
+# it is also the moment its postings for the archive-wide symmetric
+# index (repro.index) are extracted — "recognized at the time of voice
+# insertion" made concrete.  The two functions below walk the object's
+# content *units* (one text segment, one image label, one voice
+# segment at a time) through a single shared iterator, so the postings
+# the index serves and the token sequences the scan oracle checks are
+# definitionally consistent.
+
+
+def _content_units(
+    obj: "MultimediaObject",
+) -> Iterator[tuple[str, list[tuple[str, float]]]]:
+    """Yield ``(channel, [(term, position), ...])`` per indexing unit.
+
+    Text units carry character offsets; voice units carry utterance
+    times in seconds, sorted — the same symmetric position contract as
+    :class:`repro.text.search.TextSearchIndex`.
+    """
+    for segment in obj.text_segments:
+        yield TEXT, [
+            (term, float(offset))
+            for term, offset in tokenize(segment.plain_text)
+        ]
+    for image in obj.images:
+        for graphics in image.labelled_objects():
+            yield TEXT, [
+                (term, float(offset))
+                for term, offset in tokenize(graphics.label.text)
+            ]
+    for segment in obj.voice_segments:
+        yield VOICE, [
+            (utterance.term.lower(), float(utterance.time))
+            for utterance in sorted(segment.utterances, key=lambda u: u.time)
+        ]
+
+
+def archive_postings(
+    obj: "MultimediaObject", channels: tuple[str, ...] = CHANNELS
+) -> list["RawPosting"]:
+    """Extract the archive-index postings of an object being archived.
+
+    Returns ``(term, channel, position, ordinal)`` tuples.  Ordinals
+    number tokens consecutively within each unit and leave a gap
+    between units, so consecutive ordinals — the phrase-adjacency test
+    — never span a segment or label boundary.
+    """
+    postings: list["RawPosting"] = []
+    cursors = dict.fromkeys(CHANNELS, 0)
+    for channel, tokens in _content_units(obj):
+        if channel not in channels:
+            # Unit gaps advance even for skipped channels so a
+            # voice-only re-extraction assigns the same ordinals as the
+            # insertion-time full extraction did.
+            cursors[channel] += len(tokens) + UNIT_GAP
+            continue
+        ordinal = cursors[channel]
+        for term, position in tokens:
+            postings.append((term, channel, position, ordinal))
+            ordinal += 1
+        cursors[channel] = ordinal + UNIT_GAP
+    return postings
+
+
+def object_token_units(obj: "MultimediaObject") -> dict[str, list[list[str]]]:
+    """Token sequences per channel — the scan oracle's view of an object.
+
+    The result feeds :func:`repro.index.matches_units`: queries are
+    *defined* by what these sequences answer, and the index is held to
+    exactly that.
+    """
+    units: dict[str, list[list[str]]] = {channel: [] for channel in CHANNELS}
+    for channel, tokens in _content_units(obj):
+        units[channel].append([term for term, _ in tokens])
+    return units

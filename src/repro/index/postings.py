@@ -1,0 +1,75 @@
+"""Postings of the archive-wide symmetric content index.
+
+A posting anchors one term occurrence inside one archived object, in
+one *channel*: ``text`` (character offsets) or ``voice`` (times in
+seconds).  This is :class:`repro.text.search.TextSearchIndex`'s
+(term, position) access method lifted to the whole archive — the same
+symmetric contract, with the object id and channel added so a single
+index answers "which objects say *budget*, in speech, and where".
+
+Besides the human-meaningful ``position``, every posting carries an
+``ordinal``: the rank of the occurrence within its indexing *unit* (one
+text segment, one image label, one voice segment).  Consecutive
+ordinals mean consecutive tokens, which is what phrase matching needs;
+units are separated by ordinal gaps so phrases never match across
+segment boundaries — exactly the per-unit semantics of
+``TextSearchIndex``.
+
+``version`` is the archiver's version token at indexing time.  Text
+postings are immortal (the platter is write-once); voice postings are
+live only while their version matches the latest voice indexing of the
+object, so a re-recognized object never serves stale utterances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ids import ObjectId
+
+TEXT = "text"
+VOICE = "voice"
+BOTH = "both"
+
+CHANNELS = (TEXT, VOICE)
+
+# Ordinal gap left between indexing units of one object: > 1, so the
+# last token of one unit and the first of the next are never phrase-
+# adjacent.
+UNIT_GAP = 2
+
+
+@dataclass(frozen=True, slots=True)
+class Posting:
+    """One term occurrence in one channel of one archived object."""
+
+    object_id: ObjectId
+    channel: str
+    position: float
+    ordinal: int
+    version: int = 1
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate in-memory footprint, for memtable budgets."""
+        return 40 + len(str(self.object_id))
+
+
+def channel_matches(posting_channel: str, wanted: str) -> bool:
+    """Whether a posting in ``posting_channel`` satisfies a query filter."""
+    return wanted == BOTH or posting_channel == wanted
+
+
+def validate_channel(channel: str) -> str:
+    """Check a query channel filter, returning it unchanged.
+
+    Raises
+    ------
+    ValueError
+        If ``channel`` is not ``text``, ``voice`` or ``both``.
+    """
+    if channel not in (TEXT, VOICE, BOTH):
+        raise ValueError(
+            f"channel must be 'text', 'voice' or 'both': {channel!r}"
+        )
+    return channel

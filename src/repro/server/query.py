@@ -19,9 +19,14 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.audio.signal import Recording
+from repro.errors import QueryError
+from repro.formatter.archive import object_token_units
 from repro.ids import ImageId, ObjectId
 from repro.images.image import Image
 from repro.images.miniature import make_miniature
+from repro.index import BOTH, matches_units, parse_query, terms_query
+from repro.index.planner import Node
+from repro.index.postings import validate_channel
 from repro.objects.attributes import AttributeValue
 from repro.objects.model import DrivingMode, MultimediaObject
 from repro.server.archiver import Archiver
@@ -62,14 +67,110 @@ class QueryInterface:
         self._cards: dict[ObjectId, MiniatureCard] = {}
 
     def select(
-        self, terms: list[str] | None = None, **criteria: AttributeValue
+        self,
+        terms: list[str] | None = None,
+        *,
+        channel: str = BOTH,
+        use_index: bool = True,
+        **criteria: AttributeValue,
     ) -> list[ObjectId]:
         """Evaluate a content query; returns qualifying object ids.
 
         Results are returned in storage order so the stream is stable.
+
+        ``channel`` filters term matches to ``"text"``, ``"voice"`` or
+        ``"both"`` — the symmetric access method of the archive index.
+        With ``use_index=True`` (the default) term queries are served
+        by the archive-wide index and never touch object media; with
+        ``use_index=False`` they are evaluated by scanning and
+        rebuilding every stored object — the linear-cost baseline the
+        C-SEARCH benchmark compares against, and the oracle the
+        property suite holds the index to.
+
+        Attribute-only queries are always answered from descriptor
+        attributes alone: no object media is ever opened for them.
+
+        Raises
+        ------
+        QueryError
+            If neither terms nor attribute criteria are given.
         """
-        matching = self._archiver.index.search(terms=terms, **criteria)
-        return [oid for oid in self._archiver.object_ids() if oid in matching]
+        validate_channel(channel)
+        if not terms and not criteria:
+            raise QueryError("query needs terms or attribute criteria")
+        matched: set[ObjectId] | None = None
+        if terms:
+            if use_index:
+                matched = self._archive_index().search_terms(
+                    list(terms), channel=channel
+                )
+            else:
+                matched = self._scan_query(terms_query(list(terms)), channel)
+        if criteria:
+            # Attribute predicates are evaluated on descriptor data
+            # only — never by opening object media — so an
+            # attribute-only query short-circuits past both term paths.
+            attr_matched = self._archiver.index.search_attributes(**criteria)
+            matched = attr_matched if matched is None else matched & attr_matched
+        return self._in_storage_order(matched, use_index=use_index)
+
+    def search(
+        self, query: str, *, channel: str = BOTH, use_index: bool = True
+    ) -> list[ObjectId]:
+        """Evaluate a term/phrase/boolean content query string.
+
+        The full planner grammar applies: ``budget AND (urgent OR
+        "optical disk") NOT radiology``, with quoted phrases matching
+        consecutive tokens within one segment or label.  Results are in
+        storage order.  ``use_index=False`` evaluates the same query by
+        scanning every stored object (the oracle baseline).
+
+        Raises
+        ------
+        QueryError
+            On malformed queries.
+        """
+        validate_channel(channel)
+        node = parse_query(query)
+        if use_index:
+            return self._archive_index().query(node, channel=channel)
+        return self._in_storage_order(
+            self._scan_query(node, channel), use_index=False
+        )
+
+    # ------------------------------------------------------------------
+    # query internals
+    # ------------------------------------------------------------------
+
+    def _archive_index(self):
+        index = getattr(self._archiver, "archive_index", None)
+        if index is None:
+            raise QueryError(
+                "index-served queries need an archiver with an archive "
+                "index; pass use_index=False to scan"
+            )
+        return index
+
+    def _scan_query(self, node: Node, channel: str) -> set[ObjectId]:
+        """The linear baseline: rebuild and test every stored object."""
+        hits: set[ObjectId] = set()
+        for object_id in self._archiver.object_ids():
+            obj, _ = self._archiver.fetch_object(object_id)
+            if matches_units(node, channel, object_token_units(obj)):
+                hits.add(object_id)
+        return hits
+
+    def _in_storage_order(
+        self, matched: set[ObjectId], use_index: bool
+    ) -> list[ObjectId]:
+        if use_index:
+            index = getattr(self._archiver, "archive_index", None)
+            if index is not None:
+                # Index-served ordering: sort the result set by its
+                # storage ordinals instead of scanning the whole
+                # archive's id list.
+                return index.in_storage_order(matched)
+        return [oid for oid in self._archiver.object_ids() if oid in matched]
 
     # ------------------------------------------------------------------
     # result shipping

@@ -55,6 +55,11 @@ class EventKind(enum.Enum):
     DELIVERY_PAGE = "delivery_page"
     DELIVERY_PREFETCH = "delivery_prefetch"
     DELIVERY_CANCEL = "delivery_cancel"
+    INDEX_INSERT = "index_insert"
+    INDEX_FLUSH = "index_flush"
+    INDEX_COMPACT = "index_compact"
+    SEARCH_QUERY = "search_query"
+    SEARCH_SHARD = "search_shard"
 
 
 @dataclass(frozen=True, slots=True)
