@@ -35,6 +35,7 @@ from repro.delivery.pipeline import (
     DeliveryReport,
     PageView,
     StationScript,
+    RETRYABLE_ERRORS,
     StreamIntent,
     build_streaming_workload,
     fetch_with_retry,
@@ -64,6 +65,7 @@ __all__ = [
     "PrefetchStats",
     "PrefetchTask",
     "Prefetcher",
+    "RETRYABLE_ERRORS",
     "SharedLink",
     "StationScript",
     "StreamIntent",

@@ -49,6 +49,7 @@ from repro.errors import (
     DeliveryError,
     RequestTimeoutError,
     ServerBusyError,
+    TransientIOError,
 )
 from repro.ids import ObjectId
 from repro.objects.model import DrivingMode, MultimediaObject
@@ -771,6 +772,13 @@ class DeliveryPipeline:
         self._schedule(tx.finish_s, "deliver", (chunk, tx.finish_s))
 
 
+#: Failure modes :func:`fetch_with_retry` retries: admission rejection,
+#: wall-clock expiry, and injected transient device faults.  Everything
+#: else propagates — refetching will not fix a missing object, a bad
+#: range, or a torn write already abandoned by the commit protocol.
+RETRYABLE_ERRORS = (ServerBusyError, RequestTimeoutError, TransientIOError)
+
+
 def fetch_with_retry(
     frontend: ServerFrontend,
     op: str,
@@ -778,28 +786,68 @@ def fetch_with_retry(
     station: str = "ws-0",
     attempts: int = 3,
     timeout_s: float = 30.0,
+    backoff_s: float = 0.0,
+    backoff_factor: float = 2.0,
+    sleep=None,
+    on_retry=None,
 ):
     """Submit a server request, retrying the transient failure modes.
 
-    Delivery clients keep a presentation running across the two
-    retryable server outcomes — admission rejection
-    (:class:`ServerBusyError`) and wall-clock expiry
-    (:class:`RequestTimeoutError`) — and let every other archiver
+    Delivery clients keep a presentation running across the retryable
+    server outcomes — admission rejection (:class:`ServerBusyError`),
+    wall-clock expiry (:class:`RequestTimeoutError`), and transient
+    device faults (:class:`TransientIOError`, e.g. injected by a fault
+    plan at the ``device.read`` site) — and let every other archiver
     error propagate, since refetching will not fix a missing object or
     a bad range.  Returns ``(payload, service_time_s)``.
 
+    Attempts are bounded by ``attempts``; after the last one the final
+    retryable error is re-raised unchanged.  Between attempts the
+    client waits ``backoff_s * backoff_factor**retry_index`` seconds —
+    a monotone non-decreasing schedule (``backoff_factor >= 1``) so a
+    saturated server sees pressure back off, not pile up.  The default
+    ``backoff_s=0.0`` keeps the historical immediate-retry behaviour.
+    ``sleep`` injects the waiting primitive (real ``time.sleep`` by
+    default; tests pass a recorder), and ``on_retry(retry_index,
+    delay_s, error)`` observes every scheduled retry.
+
     Every op in :attr:`ServerFrontend._OPS` is retry-safe, including a
     ``read_scattered`` batch: a rejection happens at admission, before
-    the archiver plans or reads anything, so a retried batch re-plans
-    from untouched cache and disk-head state.
+    the archiver plans or reads anything, and a transient read fault
+    leaves no partial device state, so a retried request re-plans from
+    untouched cache and disk-head state.
+
+    Raises
+    ------
+    DeliveryError
+        On a non-positive ``attempts``, a negative ``backoff_s``, or a
+        ``backoff_factor`` below 1 (which would make the schedule
+        non-monotone).
     """
     if attempts < 1:
         raise DeliveryError(f"attempts must be positive: {attempts}")
+    if backoff_s < 0:
+        raise DeliveryError(f"backoff must be non-negative: {backoff_s}")
+    if backoff_factor < 1.0:
+        raise DeliveryError(
+            f"backoff factor must be at least 1: {backoff_factor}"
+        )
+    if sleep is None:
+        import time as _time
+
+        sleep = _time.sleep
     last: Exception | None = None
-    for _ in range(attempts):
+    for attempt in range(attempts):
         try:
             future = frontend.submit(op, *params, station=station)
             return future.result(timeout=timeout_s)
-        except (ServerBusyError, RequestTimeoutError) as exc:
+        except RETRYABLE_ERRORS as exc:
             last = exc
+            if attempt + 1 >= attempts:
+                break
+            delay = backoff_s * (backoff_factor ** attempt)
+            if on_retry is not None:
+                on_retry(attempt, delay, exc)
+            if delay > 0:
+                sleep(delay)
     raise last

@@ -68,6 +68,50 @@ class StorageError(MinosError):
     """A storage-device operation failed."""
 
 
+class TransientIOError(StorageError):
+    """A device operation failed transiently; retrying may succeed.
+
+    Raised by fault injection (:mod:`repro.faults`) and, in a real
+    deployment, by recoverable media errors.  Transient faults leave no
+    partial state behind: the operation either happened completely or
+    not at all, so callers such as
+    :func:`repro.delivery.pipeline.fetch_with_retry` may retry blindly.
+    """
+
+
+class TornWriteError(StorageError):
+    """A write reached the device only partially.
+
+    Unlike :class:`TransientIOError`, a torn write *does* leave partial
+    state: the device holds a prefix of the intended bytes (padded with
+    garbage).  The commit protocol detects torn data by checksum at
+    recovery time; callers must treat the target extent as garbage.
+    """
+
+
+class JournalError(StorageError):
+    """The write-ahead journal is malformed or was misused."""
+
+
+class RecoveryError(MinosError):
+    """Crash recovery could not reconstruct a consistent archive."""
+
+
+class FaultConfigError(MinosError):
+    """A fault-injection plan referenced an unknown site or bad spec."""
+
+
+class SimulatedCrash(Exception):
+    """A hard crash point injected by :mod:`repro.faults`.
+
+    Deliberately *not* a :class:`MinosError`: a crash models the process
+    dying mid-operation, so no library-level ``except MinosError``
+    handler may absorb it — it must unwind all the way to the test
+    harness, which then re-opens the archive from device bytes alone
+    and calls :meth:`repro.server.archiver.Archiver.recover`.
+    """
+
+
 class WriteOnceViolationError(StorageError):
     """An attempt was made to overwrite data on a write-once device."""
 

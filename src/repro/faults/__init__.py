@@ -1,0 +1,50 @@
+"""Deterministic fault injection for the storage and server stack.
+
+The paper's server must stay consistent across partial failure: a
+crash mid-archive must never leave a half-written descriptor, a stale
+cache entry, or an index that disagrees with the scan oracle.  This
+package provides the machinery that *proves* it:
+
+* :class:`FaultPlan` — a seeded schedule of faults at named sites;
+* :class:`FaultyDevice` — a block-device proxy injecting transient
+  ``IOError``\\ s, torn writes, and hard crash points;
+* the site registry (:data:`FAULT_SITES`) that CI holds tests to.
+
+See ``docs/FAULTS.md`` for the commit protocol and recovery
+invariants the injection verifies.
+"""
+
+from repro.errors import (
+    FaultConfigError,
+    SimulatedCrash,
+    TornWriteError,
+    TransientIOError,
+)
+from repro.faults.device import TORN_FILL, FaultyDevice
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan, FaultSpec, fire
+from repro.faults.registry import (
+    FAULT_SITES,
+    WRITE_SITES,
+    register_site,
+    registered_sites,
+    require_site,
+)
+
+__all__ = [
+    "FAULT_SITES",
+    "WRITE_SITES",
+    "FaultConfigError",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyDevice",
+    "SimulatedCrash",
+    "TORN_FILL",
+    "TornWriteError",
+    "TransientIOError",
+    "fire",
+    "register_site",
+    "registered_sites",
+    "require_site",
+]

@@ -1,0 +1,122 @@
+"""A fault-injecting proxy around a simulated block device.
+
+:class:`FaultyDevice` exposes the :class:`~repro.storage.blockdev.
+SimulatedDisk` surface and delegates to a wrapped device, consulting a
+:class:`~repro.faults.plan.FaultPlan` at the ``device.read`` and
+``device.write`` sites:
+
+* transient faults fail the operation cleanly (no state change);
+* crash faults kill the process before the operation starts;
+* torn writes put a *prefix* of the payload on the medium — the extent
+  is allocated at full length and the tail is filled with a garbage
+  pattern — then raise, modelling power loss mid-transfer.  The commit
+  protocol detects the damage by checksum at recovery time.
+
+The proxy is transparent for timing: service times, head movement and
+statistics all come from the wrapped device.
+"""
+
+from __future__ import annotations
+
+from repro.faults.plan import FaultPlan
+from repro.faults.registry import DEVICE_READ, DEVICE_WRITE
+from repro.storage.blockdev import DiskGeometry, DiskStats, Extent, SimulatedDisk
+
+#: Byte used to fill the unwritten tail of a torn write.  Chosen to be
+#: unlikely in real payloads so torn data never checksums clean.
+TORN_FILL = b"\xde"
+
+
+class FaultyDevice:
+    """Wraps a :class:`SimulatedDisk`, injecting faults from a plan."""
+
+    def __init__(self, inner: SimulatedDisk, plan: FaultPlan) -> None:
+        self._inner = inner
+        self._plan = plan
+
+    # ------------------------------------------------------------------
+    # transparent surface
+    # ------------------------------------------------------------------
+
+    @property
+    def inner(self) -> SimulatedDisk:
+        """The wrapped device (recovery re-opens from its bytes)."""
+        return self._inner
+
+    @property
+    def plan(self) -> FaultPlan:
+        """The fault schedule consulted on every read and write."""
+        return self._plan
+
+    @property
+    def name(self) -> str:
+        """Device name, for traces."""
+        return self._inner.name
+
+    @property
+    def geometry(self) -> DiskGeometry:
+        """Timing/capacity parameters of the wrapped device."""
+        return self._inner.geometry
+
+    @property
+    def stats(self) -> DiskStats:
+        """Accumulated statistics of the wrapped device."""
+        return self._inner.stats
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated on the wrapped device."""
+        return self._inner.used_bytes
+
+    @property
+    def head_position(self) -> int:
+        """Current head byte offset of the wrapped device."""
+        return self._inner.head_position
+
+    def service_time(self, extent: Extent) -> float:
+        """Service time a read of ``extent`` would take now (no I/O)."""
+        return self._inner.service_time(extent)
+
+    def allocate(self, length: int) -> Extent:
+        """Reserve bytes on the wrapped device (never faulted: pure
+        book-keeping, no media transfer)."""
+        return self._inner.allocate(length)
+
+    # ------------------------------------------------------------------
+    # faulted I/O
+    # ------------------------------------------------------------------
+
+    def read(self, extent: Extent) -> tuple[bytes, float]:
+        """Read through the ``device.read`` fault site."""
+        self._plan.fire(DEVICE_READ)
+        return self._inner.read(extent)
+
+    def append(self, data: bytes) -> tuple[Extent, float]:
+        """Allocate-and-write through the ``device.write`` fault site."""
+        spec = self._plan.torn_spec(DEVICE_WRITE)
+        if spec is None or not data:
+            return self._inner.append(data)
+        cut = self._cut(spec.tear_fraction, len(data))
+        extent = self._inner.allocate(len(data))
+        self._inner.write(extent, self._torn(data, cut))
+        self._plan.raise_torn(spec, DEVICE_WRITE, cut)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def write(self, extent: Extent, data: bytes) -> float:
+        """Write through the ``device.write`` fault site."""
+        spec = self._plan.torn_spec(DEVICE_WRITE)
+        if spec is None or not data:
+            return self._inner.write(extent, data)
+        cut = self._cut(spec.tear_fraction, len(data))
+        self._inner.write(extent, self._torn(data, cut))
+        self._plan.raise_torn(spec, DEVICE_WRITE, cut)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    @staticmethod
+    def _cut(fraction: float, length: int) -> int:
+        """Bytes that reach the medium: always at least one short."""
+        return max(0, min(int(length * fraction), length - 1))
+
+    @staticmethod
+    def _torn(data: bytes, cut: int) -> bytes:
+        return data[:cut] + TORN_FILL * (len(data) - cut)

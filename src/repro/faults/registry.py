@@ -1,0 +1,110 @@
+"""Registry of named fault-injection sites.
+
+A *fault site* is a named point in the storage/server stack where a
+:class:`~repro.faults.plan.FaultPlan` may inject a transient
+:class:`~repro.errors.TransientIOError`, a torn (partial) write, or a
+hard :class:`~repro.errors.SimulatedCrash`.  Sites are registered here
+centrally so that
+
+* :meth:`FaultPlan.arm` can reject typos at plan-construction time, and
+* CI can enforce that every registered site has a covering test
+  (``tools/check_fault_coverage.py``).
+
+The production code paths fire sites by string name and pay nothing
+when no plan is attached.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FaultConfigError
+
+#: site name -> human description.  Ordered; the crash-point sweep
+#: iterates this mapping.
+FAULT_SITES: dict[str, str] = {}
+
+#: Sites that are device *writes*: the only places a torn write is
+#: meaningful (a prefix of the payload reaches the medium).
+WRITE_SITES: set[str] = set()
+
+
+def register_site(name: str, description: str, *, write: bool = False) -> str:
+    """Register a fault site (idempotent); returns the name."""
+    FAULT_SITES[name] = description
+    if write:
+        WRITE_SITES.add(name)
+    return name
+
+
+def require_site(name: str) -> str:
+    """Validate that ``name`` is a registered site.
+
+    Raises
+    ------
+    FaultConfigError
+        If the site was never registered.
+    """
+    if name not in FAULT_SITES:
+        known = ", ".join(sorted(FAULT_SITES))
+        raise FaultConfigError(f"unknown fault site {name!r} (known: {known})")
+    return name
+
+
+def registered_sites() -> list[str]:
+    """All registered site names, in registration order."""
+    return list(FAULT_SITES)
+
+
+# ----------------------------------------------------------------------
+# The canonical site registry.  Each name corresponds to exactly one
+# ``fire()`` call threaded through the production code.
+# ----------------------------------------------------------------------
+
+#: Any read from a device behind a :class:`~repro.faults.FaultyDevice`.
+DEVICE_READ = register_site(
+    "device.read", "any block-device read behind a FaultyDevice"
+)
+#: Any write/append to a device behind a :class:`FaultyDevice`.
+DEVICE_WRITE = register_site(
+    "device.write",
+    "any block-device write or append behind a FaultyDevice",
+    write=True,
+)
+STORE_JOURNAL = register_site(
+    "archiver.store.journal", "before the store intent record is journaled"
+)
+STORE_DATA = register_site(
+    "archiver.store.data", "before the packed object is appended to the platter"
+)
+STORE_DESCRIPTOR = register_site(
+    "archiver.store.descriptor",
+    "before the descriptor/record tables and indexes are published",
+)
+STORE_SEAL = register_site(
+    "archiver.store.seal", "before the store journal record is sealed"
+)
+RECOGNIZE_JOURNAL = register_site(
+    "archiver.recognize.journal",
+    "before the recognition side table is journaled",
+)
+RECOGNIZE_APPLY = register_site(
+    "archiver.recognize.apply",
+    "before the side table, version bump and index updates are applied",
+)
+RECOGNIZE_SEAL = register_site(
+    "archiver.recognize.seal",
+    "before the recognition journal record is sealed",
+)
+LSM_FLUSH = register_site(
+    "lsm.flush.segment",
+    "between writing an LSM segment run and registering it in the manifest",
+)
+LSM_COMPACT_SWAP = register_site(
+    "lsm.compact.swap",
+    "before a compacted LSM shard swaps in its merged segment",
+)
+CACHE_PUT = register_site(
+    "cache.put", "before an entry is inserted into the staging cache"
+)
+IDLE_COMPACT = register_site(
+    "idle.compact", "before the idle sweep's end-of-run index compaction"
+)

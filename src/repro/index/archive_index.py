@@ -69,6 +69,7 @@ class ArchiveIndex:
         replicas: int = 64,
         metrics: IndexMetrics | None = None,
         parallel_lookup: bool = True,
+        fault_plan=None,
     ) -> None:
         if n_shards < 1:
             raise ValueError(f"index needs at least one shard: {n_shards}")
@@ -79,6 +80,7 @@ class ArchiveIndex:
                 shard_id,
                 memtable_budget_bytes=memtable_budget_bytes,
                 on_flush=self._record_flush,
+                fault_plan=fault_plan,
             )
             for shard_id in range(n_shards)
         }
@@ -316,6 +318,36 @@ class ArchiveIndex:
             )
             results.append(result)
         return results
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def drop_orphans(self) -> int:
+        """Discard half-flushed segment runs on every shard.
+
+        Returns the total number of orphan runs dropped — the LSM
+        manifest duty of reopen.
+        """
+        return sum(shard.recover() for shard in self._shards.values())
+
+    def reset(self) -> None:
+        """Drop all postings and object tables for a rebuild from scratch.
+
+        Crash recovery reconstructs the index by re-inserting every
+        recovered object's postings; configuration (shards, budgets,
+        metrics, fault plan) is preserved.
+        """
+        for shard in self._shards.values():
+            shard.reset()
+        with self._lock:
+            self._ordinals.clear()
+            self._voice_version.clear()
+
+    @property
+    def orphan_segments(self) -> int:
+        """Half-flushed runs across all shards (never readable)."""
+        return sum(shard.orphan_segments for shard in self._shards.values())
 
     # ------------------------------------------------------------------
     # introspection

@@ -23,6 +23,8 @@ import threading
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from repro.errors import TransientIOError
+from repro.faults.registry import LSM_COMPACT_SWAP, LSM_FLUSH
 from repro.index.postings import Posting
 
 LiveFn = Callable[[Posting], bool]
@@ -101,6 +103,15 @@ class CompactionResult:
 class IndexShard:
     """One shard: memtable + segments + compaction, thread-safe.
 
+    The segment list doubles as the shard's **manifest**: a segment is
+    visible to readers only once it is registered there, and
+    registration happens *after* the segment run is fully built (the
+    ``lsm.flush.segment`` fault site sits between the two).  A flush
+    that dies in the gap leaves an orphan run — tracked in
+    ``orphan_segments`` and discarded by :meth:`recover` on reopen —
+    while the memtable keeps its postings, so a failed flush never
+    loses or duplicates data.
+
     Parameters
     ----------
     shard_id:
@@ -110,6 +121,9 @@ class IndexShard:
         as soon as its accounted size exceeds this budget.
     on_flush:
         Optional callback ``(shard_id, segment)`` fired after a flush.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` consulted at the
+        ``lsm.flush.segment`` and ``lsm.compact.swap`` sites.
     """
 
     def __init__(
@@ -117,6 +131,7 @@ class IndexShard:
         shard_id: int,
         memtable_budget_bytes: int = 64 * 1024,
         on_flush: Callable[[int, Segment], None] | None = None,
+        fault_plan=None,
     ) -> None:
         if memtable_budget_bytes <= 0:
             raise ValueError(
@@ -126,20 +141,35 @@ class IndexShard:
         self._budget = memtable_budget_bytes
         self._memtable = Memtable()
         self._segments: list[Segment] = []
+        self._orphans: list[Segment] = []
         self._on_flush = on_flush
+        self._fault_plan = fault_plan
+        self.flush_failures = 0
         self._lock = threading.Lock()
+
+    def _fire(self, site: str) -> None:
+        if self._fault_plan is not None:
+            self._fault_plan.fire(site)
 
     # ------------------------------------------------------------------
     # writes
     # ------------------------------------------------------------------
 
     def add(self, term: str, posting: Posting) -> None:
-        """Insert one posting, flushing the memtable if over budget."""
+        """Insert one posting, flushing the memtable if over budget.
+
+        A *transient* flush failure is absorbed here: the posting is
+        already durable in the memtable, so the flush simply retries at
+        the next over-budget insert.  Crashes propagate.
+        """
         flushed: Segment | None = None
         with self._lock:
             self._memtable.add(term, posting)
             if self._memtable.nbytes > self._budget:
-                flushed = self._flush_locked()
+                try:
+                    flushed = self._flush_locked()
+                except TransientIOError:
+                    self.flush_failures += 1
         if flushed is not None and self._on_flush is not None:
             self._on_flush(self.shard_id, flushed)
 
@@ -154,7 +184,15 @@ class IndexShard:
     def _flush_locked(self) -> Segment | None:
         if not len(self._memtable):
             return None
+        # Build the run first ("write the segment file"), then register
+        # it in the manifest.  A fault in the gap orphans the run; the
+        # memtable is left intact so nothing is lost.
         segment = Segment(dict(self._memtable.items()))
+        try:
+            self._fire(LSM_FLUSH)
+        except BaseException:
+            self._orphans.append(segment)
+            raise
         self._segments.append(segment)
         self._memtable = Memtable()
         return segment
@@ -196,6 +234,10 @@ class IndexShard:
                             kept.setdefault(term, []).append(posting)
                         else:
                             dropped += 1
+            # The swap is the commit point: a fault here leaves the old
+            # segment list fully intact, so re-running compaction after
+            # a crash converges to the same merged state (idempotent).
+            self._fire(LSM_COMPACT_SWAP)
             if merged_from:
                 self._segments = [Segment(kept)] if kept else []
             return CompactionResult(
@@ -204,6 +246,36 @@ class IndexShard:
                 postings_dropped=dropped,
                 postings_kept=sum(len(b) for b in kept.values()),
             )
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> int:
+        """Discard orphan (half-flushed, unmanifested) segment runs.
+
+        Returns the number of runs dropped.  Readers never saw them —
+        :meth:`postings` walks only the manifest — so this is pure
+        space reclamation, mirroring how a real LSM discards segment
+        files absent from its manifest on reopen.
+        """
+        with self._lock:
+            dropped = len(self._orphans)
+            self._orphans.clear()
+            return dropped
+
+    def reset(self) -> None:
+        """Drop all state (memtable, segments, orphans) for a rebuild."""
+        with self._lock:
+            self._memtable = Memtable()
+            self._segments = []
+            self._orphans.clear()
+
+    @property
+    def orphan_segments(self) -> int:
+        """Half-flushed runs awaiting :meth:`recover` (never readable)."""
+        with self._lock:
+            return len(self._orphans)
 
     # ------------------------------------------------------------------
     # introspection

@@ -16,10 +16,20 @@ image piece, not the object.
 from __future__ import annotations
 
 import threading
+import zlib
 from collections import Counter
 from dataclasses import dataclass, field
 
-from repro.errors import ArchiverError, ObjectNotFoundError
+from repro.errors import ArchiverError, MinosError, ObjectNotFoundError
+from repro.faults.registry import (
+    RECOGNIZE_APPLY,
+    RECOGNIZE_JOURNAL,
+    RECOGNIZE_SEAL,
+    STORE_DATA,
+    STORE_DESCRIPTOR,
+    STORE_JOURNAL,
+    STORE_SEAL,
+)
 from repro.formatter.archive import (
     _HEADER,
     archive_postings,
@@ -32,8 +42,14 @@ from repro.index import VOICE, ArchiveIndex
 from repro.objects.descriptor import DataLocation, DataSource, Descriptor
 from repro.objects.model import MultimediaObject, ObjectState
 from repro.server.access import ContentIndex
+from repro.server.recovery import (
+    RecoveryReport,
+    encode_side_table,
+    recover_archiver,
+)
 from repro.storage.blockdev import Extent, SimulatedDisk
 from repro.storage.cache import LRUCache
+from repro.storage.journal import Journal
 from repro.storage.optical import OpticalDisk
 from repro.storage.scatter import gather, plan_scatter
 
@@ -70,6 +86,17 @@ class Archiver:
     archive_index:
         The archive-wide symmetric content index fed at insertion time
         (a default-configured one is created if not given).
+    journal:
+        Write-ahead journal backing the commit protocol of
+        :meth:`store` and :meth:`attach_recognition` (a dedicated
+        magnetic-disk journal is created if not given).  Pass the
+        surviving journal (or a :class:`Journal` re-opened on its
+        device) together with the surviving ``disk`` to model a
+        process restart, then call :meth:`recover`.
+    fault_plan:
+        Optional :class:`~repro.faults.FaultPlan` consulted at the
+        ``archiver.store.*`` and ``archiver.recognize.*`` sites (and
+        threaded into a default-constructed ``archive_index``).
     """
 
     def __init__(
@@ -77,9 +104,13 @@ class Archiver:
         disk: SimulatedDisk | None = None,
         cache: LRUCache | None = None,
         archive_index: ArchiveIndex | None = None,
+        journal: Journal | None = None,
+        fault_plan=None,
     ) -> None:
         self._disk = disk or OpticalDisk()
         self._cache = cache
+        self._journal = journal if journal is not None else Journal()
+        self._fault_plan = fault_plan
         self._records: dict[ObjectId, StoredObjectRecord] = {}
         # One lock serializes record-table mutation and device access:
         # the simulated disk tracks a head position, so concurrent reads
@@ -90,7 +121,9 @@ class Archiver:
         # insertion time by store(), extended by attach_recognition(),
         # compacted at idle time.
         self.archive_index = (
-            archive_index if archive_index is not None else ArchiveIndex()
+            archive_index
+            if archive_index is not None
+            else ArchiveIndex(fault_plan=fault_plan)
         )
         # Idle-time recognition results: the platter is write-once, so
         # utterances recognized after archiving live in this side table
@@ -115,6 +148,29 @@ class Archiver:
     def cache(self) -> LRUCache | None:
         """The optional staging cache."""
         return self._cache
+
+    @property
+    def journal(self) -> Journal:
+        """The write-ahead journal behind the commit protocol."""
+        return self._journal
+
+    @property
+    def fault_plan(self):
+        """The fault plan threaded through this archiver (or None)."""
+        return self._fault_plan
+
+    def _fire(self, site: str) -> None:
+        if self._fault_plan is not None:
+            self._fault_plan.fire(site)
+
+    def _journal_abort(self, txid: int) -> None:
+        # Best effort: if the abort record itself cannot be written,
+        # the transaction stays pending and recovery decides it by
+        # evidence, which reaches the same end state.
+        try:
+            self._journal.abort(txid)
+        except MinosError:
+            pass
 
     def __len__(self) -> int:
         return len(self._records)
@@ -141,6 +197,13 @@ class Archiver:
         ``shared_archiver_data`` maps data tags to archiver-absolute
         extents of pieces that already exist in the archiver (avoiding
         duplication).
+
+        The write follows the commit protocol (journal BEGIN → data
+        blocks → descriptor/index publish → journal SEAL), so a crash
+        at any point leaves the object either fully archived and
+        indexed after :meth:`recover`, or absent with its platter
+        extent accounted as dead — never in between.  When ``store``
+        returns, the object is sealed: recovery preserves it.
 
         Raises
         ------
@@ -174,20 +237,92 @@ class Archiver:
                 raise ArchiverError("descriptor rebasing did not converge")
 
             packed = pack_archived(rebased, composition)
-            extent, _ = self._disk.append(packed.data)
-            record = StoredObjectRecord(
-                object_id=obj.object_id,
-                extent=extent,
-                composition_base=base,
-                descriptor=rebased,
+            self._fire(STORE_JOURNAL)
+            txid = self._journal.begin(
+                "store",
+                {
+                    "object_id": str(obj.object_id),
+                    "offset": self._disk.used_bytes,
+                    "length": len(packed.data),
+                    "composition_base": base,
+                    "crc": zlib.crc32(packed.data),
+                },
             )
-            self._records[obj.object_id] = record
+            try:
+                self._fire(STORE_DATA)
+                extent, _ = self._disk.append(packed.data)
+                self._fire(STORE_DESCRIPTOR)
+                record = StoredObjectRecord(
+                    object_id=obj.object_id,
+                    extent=extent,
+                    composition_base=base,
+                    descriptor=rebased,
+                )
+                self._records[obj.object_id] = record
+                self._versions[obj.object_id] = 1
+                self._fire(STORE_SEAL)
+                self._journal.seal(txid)
+            except MinosError:
+                # Clean in-process failure (torn write, transient I/O):
+                # unpublish and abandon.  The platter extent, if any
+                # bytes landed, becomes dead space on recovery.  The
+                # indexes have not been touched yet, so live state and
+                # post-recovery state agree: object absent.
+                self._records.pop(obj.object_id, None)
+                self._versions.pop(obj.object_id, None)
+                self._journal_abort(txid)
+                raise
+            # Index publishes happen after the seal: the transaction is
+            # already durable, and recovery rebuilds both indexes from
+            # the recovered records anyway, so a crash mid-publish
+            # (e.g. at a faulted LSM flush) converges to the same state.
             self.index.index_object(obj)
             self.archive_index.insert_object(
                 obj.object_id, archive_postings(obj)
             )
-            self._versions[obj.object_id] = 1
             return record
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def recover(self, metrics=None) -> RecoveryReport:
+        """Rebuild all volatile state from device bytes + journal.
+
+        Call after constructing an archiver over devices that survived
+        a crash (see :meth:`reopen`).  Safe — and idempotent — on a
+        healthy archive: every sealed transaction republishes to the
+        same state.  See :func:`repro.server.recovery.recover_archiver`
+        for the decision procedure.
+        """
+        return recover_archiver(self, metrics=metrics)
+
+    @classmethod
+    def reopen(
+        cls,
+        disk: SimulatedDisk,
+        journal: Journal,
+        cache: LRUCache | None = None,
+        archive_index: ArchiveIndex | None = None,
+        fault_plan=None,
+        metrics=None,
+    ) -> tuple["Archiver", RecoveryReport]:
+        """Re-open an archive after a (simulated) crash.
+
+        ``disk`` and ``journal`` are the surviving devices — typically
+        the same objects the crashed archiver held, since a
+        :class:`~repro.errors.SimulatedCrash` kills the process, not
+        the platter.  Returns the recovered archiver and the report.
+        """
+        archiver = cls(
+            disk=disk,
+            cache=cache,
+            archive_index=archive_index,
+            journal=journal,
+            fault_plan=fault_plan,
+        )
+        report = archiver.recover(metrics=metrics)
+        return archiver, report
 
     # ------------------------------------------------------------------
     # fetching
@@ -256,10 +391,24 @@ class Archiver:
         if _count:
             self._count("fetch_object")
         result = self.fetch(object_id, _count=_count)
-        record = self.record(object_id)
-        service = result.service_time_s
         __ = result.composition  # pieces are re-read via absolute offsets
-        absolute = record.descriptor
+        obj, service = self._rebuild_with_table(
+            object_id, self._recognition_table.get(object_id)
+        )
+        return obj, result.service_time_s + service
+
+    def _rebuild_with_table(
+        self, object_id: ObjectId, side_table: dict | None
+    ) -> tuple[MultimediaObject, float]:
+        """Rebuild an object, injecting an explicit recognition table.
+
+        The stored descriptor has archiver-absolute offsets; the
+        rebuild reads every piece through the archiver address space.
+        ``attach_recognition`` uses this to preview the rebuilt form
+        against a *candidate* merged table before committing it.
+        """
+        record = self.record(object_id)
+        service = 0.0
 
         def archiver_read(offset: int, length: int) -> bytes:
             nonlocal service
@@ -269,12 +418,9 @@ class Archiver:
             service += extra
             return data
 
-        # The stored descriptor has archiver-absolute offsets; rebuild
-        # against the archiver address space for *all* pieces.
         obj = rebuild_object(
-            _all_archiver(absolute), b"", archiver_read=archiver_read
+            _all_archiver(record.descriptor), b"", archiver_read=archiver_read
         )
-        side_table = self._recognition_table.get(object_id)
         if side_table:
             for segment in obj.voice_segments:
                 extra = side_table.get(segment.segment_id)
@@ -308,6 +454,12 @@ class Archiver:
         posting of the previous version (so a re-recognized object
         never serves stale utterances).
 
+        The update follows the same commit protocol as :meth:`store`
+        (journal BEGIN with the *complete merged* side table → apply →
+        journal SEAL): after a crash at any point, :meth:`recover`
+        either replays the full recognition or drops it entirely —
+        voice queries never see a half-applied side table.
+
         Raises
         ------
         ObjectNotFoundError
@@ -315,22 +467,59 @@ class Archiver:
         """
         self.record(object_id)  # existence check
         with self._lock:
-            merged = self._recognition_table.setdefault(object_id, {})
+            # Preview the commit: merge into a candidate table and
+            # rebuild the object against it.  All device reads happen
+            # here, before the journal intent or any state mutation.
+            merged = {
+                segment_id: list(utterances)
+                for segment_id, utterances in self._recognition_table.get(
+                    object_id, {}
+                ).items()
+            }
             terms: set[str] = set()
             for segment_id, utterances in side_table.items():
                 merged[segment_id] = list(utterances)
                 terms.update(u.term for u in utterances)
+            version = self._versions[object_id] + 1
+            # Index maintenance, not a client round-trip: rebuild
+            # without touching the op counters benchmarks compare on.
+            obj, _ = self._rebuild_with_table(object_id, merged)
+            postings = archive_postings(obj, channels=(VOICE,))
+
+            self._fire(RECOGNIZE_JOURNAL)
+            txid = self._journal.begin(
+                "recognize",
+                {
+                    "object_id": str(object_id),
+                    "version": version,
+                    "side_table": encode_side_table(merged),
+                },
+            )
+            previous = self._recognition_table.get(object_id)
+            try:
+                self._fire(RECOGNIZE_APPLY)
+                self._recognition_table[object_id] = merged
+                # The rebuilt form of the object just changed:
+                # invalidate every decoded copy cached against the old
+                # token.
+                self._versions[object_id] = version
+                self._fire(RECOGNIZE_SEAL)
+                self._journal.seal(txid)
+            except MinosError:
+                # Unwind the volatile apply so live state matches what
+                # recovery would produce: recognition absent.
+                if previous is None:
+                    self._recognition_table.pop(object_id, None)
+                else:
+                    self._recognition_table[object_id] = previous
+                self._versions[object_id] = version - 1
+                self._journal_abort(txid)
+                raise
+            # Index publishes after the seal, as in store(): the
+            # transaction is durable and recovery rebuilds the indexes
+            # from the journaled side table anyway.
             self.index.add_terms(object_id, terms)
-            # The rebuilt form of the object just changed: invalidate
-            # every decoded copy cached against the old token.
-            self._versions[object_id] += 1
-            version = self._versions[object_id]
-        # Index maintenance, not a client round-trip: rebuild without
-        # touching the op counters benchmarks compare against.
-        obj, _ = self.fetch_object(object_id, _count=False)
-        self.archive_index.update_voice(
-            object_id, archive_postings(obj, channels=(VOICE,)), version
-        )
+            self.archive_index.update_voice(object_id, postings, version)
 
     def read_absolute(self, offset: int, length: int) -> tuple[bytes, float]:
         """Read an archiver-absolute byte range (shared-data pointers)."""
@@ -578,6 +767,22 @@ class CachingArchiver:
     def disk(self) -> SimulatedDisk:
         """The backing device of the wrapped archiver."""
         return self._archiver.disk
+
+    @property
+    def journal(self) -> Journal:
+        """The write-ahead journal of the wrapped archiver."""
+        return self._archiver.journal
+
+    def recover(self, metrics=None) -> RecoveryReport:
+        """Recover the wrapped archiver, dropping this wrapper's cache.
+
+        The shared cache may hold bytes keyed by pre-crash state, so it
+        is cleared along with the inner archiver's volatile state.
+        """
+        report = self._archiver.recover(metrics=metrics)
+        report.cache_entries_dropped += len(self._cache)
+        self._cache.clear()
+        return report
 
     def __len__(self) -> int:
         return len(self._archiver)

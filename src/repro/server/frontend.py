@@ -299,7 +299,7 @@ class ServerFrontend:
             try:
                 payload, service = self._execute(request)
             except Exception as exc:  # typed errors flow to the caller
-                self.metrics.on_error(request.station, request.op)
+                self.metrics.on_error(request.station, request.op, exc)
                 future._fail(exc)
                 continue
             with self._sim_lock:

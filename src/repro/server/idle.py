@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 
 from repro.audio.recognition import RecognizedUtterance, VocabularyRecognizer
 from repro.errors import RecognitionError
+from repro.faults.registry import IDLE_COMPACT
 from repro.ids import ObjectId, SegmentId
 from repro.server.archiver import Archiver
 
@@ -87,17 +88,30 @@ class IdleRecognizer:
         processed — insertion-time recognition is never redone.  A
         :class:`~repro.errors.RecognitionError` on one object is
         recorded in the report and the sweep moves on to the next.
+
+        The sweep is crash-idempotent: an object joins ``_done`` only
+        once its recognition has committed (or terminally failed), so a
+        sweep interrupted by a crash — including one injected inside
+        :meth:`Archiver.attach_recognition` or at the ``idle.compact``
+        site — can simply be re-run.  Re-running converges: committed
+        recognitions are skipped (their segments already carry
+        utterances), the interrupted object is re-recognized from
+        scratch, and compaction's commit point is the atomic segment
+        swap, so a half-done compaction leaves the old segments fully
+        readable and the retry merges them again.
         """
         report = IdleRunReport()
         for object_id in self.pending:
             if max_objects is not None and report.objects_scanned >= max_objects:
                 break
             report.objects_scanned += 1
-            self._done.add(object_id)
             try:
                 self._sweep_object(object_id, report)
             except RecognitionError as exc:
                 report.failures.append((object_id, str(exc)))
+            # Marked done only now: a crash mid-sweep leaves the object
+            # pending, so the next run retries instead of skipping it.
+            self._done.add(object_id)
         self._compact(report)
         return report
 
@@ -130,6 +144,9 @@ class IdleRecognizer:
         archive_index = getattr(self._archiver, "archive_index", None)
         if not self._compact_index or archive_index is None:
             return
+        fault_plan = getattr(self._archiver, "fault_plan", None)
+        if fault_plan is not None:
+            fault_plan.fire(IDLE_COMPACT)
         for result in archive_index.compact():
             report.index_segments_merged += result.segments_merged
             report.index_postings_dropped += result.postings_dropped

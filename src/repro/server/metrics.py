@@ -148,6 +148,13 @@ class MetricsSnapshot:
     latency: HistogramSnapshot
     service: HistogramSnapshot
     queue_depths: dict[int, int]
+    #: Failed requests by exception class name (e.g. ``TransientIOError``).
+    error_kinds: dict[str, int]
+    #: Injected faults by ``(site, kind)`` — populated when a
+    #: :class:`repro.faults.FaultPlan` is wired to these metrics.
+    fault_counts: dict[tuple[str, str], int]
+    #: Recovery outcomes by name (``rollforward``, ``rollback``, ...).
+    recovery_counts: dict[str, int]
 
     @property
     def hit_rate(self) -> float:
@@ -184,6 +191,9 @@ class ServerMetrics:
         self._errors = 0
         self._cache_hits = 0
         self._cache_misses = 0
+        self._error_kinds: dict[str, int] = {}
+        self._fault_counts: dict[tuple[str, str], int] = {}
+        self._recovery_counts: dict[str, int] = {}
         self._lock = threading.Lock()
 
     def on_admit(self, station: str, op: str, depth: int, time_s: float) -> None:
@@ -229,10 +239,51 @@ class ServerMetrics:
                 cache_hit=cache_hit,
             )
 
-    def on_error(self, station: str, op: str) -> None:
-        """Record one request that failed with an exception."""
+    def on_error(
+        self, station: str, op: str, error: BaseException | None = None
+    ) -> None:
+        """Record one request that failed with an exception.
+
+        When the exception is supplied, its class name is counted in
+        ``error_kinds`` so operators can tell injected transient device
+        faults apart from missing objects or bad ranges.
+        """
         with self._lock:
             self._errors += 1
+            if error is not None:
+                kind = type(error).__name__
+                self._error_kinds[kind] = self._error_kinds.get(kind, 0) + 1
+
+    def on_fault(self, site: str, kind: str, time_s: float = 0.0) -> None:
+        """Record one injected fault (mirrored as a ``FAULT_*`` event)."""
+        with self._lock:
+            key = (site, kind)
+            self._fault_counts[key] = self._fault_counts.get(key, 0) + 1
+            event = (
+                EventKind.FAULT_CRASH
+                if kind == "crash"
+                else EventKind.FAULT_INJECTED
+            )
+            self.trace.record(time_s, event, site=site, fault=kind)
+
+    def on_recovery(self, outcome: str, time_s: float = 0.0, **detail) -> None:
+        """Record one recovery outcome (``rollforward``, ``rollback``, ...)."""
+        events = {
+            "replay": EventKind.RECOVER_REPLAY,
+            "rollforward": EventKind.RECOVER_ROLLFORWARD,
+            "rollback": EventKind.RECOVER_ROLLBACK,
+            "complete": EventKind.RECOVER_COMPLETE,
+        }
+        with self._lock:
+            self._recovery_counts[outcome] = (
+                self._recovery_counts.get(outcome, 0) + 1
+            )
+            self.trace.record(
+                time_s,
+                events.get(outcome, EventKind.RECOVER_REPLAY),
+                outcome=outcome,
+                **detail,
+            )
 
     def snapshot(self) -> MetricsSnapshot:
         """A coherent immutable copy of all counters and histograms."""
@@ -247,4 +298,7 @@ class ServerMetrics:
                 latency=self.latency.snapshot(),
                 service=self.service.snapshot(),
                 queue_depths=dict(self._queue_depths),
+                error_kinds=dict(self._error_kinds),
+                fault_counts=dict(self._fault_counts),
+                recovery_counts=dict(self._recovery_counts),
             )

@@ -18,7 +18,8 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from repro.errors import StorageError
+from repro.errors import StorageError, TransientIOError
+from repro.faults.registry import CACHE_PUT
 
 
 @dataclass
@@ -33,6 +34,9 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Inserts dropped by an injected transient fault (the entry simply
+    #: stays uncached; a later lookup misses and refetches).
+    put_failures: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -52,6 +56,11 @@ class CacheStats:
         with self._lock:
             self.evictions += 1
 
+    def record_put_failure(self) -> None:
+        """Count one insert dropped by a transient fault (thread-safe)."""
+        with self._lock:
+            self.put_failures += 1
+
     def snapshot(self) -> "CacheStats":
         """A coherent point-in-time copy of all counters.
 
@@ -62,7 +71,10 @@ class CacheStats:
         """
         with self._lock:
             return CacheStats(
-                hits=self.hits, misses=self.misses, evictions=self.evictions
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                put_failures=self.put_failures,
             )
 
     @property
@@ -86,12 +98,13 @@ class LRUCache:
     shared by every worker thread of the server frontend.
     """
 
-    def __init__(self, capacity_bytes: int) -> None:
+    def __init__(self, capacity_bytes: int, fault_plan=None) -> None:
         if capacity_bytes <= 0:
             raise StorageError(f"cache capacity must be positive: {capacity_bytes}")
         self._capacity = capacity_bytes
         self._entries: OrderedDict[str, bytes] = OrderedDict()
         self._used = 0
+        self._fault_plan = fault_plan
         self._lock = threading.RLock()
         self.stats = CacheStats()
 
@@ -136,7 +149,18 @@ class LRUCache:
         Entries larger than the whole cache are not cached at all —
         a multi-megabyte image should not wipe the cache to store
         something that will be evicted before reuse.
+
+        A transient fault injected at the ``cache.put`` site drops the
+        insert (counted in ``stats.put_failures``) without failing the
+        caller: a cache population failure must never fail the read it
+        was piggybacking on.  Injected crashes propagate.
         """
+        if self._fault_plan is not None:
+            try:
+                self._fault_plan.fire(CACHE_PUT)
+            except TransientIOError:
+                self.stats.record_put_failure()
+                return
         if len(data) > self._capacity:
             return
         with self._lock:

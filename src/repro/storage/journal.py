@@ -1,0 +1,203 @@
+"""Write-ahead journal on the magnetic disk.
+
+The optical platter is write-once: a failed archive write can never be
+erased, only abandoned.  The journal is what makes abandonment safe.
+Every mutation of archive state follows the same commit protocol::
+
+    journal BEGIN (intent, checksum)   -- magnetic disk
+    data blocks                        -- optical platter
+    descriptor / index publish         -- volatile tables
+    journal SEAL                       -- magnetic disk
+
+A record that is *sealed* is durable: recovery republishes it.  A
+record that is *pending* is decided by evidence: if the platter bytes
+named in the intent verify against the journaled checksum the write
+completed and is rolled **forward**; otherwise it is rolled **back**
+and the extent is accounted as dead (reclaimable) space.  A record
+that is *aborted* was cleanly abandoned in-process (e.g. a torn write
+detected immediately) and only contributes dead-extent accounting.
+
+Framing: each record is one device append of ``MJRN ‖ length ‖ crc32 ‖
+JSON payload``.  A torn journal append is detected by checksum and the
+parser resynchronizes on the next magic marker, so one torn record
+never hides the records appended after it.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import JournalError
+from repro.storage.blockdev import DiskGeometry, Extent, SimulatedDisk
+from repro.storage.magnetic import MagneticDisk
+
+_MAGIC = b"MJRN"
+_HEADER = struct.Struct(">4sII")  # magic, payload length, payload crc32
+
+#: Geometry of the dedicated journal region: small and fast — journal
+#: appends are tiny sequential writes on the magnetic disk.
+JOURNAL_GEOMETRY = DiskGeometry(
+    capacity_bytes=50_000_000,
+    max_seek_s=0.028,
+    rotational_latency_s=0.0083,
+    transfer_bytes_per_s=1_800_000,
+)
+
+PENDING = "pending"
+SEALED = "sealed"
+ABORTED = "aborted"
+
+
+@dataclass
+class JournalEntry:
+    """One logical transaction reconstructed by :meth:`Journal.replay`."""
+
+    txid: int
+    kind: str
+    payload: dict
+    status: str = PENDING
+
+
+@dataclass
+class ReplayResult:
+    """Everything a replay learned from the journal device bytes."""
+
+    entries: list[JournalEntry] = field(default_factory=list)
+    records_read: int = 0
+    torn_records_skipped: int = 0
+
+    @property
+    def torn_tail(self) -> bool:
+        """Whether any record was damaged (torn append detected)."""
+        return self.torn_records_skipped > 0
+
+
+class Journal:
+    """Append-only, checksum-framed record log on a rewritable disk.
+
+    Parameters
+    ----------
+    device:
+        Backing device; a dedicated :class:`MagneticDisk` region is
+        created if omitted.  Pass the *same* device (or its
+        :class:`~repro.faults.FaultyDevice` wrapper) when re-opening
+        after a crash — the journal state is exactly its bytes.
+    """
+
+    def __init__(self, device: SimulatedDisk | None = None) -> None:
+        self._device = device if device is not None else MagneticDisk(
+            JOURNAL_GEOMETRY, name="journal"
+        )
+        self._lock = threading.RLock()
+        # Resume txid numbering after whatever is already on the device.
+        replay = self.replay()
+        self._next_txid = 1 + max(
+            (entry.txid for entry in replay.entries), default=0
+        )
+
+    @property
+    def device(self) -> SimulatedDisk:
+        """The backing device (hand it to :meth:`Journal` on reopen)."""
+        return self._device
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+
+    def _append_record(self, record: dict) -> None:
+        payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        frame = _HEADER.pack(_MAGIC, len(payload), zlib.crc32(payload)) + payload
+        self._device.append(frame)
+
+    def begin(self, kind: str, payload: dict) -> int:
+        """Journal the intent of a transaction; returns its txid.
+
+        Raises
+        ------
+        JournalError
+            On a reserved kind name.
+        """
+        if kind in (SEALED, ABORTED, "seal", "abort"):
+            raise JournalError(f"reserved journal kind {kind!r}")
+        with self._lock:
+            txid = self._next_txid
+            self._next_txid += 1
+            self._append_record(
+                {"txid": txid, "kind": kind, "payload": payload}
+            )
+            return txid
+
+    def seal(self, txid: int) -> None:
+        """Mark a transaction durable: recovery will republish it."""
+        with self._lock:
+            self._append_record({"txid": txid, "kind": "seal"})
+
+    def abort(self, txid: int) -> None:
+        """Mark a transaction cleanly abandoned."""
+        with self._lock:
+            self._append_record({"txid": txid, "kind": "abort"})
+
+    # ------------------------------------------------------------------
+    # replay
+    # ------------------------------------------------------------------
+
+    def replay(self) -> ReplayResult:
+        """Reconstruct all transactions from device bytes alone.
+
+        Torn records are skipped with resynchronization on the next
+        magic marker; seal/abort markers are folded into their
+        transaction's status.  Entries come back in txid order.
+        """
+        used = self._device.used_bytes
+        if used == 0:
+            return ReplayResult()
+        data, _ = self._device.read(Extent(0, used))
+        result = ReplayResult()
+        by_txid: dict[int, JournalEntry] = {}
+        statuses: dict[int, str] = {}
+        offset = 0
+        while offset + _HEADER.size <= len(data):
+            magic, length, crc = _HEADER.unpack_from(data, offset)
+            body_start = offset + _HEADER.size
+            body = data[body_start : body_start + length]
+            if (
+                magic != _MAGIC
+                or body_start + length > len(data)
+                or zlib.crc32(body) != crc
+            ):
+                # Torn or garbage record: resynchronize on the next
+                # magic marker after this offset.
+                result.torn_records_skipped += 1
+                next_magic = data.find(_MAGIC, offset + 1)
+                if next_magic == -1:
+                    break
+                offset = next_magic
+                continue
+            offset = body_start + length
+            result.records_read += 1
+            try:
+                record = json.loads(body.decode("utf-8"))
+                txid = int(record["txid"])
+                kind = str(record["kind"])
+            except (ValueError, KeyError, UnicodeDecodeError):
+                result.torn_records_skipped += 1
+                continue
+            if kind == "seal":
+                statuses[txid] = SEALED
+            elif kind == "abort":
+                # A seal is final; an abort after a seal is ignored.
+                statuses.setdefault(txid, ABORTED)
+                if statuses[txid] != SEALED:
+                    statuses[txid] = ABORTED
+            else:
+                by_txid[txid] = JournalEntry(
+                    txid=txid, kind=kind, payload=record.get("payload", {})
+                )
+        for txid, entry in by_txid.items():
+            entry.status = statuses.get(txid, PENDING)
+        result.entries = [by_txid[txid] for txid in sorted(by_txid)]
+        return result

@@ -55,6 +55,12 @@ class EventKind(enum.Enum):
     DELIVERY_PAGE = "delivery_page"
     DELIVERY_PREFETCH = "delivery_prefetch"
     DELIVERY_CANCEL = "delivery_cancel"
+    FAULT_INJECTED = "fault_injected"
+    FAULT_CRASH = "fault_crash"
+    RECOVER_REPLAY = "recover_replay"
+    RECOVER_ROLLFORWARD = "recover_rollforward"
+    RECOVER_ROLLBACK = "recover_rollback"
+    RECOVER_COMPLETE = "recover_complete"
     INDEX_INSERT = "index_insert"
     INDEX_FLUSH = "index_flush"
     INDEX_COMPACT = "index_compact"

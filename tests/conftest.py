@@ -21,6 +21,34 @@ def workstation() -> Workstation:
     return Workstation()
 
 
+@pytest.fixture
+def tiny_disk():
+    """An optical platter far too small to hold a real document."""
+    from repro.storage.blockdev import DiskGeometry
+    from repro.storage.optical import OpticalDisk
+
+    return OpticalDisk(
+        DiskGeometry(
+            capacity_bytes=10_000,
+            max_seek_s=0.1,
+            rotational_latency_s=0.01,
+            transfer_bytes_per_s=1_000_000,
+        )
+    )
+
+
+@pytest.fixture
+def office_archive():
+    """An archiver holding one stored office document: ``(archiver, obj)``."""
+    from repro.scenarios import build_office_document
+    from repro.server import Archiver
+
+    archiver = Archiver()
+    obj = build_office_document()
+    archiver.store(obj)
+    return archiver, obj
+
+
 @pytest.fixture(scope="session")
 def short_speech():
     """A small recording with two paragraphs (session-cached)."""

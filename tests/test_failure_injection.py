@@ -2,9 +2,15 @@
 
 "Errors should never pass silently" — every failure surfaces as a typed
 MinosError, and partial failures leave consistent state.
+
+These are the *intrinsic* failure modes (exhausted media, garbage
+bytes, misuse, lossy recognition).  Injected device faults, torn
+writes and crash-recovery live in :mod:`tests.test_faults` and
+:mod:`tests.test_property_faults`, built on the shared
+:mod:`tests.fault_workload` harness; the fixtures here (``tiny_disk``,
+``office_archive`` in ``conftest.py``) are shared with them.
 """
 
-import numpy as np
 import pytest
 
 from repro.errors import (
@@ -17,53 +23,43 @@ from repro.errors import (
     WriteOnceViolationError,
 )
 from repro.formatter.archive import unpack_archived
-from repro.ids import IdGenerator
-from repro.scenarios import build_object_library, build_office_document
+from repro.scenarios import build_office_document
 from repro.server import Archiver
-from repro.storage.blockdev import DiskGeometry, Extent
 from repro.storage.optical import OpticalDisk
 
 
-class TestDiskExhaustion:
-    def test_archiver_on_tiny_disk_raises_allocation_error(self):
-        tiny = OpticalDisk(
-            DiskGeometry(
-                capacity_bytes=10_000,
-                max_seek_s=0.1,
-                rotational_latency_s=0.01,
-                transfer_bytes_per_s=1_000_000,
-            )
-        )
-        archiver = Archiver(disk=tiny)
-        obj = build_office_document()
-        with pytest.raises(AllocationError):
-            archiver.store(obj)
+def _packed_office():
+    """An office document packed for the platter (descriptor + data)."""
+    from repro.formatter.archive import pack_archived
+    from repro.formatter.builder import ObjectFormatter
 
-    def test_failed_store_leaves_archiver_consistent(self):
-        tiny = OpticalDisk(
-            DiskGeometry(
-                capacity_bytes=10_000,
-                max_seek_s=0.1,
-                rotational_latency_s=0.01,
-                transfer_bytes_per_s=1_000_000,
-            )
-        )
-        archiver = Archiver(disk=tiny)
+    formed = ObjectFormatter().form(build_office_document())
+    return pack_archived(formed.descriptor, formed.composition)
+
+
+class TestDiskExhaustion:
+    def test_archiver_on_tiny_disk_raises_allocation_error(self, tiny_disk):
+        archiver = Archiver(disk=tiny_disk)
+        with pytest.raises(AllocationError):
+            archiver.store(build_office_document())
+
+    def test_failed_store_leaves_archiver_consistent(self, tiny_disk):
+        archiver = Archiver(disk=tiny_disk)
         obj = build_office_document()
         with pytest.raises(AllocationError):
             archiver.store(obj)
         assert len(archiver) == 0
         assert obj.object_id not in archiver
+        # The journaled intent was aborted, so recovery agrees: the
+        # failed store is invisible after a restart too.
+        statuses = [e.status for e in archiver.journal.replay().entries]
+        assert statuses == ["aborted"]
+        report = archiver.recover()
+        assert report.stores_aborted == 1
+        assert len(archiver) == 0
 
     def test_worm_violation_is_typed(self):
-        disk = OpticalDisk(
-            DiskGeometry(
-                capacity_bytes=1_000_000,
-                max_seek_s=0.1,
-                rotational_latency_s=0.01,
-                transfer_bytes_per_s=1_000_000,
-            )
-        )
+        disk = OpticalDisk()
         extent, _ = disk.append(b"first write")
         with pytest.raises(WriteOnceViolationError) as error:
             disk.write(extent, b"evil rewrit")
@@ -76,25 +72,15 @@ class TestCorruptedData:
             unpack_archived(b"\x00" * 64)
 
     def test_unpack_corrupted_descriptor(self):
-        from repro.formatter.archive import pack_archived
-        from repro.formatter.builder import ObjectFormatter
-
-        formed = ObjectFormatter().form(build_office_document())
-        packed = pack_archived(formed.descriptor, formed.composition)
-        corrupted = bytearray(packed.data)
+        corrupted = bytearray(_packed_office().data)
         corrupted[12] ^= 0xFF  # flip a byte inside the descriptor JSON
         with pytest.raises((FormationError, DescriptorError)):
             descriptor, composition = unpack_archived(bytes(corrupted))
             descriptor.location("anything")
 
     def test_truncated_archived_object(self):
-        from repro.formatter.archive import pack_archived
-        from repro.formatter.builder import ObjectFormatter
-
-        formed = ObjectFormatter().form(build_office_document())
-        packed = pack_archived(formed.descriptor, formed.composition)
         with pytest.raises(FormationError):
-            unpack_archived(packed.data[:10])
+            unpack_archived(_packed_office().data[:10])
 
 
 class TestArchiverMisuse:
@@ -103,17 +89,13 @@ class TestArchiverMisuse:
         with pytest.raises(ObjectNotFoundError):
             archiver.fetch_object(generator.object_id())
 
-    def test_data_extent_unknown_tag(self):
-        archiver = Archiver()
-        obj = build_office_document()
-        archiver.store(obj)
+    def test_data_extent_unknown_tag(self, office_archive):
+        archiver, obj = office_archive
         with pytest.raises(DescriptorError):
             archiver.data_extent(obj.object_id, "no/such/tag")
 
-    def test_piece_range_past_end(self):
-        archiver = Archiver()
-        obj = build_office_document()
-        archiver.store(obj)
+    def test_piece_range_past_end(self, office_archive):
+        archiver, obj = office_archive
         tag = f"text/{obj.text_segments[0].segment_id}"
         extent = archiver.data_extent(obj.object_id, tag)
         with pytest.raises(ArchiverError):
@@ -121,10 +103,8 @@ class TestArchiverMisuse:
                 obj.object_id, tag, extent.length - 1, 100
             )
 
-    def test_scatter_read_validates_every_range(self):
-        archiver = Archiver()
-        obj = build_office_document()
-        archiver.store(obj)
+    def test_scatter_read_validates_every_range(self, office_archive):
+        archiver, obj = office_archive
         tag = f"text/{obj.text_segments[0].segment_id}"
         with pytest.raises(ArchiverError):
             archiver.read_piece_rows(

@@ -180,3 +180,117 @@ class TestFramebuffer:
         assert frame.row(0).strip().startswith("Radiology Report") or frame.row(
             0
         ).strip()
+
+
+class TestIdleCrashRecovery:
+    """A crash mid-sweep must leave the sweep resumable.
+
+    Regression: objects used to join the sweep's done-set *before*
+    their recognition committed, so a sweep interrupted inside
+    ``attach_recognition`` silently skipped the half-done object on
+    retry and its speech stayed unsearchable forever.
+    """
+
+    def _bundle_with_pending_voice(self, plan):
+        from tests.fault_workload import build_bundle, make_voice_object
+
+        bundle = build_bundle(plan)
+        for units in ([["alpha", "beta"]], [["gamma"]]):
+            bundle.archiver.store(make_voice_object(bundle.generator, units))
+        bundle.archiver.archive_index.flush()
+        return bundle
+
+    def _worker(self, bundle):
+        from tests.fault_workload import WORDS
+
+        return IdleRecognizer(
+            bundle.archiver,
+            VocabularyRecognizer(WORDS, miss_rate=0.0, confusion_rate=0.0),
+            compact_index=True,
+        )
+
+    def test_crash_mid_attach_leaves_object_pending(self):
+        from repro.errors import SimulatedCrash
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+        from repro.faults.registry import RECOGNIZE_APPLY
+        from tests.fault_workload import assert_index_matches_scan
+
+        plan = FaultPlan(
+            [FaultSpec(site=RECOGNIZE_APPLY, kind=FaultKind.CRASH)]
+        )
+        bundle = self._bundle_with_pending_voice(plan)
+        worker = self._worker(bundle)
+        pending_before = set(worker.pending)
+        with pytest.raises(SimulatedCrash):
+            worker.run()
+        # The interrupted object was *not* marked done: retry sees it.
+        assert set(worker.pending) == pending_before
+        second = worker.run()
+        assert second.objects_scanned == len(pending_before)
+        assert not second.failures
+        assert worker.pending == []
+        assert_index_matches_scan(bundle.archiver)
+
+    def test_recovery_rolls_forward_journaled_recognition(self):
+        from repro.errors import SimulatedCrash
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+        from repro.faults.registry import RECOGNIZE_APPLY
+        from repro.index import VOICE
+        from tests.fault_workload import assert_index_matches_scan
+
+        plan = FaultPlan(
+            [FaultSpec(site=RECOGNIZE_APPLY, kind=FaultKind.CRASH)]
+        )
+        bundle = self._bundle_with_pending_voice(plan)
+        with pytest.raises(SimulatedCrash):
+            self._worker(bundle).run()
+        # The journal intent (written before apply) carries the complete
+        # merged side table, so the pending recognition rolls *forward*.
+        report = bundle.archiver.recover()
+        assert report.recognitions_rolled_forward == 1
+        interface = QueryInterface(bundle.archiver)
+        assert interface.select(terms=["alpha"], channel=VOICE) != []
+        # A fresh sweep converges: the rolled-forward object's segments
+        # already carry utterances, only the untouched one is recognized.
+        rerun = self._worker(bundle).run()
+        assert rerun.segments_recognized == 1
+        assert not rerun.failures
+        assert_index_matches_scan(bundle.archiver)
+
+    def test_crash_mid_compaction_rerun_converges(self):
+        from repro.errors import SimulatedCrash
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+        from repro.faults.registry import IDLE_COMPACT
+        from tests.fault_workload import assert_index_matches_scan
+
+        plan = FaultPlan([FaultSpec(site=IDLE_COMPACT, kind=FaultKind.CRASH)])
+        bundle = self._bundle_with_pending_voice(plan)
+        worker = self._worker(bundle)
+        with pytest.raises(SimulatedCrash):
+            worker.run()
+        # Every recognition committed before the compaction crash …
+        assert worker.pending == []
+        assert bundle.plan.fired(IDLE_COMPACT) == 1
+        # … so the retry re-sweeps nothing and just redoes the idle work.
+        second = worker.run()
+        assert second.objects_scanned == 0
+        assert_index_matches_scan(bundle.archiver)
+
+    def test_crash_mid_segment_swap_preserves_queryability(self):
+        from repro.errors import SimulatedCrash
+        from repro.faults import FaultKind, FaultPlan, FaultSpec
+        from repro.faults.registry import LSM_COMPACT_SWAP
+        from tests.fault_workload import assert_index_matches_scan
+
+        plan = FaultPlan(
+            [FaultSpec(site=LSM_COMPACT_SWAP, kind=FaultKind.CRASH)]
+        )
+        bundle = self._bundle_with_pending_voice(plan)
+        worker = self._worker(bundle)
+        with pytest.raises(SimulatedCrash):
+            worker.run()
+        # The swap is the atomic commit point: a crash before it leaves
+        # the old segments fully readable.
+        assert_index_matches_scan(bundle.archiver)
+        worker.run()  # the retry merges the same runs again
+        assert_index_matches_scan(bundle.archiver)

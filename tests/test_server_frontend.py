@@ -234,3 +234,166 @@ class TestHistogram:
             histogram.snapshot().percentile(101)
         with pytest.raises(ValueError):
             Histogram(min_value=0)
+
+
+class _ScriptedFrontend:
+    """Stand-in frontend whose submissions fail a scripted prefix.
+
+    ``fetch_with_retry`` only needs ``submit(...).result(timeout)``;
+    scripting the failures exercises the retry loop without racing a
+    real worker pool.
+    """
+
+    def __init__(self, failures=(), payload=("payload", 0.25)):
+        self.failures = list(failures)
+        self.payload = payload
+        self.submissions = 0
+
+    def submit(self, op, *params, station="ws-0"):
+        self.submissions += 1
+        outer = self
+
+        class _Future:
+            def result(self, timeout=None):
+                if outer.failures:
+                    raise outer.failures.pop(0)
+                return outer.payload
+
+        return _Future()
+
+
+class TestRetryBackoff:
+    def test_backoff_schedule_is_monotone(self):
+        from repro.delivery.pipeline import fetch_with_retry
+        from repro.errors import TransientIOError
+
+        fe = _ScriptedFrontend([TransientIOError("flaky")] * 3)
+        sleeps = []
+        payload, service = fetch_with_retry(
+            fe, "fetch", "obj", attempts=4,
+            backoff_s=0.5, backoff_factor=2.0, sleep=sleeps.append,
+        )
+        assert (payload, service) == ("payload", 0.25)
+        assert fe.submissions == 4
+        assert sleeps == [0.5, 1.0, 2.0]
+        assert sleeps == sorted(sleeps)  # never decreasing
+
+    def test_attempts_are_bounded(self):
+        from repro.delivery.pipeline import fetch_with_retry
+
+        fe = _ScriptedFrontend([ServerBusyError("full")] * 10)
+        sleeps = []
+        with pytest.raises(ServerBusyError):
+            fetch_with_retry(
+                fe, "fetch", "obj", attempts=3,
+                backoff_s=0.1, sleep=sleeps.append,
+            )
+        # Exactly `attempts` submissions, with a wait between each pair.
+        assert fe.submissions == 3
+        assert len(sleeps) == 2
+
+    def test_zero_backoff_never_sleeps(self):
+        from repro.delivery.pipeline import fetch_with_retry
+        from repro.errors import TransientIOError
+
+        fe = _ScriptedFrontend([TransientIOError("flaky")])
+        sleeps = []
+        observed = []
+        fetch_with_retry(
+            fe, "fetch", "obj", attempts=2, backoff_s=0.0,
+            sleep=sleeps.append,
+            on_retry=lambda i, d, e: observed.append((i, d)),
+        )
+        assert sleeps == []  # immediate retry: no sleep call at all
+        assert observed == [(0, 0.0)]
+
+    def test_on_retry_observes_every_retryable_kind(self):
+        from repro.delivery.pipeline import RETRYABLE_ERRORS, fetch_with_retry
+        from repro.errors import RequestTimeoutError, TransientIOError
+
+        failures = [
+            ServerBusyError("full"),
+            RequestTimeoutError("expired"),
+            TransientIOError("flaky"),
+        ]
+        fe = _ScriptedFrontend(list(failures))
+        observed = []
+        fetch_with_retry(
+            fe, "fetch", "obj", attempts=4, backoff_s=1.0,
+            backoff_factor=3.0, sleep=lambda _d: None,
+            on_retry=lambda i, d, e: observed.append((i, d, type(e))),
+        )
+        assert [kind for _, _, kind in observed] == [
+            type(f) for f in failures
+        ]
+        assert all(isinstance(f, RETRYABLE_ERRORS) for f in failures)
+        assert [d for _, d, _ in observed] == [1.0, 3.0, 9.0]
+
+    def test_request_timeout_retried_then_reraised(self):
+        from repro.delivery.pipeline import fetch_with_retry
+        from repro.errors import RequestTimeoutError
+
+        fe = _ScriptedFrontend([RequestTimeoutError("expired")] * 2)
+        with pytest.raises(RequestTimeoutError):
+            fetch_with_retry(fe, "fetch", "obj", attempts=2)
+        assert fe.submissions == 2
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        from repro.delivery.pipeline import fetch_with_retry
+
+        fe = _ScriptedFrontend([ArchiverError("no such object")])
+        sleeps = []
+        with pytest.raises(ArchiverError):
+            fetch_with_retry(
+                fe, "fetch", "obj", attempts=5, backoff_s=0.1,
+                sleep=sleeps.append,
+            )
+        assert fe.submissions == 1
+        assert sleeps == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"attempts": 0},
+            {"attempts": -1},
+            {"backoff_s": -0.1},
+            {"backoff_factor": 0.5},
+        ],
+        ids=["zero-attempts", "negative-attempts", "negative-backoff",
+             "shrinking-factor"],
+    )
+    def test_invalid_retry_parameters_rejected(self, kwargs):
+        from repro.delivery.pipeline import fetch_with_retry
+        from repro.errors import DeliveryError
+
+        fe = _ScriptedFrontend()
+        with pytest.raises(DeliveryError):
+            fetch_with_retry(fe, "fetch", "obj", **kwargs)
+        assert fe.submissions == 0  # validated before any submission
+
+    def test_transient_device_fault_retried_through_frontend(self):
+        # End to end: a FaultPlan injects one transient read fault at
+        # the device; the first frontend attempt fails (and is counted
+        # in error_kinds), the retry succeeds against the healed device.
+        from repro.delivery.pipeline import fetch_with_retry
+        from repro.faults import FaultKind, FaultPlan, FaultSpec, FaultyDevice
+        from repro.faults.registry import DEVICE_READ
+        from repro.storage.optical import OpticalDisk
+        from tests.fault_workload import make_text_object
+        from repro.ids import IdGenerator
+
+        plan = FaultPlan(
+            [FaultSpec(site=DEVICE_READ, kind=FaultKind.TRANSIENT)]
+        )
+        archiver = Archiver(disk=FaultyDevice(OpticalDisk(), plan))
+        obj = make_text_object(IdGenerator("retry"), [["alpha"]])
+        archiver.store(obj)
+        with ServerFrontend(archiver, workers=1) as fe:
+            payload, _ = fetch_with_retry(
+                fe, "fetch_object", obj.object_id, attempts=2
+            )
+            snap = fe.metrics.snapshot()
+        assert payload.object_id == obj.object_id
+        assert plan.fired(DEVICE_READ) == 1
+        assert snap.error_kinds.get("TransientIOError") == 1
+        assert snap.errors == 1

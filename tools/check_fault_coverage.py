@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""CI gate: every registered fault site has a covering fault test.
+
+The fault-site registry (:mod:`repro.faults.registry`) is the single
+source of truth for where faults can be injected.  This script
+collects the ``faults``-marked tests and checks that every registered
+site name appears in at least one collected test id — so adding a new
+``fire()`` site to the production code without extending the
+crash/transient sweeps fails CI instead of silently shipping an
+unexercised failure path.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_fault_coverage.py
+
+Exits non-zero listing any uncovered sites.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+
+def collected_fault_test_ids() -> list[str]:
+    """Test ids pytest collects for ``-m faults``."""
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            # Neutralize addopts: its `-q` would stack with ours into
+            # `-qq`, which collapses ids into per-file counts.
+            "-o",
+            "addopts=",
+            "-p",
+            "no:cacheprovider",
+            "--collect-only",
+            "-q",
+            "-m",
+            "faults",
+        ],
+        capture_output=True,
+        text=True,
+    )
+    # --collect-only exits 0 with a trailing summary line; anything
+    # else (collection error, no tests) is already a failure.
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(f"fault test collection failed (exit {proc.returncode})")
+    return [
+        line
+        for line in proc.stdout.splitlines()
+        if "::" in line and not line.startswith(" ")
+    ]
+
+
+def main() -> int:
+    from repro.faults.registry import registered_sites
+
+    test_ids = collected_fault_test_ids()
+    if not test_ids:
+        sys.exit("no faults-marked tests collected")
+    blob = "\n".join(test_ids)
+    uncovered = [site for site in registered_sites() if site not in blob]
+    if uncovered:
+        print(f"collected {len(test_ids)} fault tests")
+        print("registered fault sites with no covering test id:")
+        for site in uncovered:
+            print(f"  - {site}")
+        print(
+            "add the site to the sweeps in tests/test_faults.py "
+            "(TestCrashSweep/TestTransientSweep parametrize over the "
+            "registry, so a stale copy of the site list is the usual "
+            "culprit)."
+        )
+        return 1
+    print(
+        f"ok: {len(registered_sites())} registered fault sites covered "
+        f"by {len(test_ids)} collected fault tests"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
