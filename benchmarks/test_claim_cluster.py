@@ -1,0 +1,247 @@
+"""C-CLUSTER — Section 5's queueing concern, answered with replicas.
+
+"The major concern in the server subsystem is performance ... queueing
+delays that may be experienced when several users try to access data
+from the same device."  C-CONC showed the delay curve on one device
+and how a cache flattens it; this experiment scales the *server* out
+instead: the same 16-station zipf workload replayed against clusters
+of 1..4 replicated archiver nodes (R=2, join-shortest-queue reads).
+
+1. **Scaling** — read p95 drops monotonically as nodes go 1 → 4:
+   replicas turn one saturated device queue into an N-server system.
+2. **Failover** — with R=2, a seeded fault plan crashes one replica
+   mid-workload: zero reads fail (every read on the dead node fails
+   over), and the crash is visible as recorded failovers, not errors.
+   Writes during the outage degrade to quorum and are recorded as
+   under-replication debt.
+3. **Recovery** — the crashed node recovers from its surviving devices
+   and rejoins; catch-up rebalancing repairs the degraded writes, and
+   a post-recovery replay shows full capacity (no failovers, p95 back
+   at the healthy-cluster level).
+
+Rows go to ``bench_results.txt`` (quoted by EXPERIMENTS.md) and the
+machine-readable summary to ``BENCH_CLUSTER.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cluster import ClusterNode, ClusterRouter, Rebalancer, replay_cluster
+from repro.faults import FaultKind, FaultPlan, FaultSpec
+from repro.ids import IdGenerator
+from repro.scenarios import build_object_library
+from repro.server import Archiver, build_schedule
+
+_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_CLUSTER.json"
+_BENCH: dict = {}
+
+NODE_SWEEP = (1, 2, 3, 4)
+REPLICATION = 2
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_json():
+    """Emit whatever this run measured as BENCH_CLUSTER.json."""
+    yield
+    if _BENCH:
+        _JSON.write_text(json.dumps(_BENCH, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="module")
+def library():
+    return build_object_library(Archiver(), visual_count=10, audio_count=4)
+
+
+@pytest.fixture(scope="module")
+def schedule(library):
+    """The C-CONC 16-station zipf schedule, reused verbatim."""
+    return build_schedule(
+        [obj.object_id for obj in library],
+        stations=16,
+        rate_per_station_s=1.0,
+        duration_s=120.0,
+        skew=1.1,
+        seed=11,
+    )
+
+
+def _cluster(library, nodes, *, node_plans=None, write_quorum=None):
+    node_plans = node_plans or {}
+    members = [
+        ClusterNode(i, fault_plan=node_plans.get(i)) for i in range(nodes)
+    ]
+    router = ClusterRouter(
+        members, replication=REPLICATION, write_quorum=write_quorum
+    )
+    for obj in library:
+        router.store(obj)
+    return router, members
+
+
+def test_read_p95_drops_monotonically_with_nodes(library, schedule, results):
+    """Claim (1): 1 → 4 nodes turns the queueing curve downward."""
+    curve = []
+    for nodes in NODE_SWEEP:
+        router, _ = _cluster(library, nodes)
+        report = replay_cluster(router, schedule)
+        assert report.failed_reads == 0
+        assert report.completed == len(schedule)
+        curve.append(
+            {
+                "nodes": nodes,
+                "p95_s": report.p95_s,
+                "mean_s": report.mean_s,
+                "node_reads": {
+                    str(k): v for k, v in report.node_reads.items()
+                },
+            }
+        )
+        results.record(
+            "C-CLUSTER scaling",
+            f"{nodes} node(s), R={REPLICATION}: "
+            f"p95 {report.p95_s * 1000:7.1f}ms, "
+            f"mean {report.mean_s * 1000:6.1f}ms "
+            f"({report.completed} reads)",
+        )
+    p95s = [point["p95_s"] for point in curve]
+    for bigger, smaller in zip(p95s, p95s[1:]):
+        assert smaller <= bigger  # monotone improvement with each node
+    assert p95s[-1] < p95s[0] / 3  # and a decisive win overall
+    _BENCH["scaling"] = {"replication": REPLICATION, "curve": curve}
+
+
+def test_replica_crash_loses_no_reads(library, schedule, results):
+    """Claims (2)+(3): crash one of R=2 replicas mid-workload."""
+    victim = 0
+    plan = FaultPlan(
+        [
+            FaultSpec(
+                site="cluster.node_crash", kind=FaultKind.CRASH, hit=200
+            )
+        ]
+    )
+    router, members = _cluster(
+        library, 3, node_plans={victim: plan}, write_quorum=1
+    )
+
+    degraded = replay_cluster(router, schedule)
+    assert plan.fired("cluster.node_crash") == 1
+    assert members[victim].status.value == "down"
+    assert degraded.failed_reads == 0  # the whole point of R=2
+    assert degraded.failovers >= 1
+    assert degraded.completed == len(schedule)
+
+    # Writes during the outage degrade to quorum: acked by the one
+    # surviving replica, recorded as repair debt for catch-up.
+    extra = build_object_library(
+        Archiver(), visual_count=2, audio_count=0,
+        generator=IdGenerator("outage"),
+    )
+    outage_misses = 0
+    for obj in extra:
+        outcome = router.store(obj)
+        outage_misses += len(outcome.missed)
+    results.record(
+        "C-CLUSTER failover",
+        f"crash at read #200: {degraded.failovers} failovers, "
+        f"{degraded.failed_reads} failed reads, p95 "
+        f"{degraded.p95_s * 1000:7.1f}ms degraded; "
+        f"{outage_misses} replica writes missed during outage",
+    )
+
+    # Recovery: reopen from surviving devices, rejoin, repair debt.
+    report = members[victim].recover()
+    assert report.objects_recovered == len(members[victim])
+    rebalancer = Rebalancer(router)
+    repaired = rebalancer.catch_up()
+    repair = rebalancer.run()
+    assert repair.failed == 0
+    assert not router.under_replicated
+    for obj in list(library) + list(extra):
+        for node_id in router.replica_set(obj.object_id):
+            assert obj.object_id in router.node(node_id)
+
+    healed = replay_cluster(router, schedule)
+    assert healed.failed_reads == 0
+    assert healed.failovers == 0  # full capacity restored
+    assert healed.node_reads[victim] > 0  # the veteran serves again
+    assert healed.p95_s <= degraded.p95_s
+    results.record(
+        "C-CLUSTER recovery",
+        f"node {victim} recovered ({report.objects_recovered} objects), "
+        f"{repaired} degraded writes repaired, post-recovery p95 "
+        f"{healed.p95_s * 1000:7.1f}ms with 0 failovers",
+    )
+    _BENCH["failover"] = {
+        "crash_hit": 200,
+        "failovers": degraded.failovers,
+        "failed_reads": degraded.failed_reads,
+        "degraded_p95_s": degraded.p95_s,
+        "outage_replica_write_misses": outage_misses,
+        "repaired_writes": repaired,
+        "healed_p95_s": healed.p95_s,
+        "healed_failovers": healed.failovers,
+    }
+
+
+def test_hedged_reads_bound_the_tail(library, schedule, results):
+    """Optional hedging: spend extra device work to cut the tail."""
+    router, _ = _cluster(library, 3)
+    plain = replay_cluster(router, schedule)
+    router_hedged, _ = _cluster(library, 3)
+    hedged = replay_cluster(
+        router_hedged, schedule, hedge_fraction=1.0, hedge_floor_s=0.05
+    )
+    assert hedged.hedges > 0
+    assert hedged.failed_reads == 0
+    assert hedged.p95_s <= plain.p95_s * 1.05  # never meaningfully worse
+    results.record(
+        "C-CLUSTER hedging",
+        f"3 nodes: {hedged.hedges} hedges, {hedged.hedge_wins} wins; "
+        f"p95 {plain.p95_s * 1000:7.1f}ms -> "
+        f"{hedged.p95_s * 1000:7.1f}ms",
+    )
+    _BENCH["hedging"] = {
+        "hedges": hedged.hedges,
+        "hedge_wins": hedged.hedge_wins,
+        "plain_p95_s": plain.p95_s,
+        "hedged_p95_s": hedged.p95_s,
+    }
+
+
+@pytest.mark.bench_smoke
+def test_smoke_cluster_scales_and_fails_over(results):
+    """CI-speed version of the two headline claims."""
+    library = build_object_library(Archiver(), visual_count=4, audio_count=2)
+    schedule = build_schedule(
+        [obj.object_id for obj in library],
+        stations=8, rate_per_station_s=1.0, duration_s=30.0, seed=11,
+    )
+    router1, _ = _cluster(library, 1)
+    single = replay_cluster(router1, schedule)
+
+    plan = FaultPlan(
+        [FaultSpec(site="cluster.node_crash", kind=FaultKind.CRASH, hit=20)]
+    )
+    router3, members = _cluster(library, 3, node_plans={0: plan})
+    clustered = replay_cluster(router3, schedule)
+    assert clustered.p95_s <= single.p95_s
+    assert clustered.failed_reads == 0
+    assert clustered.failovers >= 1
+    assert members[0].status.value == "down"
+    results.record(
+        "C-CLUSTER smoke",
+        f"1 node p95 {single.p95_s * 1000:6.1f}ms -> 3 nodes (one crashed "
+        f"mid-run) p95 {clustered.p95_s * 1000:6.1f}ms, "
+        f"{clustered.failovers} failovers, 0 failed reads",
+    )
+    _BENCH["smoke"] = {
+        "single_p95_s": single.p95_s,
+        "cluster_p95_s": clustered.p95_s,
+        "failovers": clustered.failovers,
+        "failed_reads": clustered.failed_reads,
+    }

@@ -1,0 +1,334 @@
+"""Online rebalancing: node join/leave with minimal-movement migration.
+
+Membership changes are driven by *ring diffs*.  When a node joins or
+leaves, the consistent-hash placement guarantees that each object's
+replica set changes by at most the affected node
+(see :mod:`repro.cluster.placement`), so the migration plan is exactly
+the set of ``(object, new-owner)`` pairs the diff produces — no
+wholesale reshuffle.
+
+Migrations run *incrementally*: :meth:`Rebalancer.run` performs at
+most ``max_steps`` moves per call, mirroring the
+``IdleRecognizer.run(max_objects)`` idle-pass contract, so rebalancing
+interleaves with serving instead of monopolising the devices.  A move
+copies the object from a surviving replica (``fetch_object`` rebuilds
+it in the ARCHIVED state) into the target node via
+``receive_migration`` — the path that fires the ``cluster.migrate``
+fault site.  Failed moves are re-queued and retried on the next pass.
+
+The optical platters are write-once, so a *leaving* node's copies are
+never erased — they simply stop being routed to (and are dead space if
+the platter is ever re-mounted).  Minimal movement is therefore about
+copies *added*, which is the only kind of movement that exists here.
+
+:meth:`catch_up` converts the router's under-replication debt
+(replicas that missed a quorum write) into migration steps, closing
+the loop: a degraded write is repaired by the same machinery that
+serves joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.node import ClusterNode
+from repro.cluster.placement import Placement
+from repro.cluster.router import ClusterRouter
+from repro.errors import (
+    ClusterError,
+    NodeDownError,
+    ObjectNotFoundError,
+    TransientIOError,
+)
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """Copy ``object_id`` from ``source`` onto ``target``."""
+
+    object_id: object
+    source: int
+    target: int
+
+
+@dataclass
+class RebalanceReport:
+    """Outcome of one incremental rebalance pass."""
+
+    moved: int = 0
+    bytes_moved: int = 0
+    skipped: int = 0
+    failed: int = 0
+    #: Steps still queued after the pass (failures re-queue here).
+    remaining: int = 0
+    failures: list[tuple[MigrationStep, str]] = field(default_factory=list)
+
+
+def plan_migrations(
+    old: Placement,
+    new: Placement,
+    holdings: dict[int, set],
+) -> list[MigrationStep]:
+    """Diff two rings into the minimal list of copy steps.
+
+    ``holdings`` maps node id → the object ids physically present
+    there.  For every known object, each node that the *new* placement
+    makes an owner but that holds no copy gets one step, sourced from
+    any current holder (preferring holders that remain owners, so
+    sources stay valid if a pass is interrupted).  Objects whose new
+    replica set is already satisfied produce no steps — that is the
+    minimal-movement property, inherited directly from the ring.
+    """
+    steps: list[MigrationStep] = []
+    every_object = sorted(
+        {oid for held in holdings.values() for oid in held}, key=str
+    )
+    for object_id in every_object:
+        holders = [nid for nid, held in holdings.items() if object_id in held]
+        if not holders:  # pragma: no cover - every_object came from holdings
+            continue
+        new_set = new.replica_set(object_id)
+        preferred = [nid for nid in new_set if nid in holders] or holders
+        source = preferred[0]
+        for target in new_set:
+            if target not in holders:
+                steps.append(
+                    MigrationStep(
+                        object_id=object_id, source=source, target=target
+                    )
+                )
+    return steps
+
+
+class Rebalancer:
+    """Drive membership changes and repair under-replication.
+
+    Parameters
+    ----------
+    router:
+        The cluster whose placement this rebalancer maintains.  The
+        router's :class:`~repro.cluster.metrics.ClusterMetrics`
+        records every migration.
+    """
+
+    def __init__(self, router: ClusterRouter) -> None:
+        self._router = router
+        self._pending: list[MigrationStep] = []
+        #: Nodes removed from routing but still readable as migration
+        #: sources (a leaving node serves reads while it drains).
+        self._detached: dict[int, ClusterNode] = {}
+
+    @property
+    def pending(self) -> list[MigrationStep]:
+        """Queued steps (copy; mutating it does not affect the queue)."""
+        return list(self._pending)
+
+    def _holdings(self) -> dict[int, set]:
+        holdings = {
+            node_id: set(node.object_ids())
+            for node_id, node in self._router.nodes.items()
+        }
+        for node_id, node in self._detached.items():
+            if node.serves_reads:
+                holdings[node_id] = set(node.object_ids())
+        return holdings
+
+    def _enqueue(self, steps: list[MigrationStep]) -> int:
+        queued = set(self._pending)
+        fresh = [step for step in steps if step not in queued]
+        self._pending.extend(fresh)
+        return len(fresh)
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+
+    def join(self, node: ClusterNode, *, now_s: float = 0.0) -> int:
+        """Admit ``node`` and queue the copies the ring diff demands.
+
+        The node serves immediately; until its copies arrive, reads
+        for them fail over to the old replicas.  Returns the number of
+        steps queued.
+        """
+        holdings = self._holdings()
+        holdings.setdefault(node.node_id, set(node.object_ids()))
+        old = self._router.add_node(node, now_s=now_s)
+        steps = plan_migrations(old, self._router.placement, holdings)
+        return self._enqueue(steps)
+
+    def leave(self, node_id: int, *, now_s: float = 0.0) -> int:
+        """Start removing ``node_id``; queue the copies that replace it.
+
+        The node drains: it stops taking writes but keeps serving
+        reads (and acts as a migration source) until its data has
+        moved.  Call :meth:`run` until the queue empties, then
+        :meth:`finish_leave`.  Returns the number of steps queued.
+        """
+        node = self._router.node(node_id)
+        holdings = self._holdings()
+        node.drain()
+        old = self._router.remove_node(node_id, now_s=now_s)
+        self._detached[node_id] = node
+        steps = plan_migrations(old, self._router.placement, holdings)
+        return self._enqueue(steps)
+
+    def finish_leave(self, node_id: int) -> None:
+        """Shut a drained node down once its data is safe elsewhere.
+
+        Raises
+        ------
+        ClusterError
+            If queued migrations still read from the node, or still
+            concern objects it holds — until those copies land, the
+            drained node is the fallback replica.
+        """
+        node = self._detached.get(node_id)
+        held = (
+            set(node.object_ids())
+            if node is not None and node.serves_reads else set()
+        )
+        blocking = [
+            step for step in self._pending
+            if step.source == node_id or step.object_id in held
+        ]
+        if blocking:
+            raise ClusterError(
+                f"node {node_id} still backs {len(blocking)} queued "
+                "migrations"
+            )
+        node = self._detached.pop(node_id, None)
+        if node is not None:
+            node.mark_down()
+
+    def rejoin(self, node_id: int, *, now_s: float = 0.0) -> int:
+        """Bring a recovered node back into the ring.
+
+        The node must already be UP (call
+        :meth:`~repro.cluster.node.ClusterNode.recover` first).  Its
+        surviving copies count as holdings, so the ring diff only
+        queues what it missed while away.
+        """
+        node = self._detached.pop(node_id, None)
+        if node is None:
+            raise ClusterError(f"node {node_id} is not detached")
+        if not node.is_up:
+            raise ClusterError(
+                f"node {node_id} must recover before rejoining"
+            )
+        return self.join(node, now_s=now_s)
+
+    def crash_detach(self, node_id: int, *, now_s: float = 0.0) -> int:
+        """Take a crashed node out of routing and re-protect its data.
+
+        The queued copies restore full replication on the surviving
+        nodes; if the node later recovers, :meth:`rejoin` folds it
+        back in.
+        """
+        node = self._router.node(node_id)
+        holdings = self._holdings()
+        holdings.pop(node_id, None)  # a DOWN node sources nothing
+        old = self._router.remove_node(node_id, now_s=now_s)
+        self._detached[node_id] = node
+        steps = plan_migrations(old, self._router.placement, holdings)
+        return self._enqueue(steps)
+
+    # ------------------------------------------------------------------
+    # repair + execution
+    # ------------------------------------------------------------------
+
+    def catch_up(self) -> int:
+        """Queue repairs for writes that missed replicas.
+
+        Drains the router's under-replicated list into migration
+        steps (sourced from any live holder) and returns how many
+        were queued; stale entries for nodes that have since left are
+        dropped.
+        """
+        debt = self._router.under_replicated
+        self._router.under_replicated = []
+        holdings = self._holdings()
+        steps: list[MigrationStep] = []
+        for object_id, node_id in debt:
+            if node_id not in self._router.nodes:
+                continue
+            if object_id in holdings.get(node_id, set()):
+                continue
+            holders = [
+                nid for nid, held in holdings.items()
+                if object_id in held and nid != node_id
+            ]
+            if not holders:
+                # No surviving copy: leave the debt recorded.
+                self._router.under_replicated.append((object_id, node_id))
+                continue
+            steps.append(
+                MigrationStep(
+                    object_id=object_id, source=holders[0], target=node_id
+                )
+            )
+        return self._enqueue(steps)
+
+    def _source_node(self, node_id: int) -> ClusterNode | None:
+        node = self._router.nodes.get(node_id)
+        if node is None:
+            node = self._detached.get(node_id)
+        if node is None or not node.serves_reads:
+            return None
+        return node
+
+    def run(
+        self, max_steps: int | None = None, *, now_s: float = 0.0
+    ) -> RebalanceReport:
+        """Perform up to ``max_steps`` queued migrations (all if None).
+
+        A step whose target already holds the copy is skipped; a step
+        that fails transiently (or whose source is momentarily
+        unusable) is re-queued for the next pass and counted in
+        ``failed``.  Each successful move records a ``CLUSTER_MIGRATE``
+        event with the bytes that crossed.
+        """
+        report = RebalanceReport()
+        budget = len(self._pending) if max_steps is None else max_steps
+        retry: list[MigrationStep] = []
+        metrics = self._router.metrics
+        while self._pending and budget > 0:
+            step = self._pending.pop(0)
+            budget -= 1
+            target = self._router.nodes.get(step.target)
+            if target is None or step.object_id in target:
+                report.skipped += 1
+                continue
+            source = self._source_node(step.source)
+            if source is None:
+                self._requeue(step, "source unavailable", retry, report)
+                continue
+            try:
+                obj, _ = source.archiver.fetch_object(step.object_id)
+                record = target.receive_migration(obj)
+            except (TransientIOError, NodeDownError, ObjectNotFoundError) as e:
+                metrics.on_migrate(
+                    step.object_id, step.source, step.target, 0, now_s,
+                    ok=False,
+                )
+                self._requeue(step, type(e).__name__, retry, report)
+                continue
+            report.moved += 1
+            report.bytes_moved += record.extent.length
+            metrics.on_migrate(
+                step.object_id, step.source, step.target,
+                record.extent.length, now_s,
+            )
+        self._pending.extend(retry)
+        report.remaining = len(self._pending)
+        return report
+
+    def _requeue(
+        self,
+        step: MigrationStep,
+        reason: str,
+        retry: list[MigrationStep],
+        report: RebalanceReport,
+    ) -> None:
+        report.failed += 1
+        report.failures.append((step, reason))
+        retry.append(step)

@@ -1,0 +1,625 @@
+"""Quorum writes, load-balanced failover reads, and the cluster replay.
+
+The :class:`ClusterRouter` is the client-facing face of the replicated
+object service.  It owns a :class:`~repro.cluster.placement.Placement`
+over its member nodes and implements the paper-faithful request paths:
+
+**Writes** fan out to all ``R`` replicas of the object's replica set
+and succeed once ``W`` of them ack (default: a majority).  Replicas
+that miss the write (transient fault, down node) are remembered as
+*under-replicated* so the rebalancer's catch-up pass can repair them —
+a degraded write is a repair obligation, not a lost one.
+
+**Reads** are load-balanced across the replica set (deterministic
+rotation) and fail over: :class:`~repro.errors.TransientIOError`,
+:class:`~repro.errors.NodeDownError` and a replica that simply does
+not hold the copy yet (mid-rebalance) all mean "try the next replica".
+Only when every replica is exhausted does the client see an error —
+and it sees a *retryable* one if any replica failed transiently, so
+:func:`repro.delivery.pipeline.fetch_with_retry` composes unchanged.
+
+:func:`replay_cluster` is the cluster analogue of
+:func:`repro.server.loadgen.replay_virtual`: a deterministic
+virtual-time replay with one device timeline per node,
+join-shortest-queue replica choice, optional per-node caches, and
+optional hedged reads — the engine behind the C-CLUSTER benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.metrics import ClusterMetrics
+from repro.cluster.node import ClusterNode
+from repro.cluster.placement import Placement
+from repro.errors import (
+    ClusterError,
+    NodeDownError,
+    ObjectNotFoundError,
+    QuorumWriteError,
+    TransientIOError,
+)
+from repro.server.loadgen import LoadRequest
+from repro.storage.cache import LRUCache
+
+#: Per-replica failures the read path fails over on.  A missing copy is
+#: routable too: during a rebalance a replica may not hold the object
+#: *yet*, and during catch-up repair it may not hold it *anymore* —
+#: another replica does.
+FAILOVER_ERRORS = (TransientIOError, NodeDownError, ObjectNotFoundError)
+
+#: Operations the router can place: the first parameter must be the
+#: object id.  (Absolute/extent reads are node-relative coordinates —
+#: the same object lives at different platter offsets on each replica —
+#: so they cannot be routed by content.)
+ROUTABLE_OPS = ("fetch", "fetch_object", "read_piece_range")
+
+
+class RouterFuture:
+    """Synchronous future satisfying the ``ServerFuture.result`` shape.
+
+    The router serves requests inline (its queueing lives in the
+    replay's virtual timeline, not in host threads), so the future is
+    already resolved when :meth:`ClusterRouter.submit` returns it —
+    but the ``result(timeout)`` protocol is what
+    :func:`~repro.delivery.pipeline.fetch_with_retry` speaks, so the
+    delivery pipeline drives a cluster exactly as it drives a
+    :class:`~repro.server.frontend.ServerFrontend`.
+    """
+
+    def __init__(self, payload=None, service_s: float = 0.0, error=None):
+        self._payload = payload
+        self._service_s = service_s
+        self._error = error
+
+    def done(self) -> bool:
+        return True
+
+    def result(self, timeout: float | None = 30.0) -> tuple:
+        if self._error is not None:
+            raise self._error
+        return self._payload, self._service_s
+
+
+@dataclass
+class StoreOutcome:
+    """What happened to one fanned-out store."""
+
+    object_id: object
+    replicas: list[int]
+    acked: list[int]
+    missed: list[int]
+
+    @property
+    def fully_replicated(self) -> bool:
+        return not self.missed
+
+
+class ClusterRouter:
+    """Route reads and writes over a set of :class:`ClusterNode` s.
+
+    Parameters
+    ----------
+    nodes:
+        Member nodes (at least one; ids must be unique).
+    replication:
+        Target copies per object (capped at the node count).
+    write_quorum:
+        Acks required for a store to succeed; defaults to a majority
+        of the *effective* replication factor.
+    vnodes:
+        Virtual points per node on the placement ring.
+    metrics:
+        Shared :class:`ClusterMetrics` (a fresh one if omitted).
+    hedge_after_s:
+        If set, a successful read whose service time exceeds this
+        deadline is hedged on the next replica and the faster response
+        wins.  ``None`` (default) disables hedging.
+    """
+
+    def __init__(
+        self,
+        nodes: list[ClusterNode],
+        *,
+        replication: int = 2,
+        write_quorum: int | None = None,
+        vnodes: int = 64,
+        metrics: ClusterMetrics | None = None,
+        hedge_after_s: float | None = None,
+    ) -> None:
+        if not nodes:
+            raise ClusterError("a cluster needs at least one node")
+        ids = [node.node_id for node in nodes]
+        if len(set(ids)) != len(ids):
+            raise ClusterError(f"duplicate node ids: {sorted(ids)}")
+        self._nodes: dict[int, ClusterNode] = {n.node_id: n for n in nodes}
+        self._placement = Placement(ids, replication=replication, vnodes=vnodes)
+        self._replication = replication
+        self._vnodes = vnodes
+        effective = self._placement.effective_replication
+        if write_quorum is None:
+            write_quorum = effective // 2 + 1
+        if not 1 <= write_quorum <= effective:
+            raise ClusterError(
+                f"write quorum {write_quorum} outside 1..{effective}"
+            )
+        self.write_quorum = write_quorum
+        self.metrics = metrics if metrics is not None else ClusterMetrics()
+        self.hedge_after_s = hedge_after_s
+        #: ``(object_id, node_id)`` pairs that missed a write and await
+        #: catch-up repair by the rebalancer.
+        self.under_replicated: list[tuple[object, int]] = []
+        self._rotation = 0
+        #: Nodes whose DOWN state the read path has already reported,
+        #: so a long outage is one status event, not one per failover.
+        self._seen_down: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # membership + placement
+    # ------------------------------------------------------------------
+
+    @property
+    def placement(self) -> Placement:
+        return self._placement
+
+    @property
+    def nodes(self) -> dict[int, ClusterNode]:
+        """Node id → node (live view; do not mutate)."""
+        return self._nodes
+
+    def node(self, node_id: int) -> ClusterNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ClusterError(f"no node {node_id} in this cluster") from None
+
+    def replica_set(self, object_id) -> list[int]:
+        """The nodes holding (or owed) copies of ``object_id``."""
+        return self._placement.replica_set(object_id)
+
+    def add_node(self, node: ClusterNode, *, now_s: float = 0.0) -> Placement:
+        """Admit a node and swap in the grown placement.
+
+        Returns the *previous* placement so the rebalancer can diff the
+        rings.  The new node serves reads immediately; reads for copies
+        it does not hold yet fail over to the old replicas until the
+        rebalancer moves them.
+        """
+        if node.node_id in self._nodes:
+            raise ClusterError(f"node {node.node_id} already in the cluster")
+        old = self._placement
+        self._placement = old.with_node(node.node_id)
+        self._nodes[node.node_id] = node
+        self._refresh_quorum()
+        self.metrics.on_node_status(node.node_id, "joined", now_s)
+        return old
+
+    def remove_node(self, node_id: int, *, now_s: float = 0.0) -> Placement:
+        """Remove a node from routing; returns the previous placement."""
+        if node_id not in self._nodes:
+            raise ClusterError(f"no node {node_id} in this cluster")
+        if len(self._nodes) == 1:
+            raise ClusterError("cannot remove the last node")
+        old = self._placement
+        self._placement = old.without_node(node_id)
+        del self._nodes[node_id]
+        self._seen_down.discard(node_id)
+        self._refresh_quorum()
+        self.metrics.on_node_status(node_id, "left", now_s)
+        return old
+
+    def _refresh_quorum(self) -> None:
+        # Keep the quorum a majority of the effective replication as
+        # membership changes (a 1-node cluster must accept W=1).
+        effective = self._placement.effective_replication
+        self.write_quorum = min(self.write_quorum, effective)
+        self.write_quorum = max(self.write_quorum, effective // 2 + 1)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def store(
+        self, obj, shared_archiver_data=None, *, now_s: float = 0.0
+    ) -> StoreOutcome:
+        """Fan one store to all replicas; succeed on a write quorum.
+
+        Raises
+        ------
+        QuorumWriteError
+            If fewer than :attr:`write_quorum` replicas acked.  The
+            replicas that did ack keep their copies (stores are
+            idempotent per object id), so the under-replicated record
+            still lets catch-up repair converge.
+        """
+        replicas = self._placement.replica_set(obj.object_id)
+        acked: list[int] = []
+        missed: list[int] = []
+        ack_times: list[float] = []
+        for node_id in replicas:
+            node = self._nodes[node_id]
+            try:
+                record = node.store(obj, shared_archiver_data)
+            except (TransientIOError, NodeDownError):
+                missed.append(node_id)
+                self.metrics.on_replica_write(node_id, False)
+                continue
+            acked.append(node_id)
+            self.metrics.on_replica_write(node_id, True)
+            # Ack-time estimate for the quorum histogram: a cold seek
+            # plus the transfer of the stored extent on that node's
+            # device.  Replicas write in parallel, so the quorum is met
+            # when the W-th fastest ack lands.
+            geometry = node.archiver.disk.geometry
+            ack_times.append(geometry.access_time(0, record.extent))
+        quorum_met = len(acked) >= self.write_quorum
+        if quorum_met:
+            quorum_latency = sorted(ack_times)[self.write_quorum - 1]
+        else:
+            quorum_latency = max(ack_times, default=0.0)
+        self.metrics.on_write(
+            obj.object_id, len(acked), len(replicas), quorum_latency, now_s,
+            quorum_met=quorum_met,
+        )
+        for node_id in missed:
+            self.under_replicated.append((obj.object_id, node_id))
+        if not quorum_met:
+            raise QuorumWriteError(
+                f"store of {obj.object_id} acked by {len(acked)} of "
+                f"{len(replicas)} replicas (need {self.write_quorum})"
+            )
+        return StoreOutcome(
+            object_id=obj.object_id, replicas=replicas, acked=acked,
+            missed=missed,
+        )
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def _read_order(self, replicas: list[int]) -> list[int]:
+        """Deterministic rotation over the replica set (load balance)."""
+        start = self._rotation % len(replicas)
+        self._rotation += 1
+        return replicas[start:] + replicas[:start]
+
+    def request(
+        self, op: str, *params, station: str = "ws-0", arrival_s: float = 0.0
+    ) -> tuple:
+        """Serve one routable read with failover; ``(payload, service_s)``.
+
+        Raises
+        ------
+        TransientIOError
+            Every replica failed and at least one failure was
+            transient — the request is retryable.
+        ClusterError
+            Every replica failed hard (down / missing copy).
+        """
+        if op not in ROUTABLE_OPS:
+            raise ClusterError(
+                f"operation {op!r} is not routable (needs an object id); "
+                f"routable: {ROUTABLE_OPS}"
+            )
+        object_id = params[0]
+        order = self._read_order(self._placement.replica_set(object_id))
+        errors: list[Exception] = []
+        for position, node_id in enumerate(order):
+            node = self._nodes[node_id]
+            try:
+                payload, service = node.serve(op, *params)
+            except FAILOVER_ERRORS as error:
+                errors.append(error)
+                if not node.is_up and node_id not in self._seen_down:
+                    self._seen_down.add(node_id)
+                    self.metrics.on_node_status(node_id, "down", arrival_s)
+                next_id = (
+                    order[position + 1] if position + 1 < len(order) else None
+                )
+                self.metrics.on_failover(node_id, next_id, op, arrival_s)
+                continue
+            if node_id in self._seen_down:
+                self._seen_down.discard(node_id)
+                self.metrics.on_node_status(node_id, "up", arrival_s)
+            payload, service, served_by = self._maybe_hedge(
+                op, params, order, position, payload, service, arrival_s
+            )
+            self.metrics.on_read(
+                served_by, station, service, service, arrival_s + service
+            )
+            return payload, service
+        self.metrics.on_read_failed(station, object_id, arrival_s)
+        transient = [e for e in errors if isinstance(e, TransientIOError)]
+        if transient:
+            raise TransientIOError(
+                f"all {len(order)} replicas of {object_id} failed "
+                "transiently"
+            ) from transient[-1]
+        raise ClusterError(
+            f"no replica of {object_id} could serve {op}: "
+            + "; ".join(type(e).__name__ for e in errors)
+        ) from (errors[-1] if errors else None)
+
+    def _maybe_hedge(
+        self, op, params, order, position, payload, service, arrival_s
+    ):
+        """Hedge a slow read on the next replica; fastest response wins."""
+        if self.hedge_after_s is None or service <= self.hedge_after_s:
+            return payload, service, order[position]
+        for hedge_id in order[position + 1:]:
+            node = self._nodes[hedge_id]
+            try:
+                hedge_payload, hedge_service = node.serve(op, *params)
+            except FAILOVER_ERRORS:
+                continue
+            won = hedge_service < service
+            self.metrics.on_hedge(order[position], hedge_id, won, arrival_s)
+            if won:
+                return hedge_payload, hedge_service, hedge_id
+            return payload, service, order[position]
+        return payload, service, order[position]
+
+    def fetch(self, object_id, *, station: str = "ws-0", arrival_s: float = 0.0):
+        """Fetch the stored form; returns a ``FetchResult``."""
+        payload, _ = self.request(
+            "fetch", object_id, station=station, arrival_s=arrival_s
+        )
+        return payload
+
+    def fetch_object(
+        self, object_id, *, station: str = "ws-0", arrival_s: float = 0.0
+    ):
+        """Rebuild the full object; ``(MultimediaObject, service_s)``."""
+        return self.request(
+            "fetch_object", object_id, station=station, arrival_s=arrival_s
+        )
+
+    # ------------------------------------------------------------------
+    # frontend protocol (what fetch_with_retry speaks)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        op: str,
+        *params,
+        station: str = "ws-0",
+        arrival_s: float = 0.0,
+    ) -> RouterFuture:
+        """Admit one request; returns a resolved :class:`RouterFuture`.
+
+        Validation errors (unroutable op) raise immediately, exactly as
+        :meth:`ServerFrontend.submit` rejects unknown ops at admission;
+        per-replica failures surface from ``result()`` so retry loops
+        see them where they expect to.
+        """
+        if op not in ROUTABLE_OPS:
+            raise ClusterError(
+                f"operation {op!r} is not routable (needs an object id); "
+                f"routable: {ROUTABLE_OPS}"
+            )
+        try:
+            payload, service = self.request(
+                op, *params, station=station, arrival_s=arrival_s
+            )
+        except (ClusterError, TransientIOError) as error:
+            return RouterFuture(error=error)
+        return RouterFuture(payload=payload, service_s=service)
+
+
+# ----------------------------------------------------------------------
+# deterministic virtual-time replay (the C-CLUSTER engine)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ClusterLoadReport:
+    """Aggregate outcome of :func:`replay_cluster`."""
+
+    latencies: list[float] = field(default_factory=list)
+    failed_reads: int = 0
+    failovers: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    cache_hits: int = 0
+    piggybacks: int = 0
+    #: node id -> reads served there.
+    node_reads: dict[int, int] = field(default_factory=dict)
+    #: node id -> simulated busy seconds on that node's device.
+    node_busy_s: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies)
+
+    def percentile(self, p: float) -> float:
+        if not self.latencies:
+            return 0.0
+        return float(np.percentile(self.latencies, p))
+
+    @property
+    def p50_s(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95_s(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def mean_s(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+
+class _NodeTimeline:
+    """Virtual device state for one node during a replay."""
+
+    __slots__ = ("node", "geometry", "device_free", "head", "cache", "flights")
+
+    def __init__(self, node: ClusterNode, cache_bytes: int | None) -> None:
+        self.node = node
+        self.geometry = node.archiver.disk.geometry
+        self.device_free = 0.0
+        self.head = 0
+        self.cache = LRUCache(cache_bytes) if cache_bytes else None
+        self.flights: dict[str, float] = {}
+
+
+def replay_cluster(
+    router: ClusterRouter,
+    schedule: list[LoadRequest],
+    *,
+    cache_bytes: int | None = None,
+    hedge_fraction: float | None = None,
+    hedge_floor_s: float = 0.05,
+) -> ClusterLoadReport:
+    """Replay a schedule against the cluster in virtual time.
+
+    The cluster analogue of
+    :func:`repro.server.loadgen.replay_virtual`: each node is an
+    independent FIFO device timeline with its own head position and
+    optional LRU cache.  For every request the router's replica set is
+    consulted; replicas that are down, faulted, or missing the copy
+    are failed over (``cluster.node_crash`` fires on each considered
+    node's own fault plan, so an armed crash kills exactly the node —
+    and only the node — the plan targets).  Among the healthy replicas
+    the *shortest queue* serves — the load-balance rule that makes
+    N nodes behave like an N-server queue instead of N/1 independent
+    ones.
+
+    With ``hedge_fraction`` set, a request whose predicted wait on the
+    chosen node exceeds ``hedge_floor_s + hedge_fraction ×`` (its own
+    service time) is also issued to the next-shortest replica; both
+    devices are charged (hedges are not free) and the earlier finish
+    wins.
+
+    Fully deterministic for a given schedule and fault plan; the
+    archiver is only consulted for extents, so the replay is
+    O(requests).
+    """
+    timelines = {
+        node_id: _NodeTimeline(node, cache_bytes)
+        for node_id, node in router.nodes.items()
+    }
+    report = ClusterLoadReport()
+    for node_id in router.nodes:
+        report.node_reads[node_id] = 0
+        report.node_busy_s[node_id] = 0.0
+    metrics = router.metrics
+
+    for request in sorted(schedule, key=lambda r: (r.arrival_s, r.request_id)):
+        arrival = request.arrival_s
+        key = f"obj/{request.object_id}"
+        replicas = router.placement.replica_set(request.object_id)
+
+        # Probe replicas in ring order: each probe passes the node's
+        # serve guard, so an armed node crash fires here and the dead
+        # replica is failed over, not counted as a failed read.
+        candidates: list[tuple[_NodeTimeline, object]] = []
+        for position, node_id in enumerate(replicas):
+            timeline = timelines.get(node_id)
+            if timeline is None:
+                continue
+            try:
+                record = timeline.node.record(request.object_id)
+            except FAILOVER_ERRORS:
+                node = timeline.node
+                if not node.is_up and node_id not in router._seen_down:
+                    router._seen_down.add(node_id)
+                    metrics.on_node_status(node_id, "down", arrival)
+                next_id = (
+                    replicas[position + 1]
+                    if position + 1 < len(replicas) else None
+                )
+                report.failovers += 1
+                metrics.on_failover(node_id, next_id, "fetch", arrival)
+                continue
+            candidates.append((timeline, record.extent))
+
+        if not candidates:
+            report.failed_reads += 1
+            metrics.on_read_failed(request.station, request.object_id, arrival)
+            continue
+
+        # Cheapest outcomes first: a cache hit or an in-flight
+        # piggyback on any healthy replica beats touching a device.
+        hit = next(
+            (
+                (t, e) for t, e in candidates
+                if t.cache is not None and t.cache.get(key) is not None
+            ),
+            None,
+        )
+        flight = min(
+            (t for t, _ in candidates if t.flights.get(key, 0.0) > arrival),
+            key=lambda t: (t.flights[key], t.node.node_id),
+            default=None,
+        )
+        if flight is not None:
+            timeline = flight
+            finish = timeline.flights[key]
+            latency = finish - arrival
+            report.piggybacks += 1
+            served_by, service = timeline.node.node_id, 0.0
+        elif hit is not None:
+            timeline, _ = hit
+            latency = 0.0
+            report.cache_hits += 1
+            served_by, service = timeline.node.node_id, 0.0
+        else:
+            # Join the shortest queue among healthy replicas.
+            candidates.sort(
+                key=lambda pair: (pair[0].device_free, pair[0].node.node_id)
+            )
+            timeline, extent = candidates[0]
+            start = max(timeline.device_free, arrival)
+            service = timeline.geometry.access_time(timeline.head, extent)
+            finish = start + service
+            hedged = False
+            if hedge_fraction is not None and len(candidates) > 1:
+                deadline = arrival + hedge_floor_s + hedge_fraction * service
+                if finish > deadline:
+                    alt, alt_extent = candidates[1]
+                    alt_start = max(alt.device_free, arrival)
+                    alt_service = alt.geometry.access_time(
+                        alt.head, alt_extent
+                    )
+                    alt_finish = alt_start + alt_service
+                    # Hedges are not free: both devices do the work.
+                    _charge(report, alt, alt_extent, alt_start, alt_service)
+                    report.hedges += 1
+                    won = alt_finish < finish
+                    metrics.on_hedge(
+                        timeline.node.node_id, alt.node.node_id, won, arrival
+                    )
+                    if won:
+                        report.hedge_wins += 1
+                    hedged = True
+                    winner_finish = min(finish, alt_finish)
+            _charge(report, timeline, extent, start, service)
+            if timeline.cache is not None:
+                timeline.cache.put(key, bytes(extent.length))
+                timeline.flights[key] = finish
+            if hedged:
+                finish = winner_finish
+            latency = finish - arrival
+            served_by = timeline.node.node_id
+        report.latencies.append(latency)
+        report.node_reads[served_by] += 1
+        metrics.on_read(
+            served_by, request.station, latency, service, arrival + latency
+        )
+    return report
+
+
+def _charge(
+    report: ClusterLoadReport,
+    timeline: _NodeTimeline,
+    extent,
+    start: float,
+    service: float,
+) -> None:
+    """Charge one device read to a node's virtual timeline."""
+    timeline.device_free = start + service
+    timeline.head = extent.end
+    report.node_busy_s[timeline.node.node_id] += service

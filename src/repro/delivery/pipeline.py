@@ -30,11 +30,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import random
 from dataclasses import dataclass, field
 from enum import Enum
 
 import numpy as np
 
+from repro.cluster.placement import stable_hash
 from repro.delivery.chunks import (
     ChunkRequest,
     ChunkScheduler,
@@ -788,6 +790,8 @@ def fetch_with_retry(
     timeout_s: float = 30.0,
     backoff_s: float = 0.0,
     backoff_factor: float = 2.0,
+    jitter_fraction: float = 0.0,
+    rng=None,
     sleep=None,
     on_retry=None,
 ):
@@ -811,6 +815,17 @@ def fetch_with_retry(
     default; tests pass a recorder), and ``on_retry(retry_index,
     delay_s, error)`` observes every scheduled retry.
 
+    ``jitter_fraction`` decorrelates the schedule: each wait is
+    stretched to ``delay * (1 + jitter_fraction * u)`` with ``u``
+    drawn uniformly from ``[0, 1)`` by ``rng``.  Without jitter, every
+    workstation that lost the same replica retries on the *same*
+    exponential schedule and the failover target absorbs the whole
+    herd at once; with it, the herd spreads over a window that widens
+    with the backoff.  The default ``rng`` is seeded from the station
+    name (``random.Random(stable_hash(station))``), so each station's
+    jitter sequence is deterministic and repeatable while distinct
+    stations decorrelate — pass an explicit ``rng`` to override.
+
     Every op in :attr:`ServerFrontend._OPS` is retry-safe, including a
     ``read_scattered`` batch: a rejection happens at admission, before
     the archiver plans or reads anything, and a transient read fault
@@ -832,6 +847,12 @@ def fetch_with_retry(
         raise DeliveryError(
             f"backoff factor must be at least 1: {backoff_factor}"
         )
+    if not 0.0 <= jitter_fraction <= 1.0:
+        raise DeliveryError(
+            f"jitter fraction must be within [0, 1]: {jitter_fraction}"
+        )
+    if rng is None and jitter_fraction > 0:
+        rng = random.Random(stable_hash(station))
     if sleep is None:
         import time as _time
 
@@ -846,6 +867,8 @@ def fetch_with_retry(
             if attempt + 1 >= attempts:
                 break
             delay = backoff_s * (backoff_factor ** attempt)
+            if jitter_fraction > 0:
+                delay *= 1.0 + jitter_fraction * rng.random()
             if on_retry is not None:
                 on_retry(attempt, delay, exc)
             if delay > 0:

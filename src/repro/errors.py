@@ -160,6 +160,35 @@ class VersionError(ArchiverError):
     """A version-control operation failed."""
 
 
+class ClusterError(ArchiverError):
+    """The replicated object service could not satisfy a request.
+
+    Raised when every replica of an object failed (no failover target
+    remains), when the cluster is misconfigured, or when a rebalance
+    step is invalid for the current ring.
+    """
+
+
+class NodeDownError(ClusterError):
+    """The addressed cluster node is DOWN (crashed or removed).
+
+    A single node's death is *not* a client crash: the router catches
+    this (alongside :class:`TransientIOError`) and fails the request
+    over to the next replica.  It only propagates to callers when no
+    replica remains.
+    """
+
+
+class QuorumWriteError(ClusterError):
+    """A replicated store acknowledged fewer than ``W`` replicas.
+
+    The replicas that did accept the write keep it (writes are
+    idempotent per object id, so a retry converges); the caller must
+    treat the object as not durably stored until a retry or a
+    rebalance catch-up repairs the replica set.
+    """
+
+
 class DeliveryError(MinosError):
     """The streaming delivery pipeline was misused or misconfigured."""
 

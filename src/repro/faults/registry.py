@@ -108,3 +108,18 @@ CACHE_PUT = register_site(
 IDLE_COMPACT = register_site(
     "idle.compact", "before the idle sweep's end-of-run index compaction"
 )
+CLUSTER_NODE_CRASH = register_site(
+    "cluster.node_crash",
+    "at a cluster node's serve entry; an armed CRASH kills that node "
+    "(router fails reads over to the next replica)",
+)
+CLUSTER_REPLICA_WRITE = register_site(
+    "cluster.replica_write",
+    "before one replica accepts its copy of a fanned-out store "
+    "(the write-quorum decides whether the store succeeds)",
+)
+CLUSTER_MIGRATE = register_site(
+    "cluster.migrate",
+    "before a rebalance migration stores an object copy on its target "
+    "node (a failed move is retried on the next idle pass)",
+)

@@ -1,4 +1,4 @@
-"""Consistent-hash term sharding.
+"""Consistent-hash term sharding (re-export).
 
 Terms are spread over index shards with a consistent hash ring so that
 (a) a term's shard is a pure function of the term — every inserter and
@@ -6,56 +6,15 @@ every query planner agrees without coordination — and (b) changing the
 shard count moves only ~1/n of the vocabulary, which is what lets a
 grown archive re-shard incrementally instead of rebuilding.
 
-Hashing is deliberately *stable* (blake2b, not the salted builtin
-``hash``) so shard assignment — and therefore segment layouts, metrics
-and traces — are reproducible across processes and runs.
+The ring itself now lives in :mod:`repro.cluster.placement`, where the
+cluster subsystem reuses it to place whole objects on archiver nodes;
+this module re-exports it so existing imports — and, because the
+virtual-point labels are unchanged, existing shard *assignments* —
+stay byte-identical (see ``tests/test_cluster.py::TestShardingBackCompat``).
 """
 
 from __future__ import annotations
 
-import hashlib
-from bisect import bisect_right
+from repro.cluster.placement import HashRing, stable_hash
 
-
-def stable_hash(key: str) -> int:
-    """A process-independent 64-bit hash of ``key``."""
-    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
-    return int.from_bytes(digest, "big")
-
-
-class HashRing:
-    """Consistent hash ring mapping terms to shard ids.
-
-    Parameters
-    ----------
-    shard_ids:
-        The shard identifiers to place on the ring.
-    replicas:
-        Virtual nodes per shard; more replicas → smoother balance.
-    """
-
-    def __init__(self, shard_ids: list[int], replicas: int = 64) -> None:
-        if not shard_ids:
-            raise ValueError("hash ring needs at least one shard")
-        if replicas < 1:
-            raise ValueError(f"replicas must be positive: {replicas}")
-        points: list[tuple[int, int]] = []
-        for shard_id in shard_ids:
-            for replica in range(replicas):
-                points.append((stable_hash(f"shard:{shard_id}:{replica}"), shard_id))
-        points.sort()
-        self._points = [p for p, _ in points]
-        self._owners = [s for _, s in points]
-        self._shard_ids = sorted(shard_ids)
-
-    @property
-    def shard_ids(self) -> list[int]:
-        """All shard ids on the ring, sorted."""
-        return list(self._shard_ids)
-
-    def shard_for(self, term: str) -> int:
-        """The shard owning ``term`` (first ring point at or after its hash)."""
-        index = bisect_right(self._points, stable_hash(term))
-        if index == len(self._points):
-            index = 0
-        return self._owners[index]
+__all__ = ["HashRing", "stable_hash"]

@@ -61,6 +61,12 @@ class EventKind(enum.Enum):
     RECOVER_ROLLFORWARD = "recover_rollforward"
     RECOVER_ROLLBACK = "recover_rollback"
     RECOVER_COMPLETE = "recover_complete"
+    CLUSTER_READ = "cluster_read"
+    CLUSTER_WRITE = "cluster_write"
+    CLUSTER_FAILOVER = "cluster_failover"
+    CLUSTER_HEDGE = "cluster_hedge"
+    CLUSTER_MIGRATE = "cluster_migrate"
+    CLUSTER_NODE_STATUS = "cluster_node_status"
     INDEX_INSERT = "index_insert"
     INDEX_FLUSH = "index_flush"
     INDEX_COMPACT = "index_compact"

@@ -56,19 +56,34 @@ from tests.fault_workload import (
 
 pytestmark = pytest.mark.faults
 
-ALL_SITES = sorted(FAULT_SITES)
+#: Sites of the replication layer.  The canonical single-archiver
+#: workload never reaches them, and their transients are *absorbed* by
+#: design (failover, quorum, re-queued migration), so they are excluded
+#: from the generic sweeps and covered by :class:`TestClusterFaults`.
+CLUSTER_SITES = {
+    "cluster.node_crash",
+    "cluster.replica_write",
+    "cluster.migrate",
+}
+
+ALL_SITES = sorted(set(FAULT_SITES) - CLUSTER_SITES)
 
 
 class TestWorkloadCoverage:
     def test_canonical_workload_reaches_every_registered_site(self):
         # The guarantee behind the sweeps below: a crash armed at any
-        # registered site will actually fire during the workload.
+        # registered single-node site will actually fire during the
+        # workload.  Cluster sites live above the archiver and are
+        # exercised by TestClusterFaults instead.
         bundle = build_bundle()
         assert run_workload_catching(bundle) is None
         missed = [
-            site for site in FAULT_SITES if bundle.plan.arrivals(site) == 0
+            site
+            for site in FAULT_SITES
+            if site not in CLUSTER_SITES and bundle.plan.arrivals(site) == 0
         ]
         assert not missed, f"workload never reaches: {missed}"
+        assert CLUSTER_SITES <= set(FAULT_SITES)
 
 
 class TestCrashSweep:
@@ -365,3 +380,146 @@ class TestRecoveryReporting:
         snapshot = metrics.snapshot()
         assert snapshot.recovery_counts.get("rollforward", 0) >= 1
         assert snapshot.recovery_counts.get("complete") == 1
+
+
+def _build_cluster(node_plans=None, *, nodes=3, replication=2, objects=4,
+                   write_quorum=None):
+    """A small cluster with a replicated library and per-node plans."""
+    from repro.cluster import ClusterNode, ClusterRouter
+    from repro.server import Archiver
+    from repro.scenarios import build_object_library
+
+    node_plans = node_plans or {}
+    members = [
+        ClusterNode(i, fault_plan=node_plans.get(i)) for i in range(nodes)
+    ]
+    router = ClusterRouter(
+        members, replication=replication, write_quorum=write_quorum
+    )
+    objs = build_object_library(
+        Archiver(), visual_count=objects, audio_count=0
+    )
+    for obj in objs:
+        router.store(obj)
+    return router, members, objs
+
+
+class TestClusterFaults:
+    """The replication layer's sites: faults are absorbed, not fatal."""
+
+    @pytest.mark.parametrize("kind", [
+        pytest.param(FaultKind.CRASH, id="cluster.node_crash-crash"),
+        pytest.param(FaultKind.TRANSIENT, id="cluster.node_crash-transient"),
+    ])
+    def test_node_crash_site_fails_over(self, kind):
+        from repro.errors import NodeDownError
+        from repro.cluster.node import NodeStatus
+
+        plan = FaultPlan(
+            [FaultSpec(site="cluster.node_crash", kind=kind)]
+        )
+        router, members, objs = _build_cluster({0: plan})
+        # Every read must succeed: the faulted replica (if consulted)
+        # is failed over, never surfaced — and a node's SimulatedCrash
+        # must not escape the node boundary as a client crash.
+        for obj in objs:
+            fetched, _ = router.fetch_object(obj.object_id)
+            assert fetched.object_id == obj.object_id
+        assert plan.fired("cluster.node_crash") == 1
+        snap = router.metrics.snapshot()
+        assert snap.read_failures == 0
+        if kind is FaultKind.CRASH:
+            assert members[0].status is NodeStatus.DOWN
+            assert snap.failovers >= 1
+            with pytest.raises(NodeDownError):
+                members[0].serve("fetch", objs[0].object_id)
+            # Recovery follows the single-node contract: reopen from
+            # surviving devices; every sealed object is intact.
+            members[0].recover()
+            assert members[0].status is NodeStatus.UP
+            for obj in objs:
+                if obj.object_id in members[0]:
+                    members[0].serve("fetch", obj.object_id)
+
+    @pytest.mark.parametrize("kind,quorum", [
+        pytest.param(
+            FaultKind.TRANSIENT, 1, id="cluster.replica_write-transient"
+        ),
+        pytest.param(
+            FaultKind.TRANSIENT, None, id="cluster.replica_write-quorum"
+        ),
+        pytest.param(FaultKind.CRASH, 1, id="cluster.replica_write-crash"),
+    ])
+    def test_replica_write_site_degrades_to_quorum(self, kind, quorum):
+        from repro.errors import QuorumWriteError
+        from repro.cluster.node import NodeStatus
+        from tests.fault_workload import make_text_object
+        from repro.ids import IdGenerator
+
+        router, members, _ = _build_cluster(objects=0, write_quorum=quorum)
+        obj = make_text_object(IdGenerator("clw"), [["alpha"]])
+        # Placement is deterministic, so arm the fault on exactly the
+        # object's primary replica: that one write misses, the other
+        # replica acks.
+        primary = router.replica_set(obj.object_id)[0]
+        router.node(primary).fault_plan = FaultPlan(
+            [FaultSpec(site="cluster.replica_write", kind=kind)]
+        )
+        if quorum is None:
+            # Default majority quorum of an effective R=2 set is 2:
+            # one missed replica fails the store with a typed error...
+            with pytest.raises(QuorumWriteError):
+                router.store(obj)
+        else:
+            # ...while W=1 absorbs the miss as a degraded write.
+            outcome = router.store(obj)
+            assert len(outcome.acked) == 1
+            assert len(outcome.missed) == 1
+        # Either way the miss is repair debt, and catch-up repairs it
+        # once the faults have burnt out (transient) or the node
+        # recovered (crash).
+        assert router.under_replicated
+        if kind is FaultKind.CRASH:
+            downed = [m for m in members if m.status is NodeStatus.DOWN]
+            assert len(downed) == 1
+            downed[0].recover()
+        from repro.cluster import Rebalancer
+
+        rebalancer = Rebalancer(router)
+        assert rebalancer.catch_up() >= 1
+        report = rebalancer.run()
+        assert report.failed == 0
+        assert not router.under_replicated
+        holders = [m.node_id for m in members if obj.object_id in m]
+        assert set(router.replica_set(obj.object_id)) <= set(holders)
+
+    @pytest.mark.parametrize("kind", [
+        pytest.param(FaultKind.TRANSIENT, id="cluster.migrate-transient"),
+        pytest.param(FaultKind.CRASH, id="cluster.migrate-crash"),
+    ])
+    def test_migrate_site_requeues_and_retries(self, kind):
+        from repro.cluster import ClusterNode, Rebalancer
+        from repro.cluster.node import NodeStatus
+
+        router, members, objs = _build_cluster()
+        rebalancer = Rebalancer(router)
+        plan = FaultPlan([FaultSpec(site="cluster.migrate", kind=kind)])
+        joiner = ClusterNode(10, fault_plan=plan)
+        queued = rebalancer.join(joiner)
+        assert queued >= 1
+        first = rebalancer.run()
+        assert first.failed >= 1  # the armed step missed, re-queued
+        assert plan.fired("cluster.migrate") == 1
+        snap = router.metrics.snapshot()
+        assert snap.migration_failures >= 1
+        if kind is FaultKind.CRASH:
+            assert joiner.status is NodeStatus.DOWN
+            joiner.recover()
+        second = rebalancer.run()
+        assert second.failed == 0
+        assert second.remaining == 0
+        assert first.moved + second.moved + second.skipped >= queued
+        # Post-rebalance, every replica-set member holds its copies.
+        for obj in objs:
+            for node_id in router.replica_set(obj.object_id):
+                assert obj.object_id in router.node(node_id)

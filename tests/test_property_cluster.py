@@ -1,0 +1,128 @@
+"""Property-based invariants of consistent-hash cluster placement.
+
+Three families, over random node sets and key populations:
+
+* **Balance** — with enough virtual points, no node owns a share of
+  the key space wildly out of proportion to 1/n.
+* **Distinctness** — a replica set never names the same node twice,
+  is ordered primary-first, and is a pure function of the key.
+* **Minimal movement** — a join only ever *adds* the joining node to
+  a key's replica set; a leave only replaces the leaver.  Everything
+  else stays put, which is the property online rebalancing banks on.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.placement import HashRing, Placement
+
+node_sets = st.lists(
+    st.integers(0, 10_000), min_size=2, max_size=12, unique=True
+)
+keys = st.lists(
+    st.text(min_size=1, max_size=24), min_size=1, max_size=60, unique=True
+)
+
+
+# ----------------------------------------------------------------------
+# balance
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(0, 10_000), min_size=2, max_size=8, unique=True))
+def test_placement_balance_within_tolerance(node_ids):
+    # Many keys, generous vnodes: the heaviest node stays within a
+    # constant factor of fair share.  (Consistent hashing's imbalance
+    # shrinks as O(1/sqrt(vnodes)); 128 points keeps the factor small
+    # enough to assert without flaking.)
+    placement = Placement(node_ids, replication=1, vnodes=128)
+    counts = dict.fromkeys(node_ids, 0)
+    total = 2000
+    for i in range(total):
+        counts[placement.primary(f"key-{i}")] += 1
+    fair = total / len(node_ids)
+    assert max(counts.values()) <= 3.0 * fair
+    assert min(counts.values()) >= fair / 8.0
+
+
+# ----------------------------------------------------------------------
+# distinctness + determinism
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(node_sets, keys, st.integers(1, 4))
+def test_replica_sets_distinct_and_deterministic(node_ids, key_list, r):
+    placement = Placement(node_ids, replication=r, vnodes=32)
+    effective = min(r, len(node_ids))
+    for key in key_list:
+        owners = placement.replica_set(key)
+        assert len(owners) == effective
+        assert len(set(owners)) == effective  # never the same node twice
+        assert set(owners) <= set(node_ids)
+        assert owners == placement.replica_set(key)  # pure function
+        assert owners[0] == placement.primary(key)
+
+
+@settings(max_examples=50, deadline=None)
+@given(node_sets, keys)
+def test_primary_agrees_with_index_sharding(node_ids, key_list):
+    # The cluster's primary and the index's shard_for are the same
+    # ring walk: symmetric placement of objects and terms.
+    placement = Placement(node_ids, replication=1, vnodes=32)
+    ring = HashRing(node_ids, replicas=32)
+    for key in key_list:
+        assert placement.primary(key) == ring.shard_for(key)
+
+
+# ----------------------------------------------------------------------
+# minimal movement
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(node_sets, keys, st.integers(1, 3), st.integers(10_001, 20_000))
+def test_join_moves_only_to_the_joiner(node_ids, key_list, r, joiner):
+    base = Placement(node_ids, replication=r, vnodes=32)
+    grown = base.with_node(joiner)
+    for key in key_list:
+        before = base.replica_set(key)
+        after = grown.replica_set(key)
+        # New owners can only be the joiner; keys it doesn't claim are
+        # untouched.
+        assert set(after) <= set(before) | {joiner}
+        if joiner not in after:
+            assert after == before
+
+
+@settings(max_examples=40, deadline=None)
+@given(node_sets, keys, st.integers(1, 3), st.data())
+def test_leave_moves_only_the_leavers_keys(node_ids, key_list, r, data):
+    base = Placement(node_ids, replication=r, vnodes=32)
+    leaver = data.draw(st.sampled_from(node_ids))
+    shrunk = base.without_node(leaver)
+    for key in key_list:
+        before = base.replica_set(key)
+        after = shrunk.replica_set(key)
+        assert leaver not in after
+        if leaver not in before:
+            # The leave may not disturb keys the leaver never owned.
+            assert after == before
+        else:
+            # Surviving owners keep their copies; at most one new node
+            # steps in for the leaver.
+            assert set(before) - {leaver} <= set(after)
+            assert len(set(after) - set(before)) <= 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(node_sets, st.integers(10_001, 20_000))
+def test_join_then_leave_is_identity(node_ids, joiner):
+    base = Placement(node_ids, replication=2, vnodes=32)
+    round_trip = base.with_node(joiner).without_node(joiner)
+    for i in range(50):
+        key = f"key-{i}"
+        assert round_trip.replica_set(key) == base.replica_set(key)

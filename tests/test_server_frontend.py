@@ -397,3 +397,61 @@ class TestRetryBackoff:
         assert plan.fired(DEVICE_READ) == 1
         assert snap.error_kinds.get("TransientIOError") == 1
         assert snap.errors == 1
+
+
+class TestRetryJitter:
+    """Seeded jitter decorrelates stations failing over from one node."""
+
+    def _delays(self, station, **kwargs):
+        from repro.delivery.pipeline import fetch_with_retry
+        from repro.errors import TransientIOError
+
+        fe = _ScriptedFrontend([TransientIOError("flaky")] * 3)
+        sleeps = []
+        fetch_with_retry(
+            fe, "fetch", "obj", station=station, attempts=4,
+            backoff_s=0.5, backoff_factor=2.0, sleep=sleeps.append,
+            **kwargs,
+        )
+        return sleeps
+
+    def test_jitter_is_deterministic_per_station(self):
+        first = self._delays("ws-3", jitter_fraction=0.5)
+        second = self._delays("ws-3", jitter_fraction=0.5)
+        assert first == second
+
+    def test_stations_decorrelate(self):
+        # The whole point: two stations that lost the same replica must
+        # not retry in lockstep.
+        a = self._delays("ws-0", jitter_fraction=0.5)
+        b = self._delays("ws-1", jitter_fraction=0.5)
+        assert a != b
+
+    def test_jitter_bounded_and_monotone_in_expectation(self):
+        base = [0.5, 1.0, 2.0]
+        jittered = self._delays("ws-5", jitter_fraction=0.25)
+        for expected, actual in zip(base, jittered):
+            assert expected <= actual <= expected * 1.25
+
+    def test_zero_jitter_keeps_exact_schedule(self):
+        assert self._delays("ws-9") == [0.5, 1.0, 2.0]
+        assert self._delays("ws-9", jitter_fraction=0.0) == [0.5, 1.0, 2.0]
+
+    def test_explicit_rng_overrides_station_seed(self):
+        import random
+
+        a = self._delays("ws-0", jitter_fraction=0.5,
+                         rng=random.Random(1234))
+        b = self._delays("ws-1", jitter_fraction=0.5,
+                         rng=random.Random(1234))
+        assert a == b  # same rng, station no longer matters
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.5])
+    def test_invalid_jitter_fraction_rejected(self, bad):
+        from repro.delivery.pipeline import fetch_with_retry
+        from repro.errors import DeliveryError
+
+        fe = _ScriptedFrontend()
+        with pytest.raises(DeliveryError):
+            fetch_with_retry(fe, "fetch", "obj", jitter_fraction=bad)
+        assert fe.submissions == 0
