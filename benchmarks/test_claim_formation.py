@@ -15,6 +15,7 @@ the object self-contained (and strictly larger).
 
 import pytest
 
+from repro.compress import maybe_decode
 from repro.formatter.archive import mail_outside
 from repro.formatter.builder import ObjectFormatter, rebuild_object
 from repro.ids import IdGenerator
@@ -65,11 +66,12 @@ def test_stored_offsets_rebased_to_archiver(report, results):
         f"offset {minimum:,} >= composition base {record.composition_base:,}",
     )
     assert minimum >= record.composition_base
-    # And the pieces read back correctly through absolute reads.
+    # And the pieces read back correctly through absolute reads — the
+    # platter holds the compressed frame, which decodes to the bitmap.
     tag = f"image/{report.images[0].image_id}"
     extent = archiver.data_extent(report.object_id, tag)
     data, _ = archiver.read_absolute(extent.offset, extent.length)
-    assert data == report.images[0].bitmap.pixels.tobytes()
+    assert maybe_decode(data) == report.images[0].bitmap.pixels.tobytes()
 
 
 def test_shared_data_avoids_duplication(results):

@@ -43,7 +43,10 @@ def test_miniature_stream_vs_full_objects(library, results):
         f"{card_done:.3f}s vs full objects {full_bytes:,}B / {full_done:.3f}s "
         f"({full_bytes / card_bytes:.0f}x bytes, {full_done / card_done:.1f}x time)",
     )
-    assert card_bytes * 5 < full_bytes
+    # Full objects ship compressed extents now, which narrows the byte
+    # gap (the 192x192 rasters compress ~30x); cards must still cost
+    # well under a third of shipping whole objects.
+    assert card_bytes * 3 < full_bytes
     assert card_done < full_done
 
 

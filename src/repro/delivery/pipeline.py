@@ -245,6 +245,13 @@ def build_streaming_workload(
         audio_obj = audio[index % len(audio)]
         tag, bytes_per_s = _voice_piece(audio_obj)
         extent = archiver.data_extent(audio_obj.object_id, tag)
+        # The stream delivers *stored* bytes.  A compressed piece holds
+        # the same playout seconds in fewer bytes, so the byte rate that
+        # keeps the speaker fed scales by stored/raw (ratio 1 when
+        # compression is off).
+        raw_len = audio_obj.voice_segments[0].recording.n_samples
+        if raw_len:
+            bytes_per_s *= extent.length / raw_len
         stream = StreamIntent(
             object_id=audio_obj.object_id,
             tag=tag,

@@ -93,6 +93,18 @@ class JournalError(StorageError):
     """The write-ahead journal is malformed or was misused."""
 
 
+class MediaCodecError(StorageError):
+    """A compressed media frame is corrupt, truncated, or unknown.
+
+    Raised by strict frame decoding (:func:`repro.compress.frame
+    .decode_frame`) when the magic, CRC, codec id, or declared raw
+    length do not check out.  This is a *hard* error — the stored bytes
+    themselves are bad, so unlike :class:`TransientIOError` a retry
+    against the same extent cannot succeed and
+    :func:`repro.delivery.pipeline.fetch_with_retry` will not retry it.
+    """
+
+
 class RecoveryError(MinosError):
     """Crash recovery could not reconstruct a consistent archive."""
 

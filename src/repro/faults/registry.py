@@ -123,3 +123,8 @@ CLUSTER_MIGRATE = register_site(
     "before a rebalance migration stores an object copy on its target "
     "node (a failed move is retried on the next idle pass)",
 )
+COMPRESS_DECODE = register_site(
+    "compress.decode",
+    "before the archiver decodes a compressed piece frame on the open "
+    "path (genuine corruption raises a hard MediaCodecError instead)",
+)

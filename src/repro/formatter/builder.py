@@ -15,9 +15,10 @@ offsets within the archiver."
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.compress import PieceStats, encode_piece, maybe_decode
 from repro.errors import FormationError
 from repro.formatter import serialize
 from repro.formatter.composition import (
@@ -38,6 +39,8 @@ class FormedObject:
 
     descriptor: Descriptor
     composition: bytes
+    #: Per-piece compression accounting (empty when compression is off).
+    pieces: list[PieceStats] = field(default_factory=list)
 
 
 class ObjectFormatter:
@@ -51,12 +54,26 @@ class ObjectFormatter:
         copied into the composition file; the descriptor records an
         archiver pointer instead ("so that data duplication is
         avoided").
+    compression:
+        When true (the default), every data piece is wrapped in a
+        self-describing compressed frame (:mod:`repro.compress`) before
+        it enters the composition file, so everything downstream —
+        platter extents, staging cache, shared link, replication —
+        moves stored bytes.  Bitmap pieces that back *windowed* reads
+        (source images of a representation, addressed row-by-row via
+        ``read_piece_rows``) are exempted and stay raw, preserving
+        byte-offset addressing.  When false, formation is byte-identical
+        to the uncompressed historical format.
     """
 
     def __init__(
-        self, shared_archiver_data: dict[str, tuple[int, int]] | None = None
+        self,
+        shared_archiver_data: dict[str, tuple[int, int]] | None = None,
+        *,
+        compression: bool = True,
     ) -> None:
         self._shared = dict(shared_archiver_data or {})
+        self._compression = compression
 
     def form(self, obj: MultimediaObject) -> FormedObject:
         """Produce the descriptor and composition file for ``obj``.
@@ -97,15 +114,37 @@ class ObjectFormatter:
         ]
         extra["presentation"] = serialize.presentation_spec_to_dict(obj.presentation)
 
+        # Bitmaps backing a representation are read row-by-row through
+        # raw byte offsets (read_piece_rows / fetch_window); framing
+        # them would break that addressing, so they stay stored raw.
+        windowed_tags = {
+            f"image/{image.source_image_id}"
+            for image in obj.images
+            if image.is_representation and image.source_image_id is not None
+        }
+
         composition = CompositionFile()
         locations: list[DataLocation] = []
+        pieces: list[PieceStats] = []
         for tag, kind, data in registry.blobs():
+            stored = data
+            if self._compression and tag not in windowed_tags:
+                stored, codec = encode_piece(data, kind)
+                pieces.append(
+                    PieceStats(
+                        tag=tag,
+                        kind=str(getattr(kind, "value", kind)),
+                        codec=codec,
+                        raw_len=len(data),
+                        stored_len=len(stored),
+                    )
+                )
             if tag in self._shared:
                 offset, length = self._shared[tag]
-                if length != len(data):
+                if length != len(stored):
                     raise FormationError(
                         f"shared archiver data {tag!r} has length {length}, "
-                        f"but the piece is {len(data)} bytes"
+                        f"but the piece is {len(stored)} bytes"
                     )
                 locations.append(
                     DataLocation(
@@ -117,7 +156,7 @@ class ObjectFormatter:
                     )
                 )
             else:
-                locations.append(composition.append(tag, kind, data))
+                locations.append(composition.append(tag, kind, stored))
 
         descriptor = Descriptor(
             object_id=obj.object_id,
@@ -126,24 +165,34 @@ class ObjectFormatter:
             attributes=obj.attributes.as_dict(),
             extra=extra,
         )
-        return FormedObject(descriptor=descriptor, composition=composition.to_bytes())
+        return FormedObject(
+            descriptor=descriptor,
+            composition=composition.to_bytes(),
+            pieces=pieces,
+        )
 
 
 def rebuild_object(
     descriptor: Descriptor,
     composition: bytes,
     archiver_read: Callable[[int, int], bytes] | None = None,
+    *,
+    decoder: Callable[[bytes], bytes] | None = None,
 ) -> MultimediaObject:
     """Reconstruct an archived object from its stored form.
 
     ``archiver_read(offset, length)`` resolves ARCHIVER-source data
     pointers; it is required whenever the descriptor has any.
+    ``decoder`` maps stored piece bytes back to raw media bytes; it
+    defaults to :func:`repro.compress.maybe_decode`, which unwraps
+    compressed frames and passes raw pieces through untouched.
 
     Raises
     ------
     FormationError
         If an archiver pointer exists but no reader was supplied.
     """
+    decode = decoder if decoder is not None else maybe_decode
     read_composition = composition_reader(
         composition,
         [l for l in descriptor.locations if l.source is DataSource.COMPOSITION],
@@ -155,13 +204,13 @@ def rebuild_object(
         if location is None:
             raise FormationError(f"descriptor has no data tag {tag!r}")
         if location.source is DataSource.COMPOSITION:
-            return read_composition(tag)
+            return decode(read_composition(tag))
         if archiver_read is None:
             raise FormationError(
                 f"tag {tag!r} points into the archiver but no archiver "
                 "reader was supplied"
             )
-        return archiver_read(location.offset, location.length)
+        return decode(archiver_read(location.offset, location.length))
 
     extra = descriptor.extra
     obj = MultimediaObject(

@@ -50,6 +50,8 @@ class Bitmap:
         array broadcastable to ``(height, width)`` with values in
         ``[0, 255]``.
         """
+        if width <= 0 or height <= 0:
+            raise ImageError(f"bitmap size must be positive: {width}x{height}")
         ys, xs = np.mgrid[0:height, 0:width]
         values = np.clip(fn(xs, ys), 0, 255)
         return cls(values.astype(np.uint8))

@@ -20,8 +20,15 @@ import zlib
 from collections import Counter
 from dataclasses import dataclass, field
 
+from repro.compress import (
+    CompressionMetrics,
+    codec_name,
+    decode_frame,
+    is_framed,
+)
 from repro.errors import ArchiverError, MinosError, ObjectNotFoundError
 from repro.faults.registry import (
+    COMPRESS_DECODE,
     RECOGNIZE_APPLY,
     RECOGNIZE_JOURNAL,
     RECOGNIZE_SEAL,
@@ -95,8 +102,24 @@ class Archiver:
         process restart, then call :meth:`recover`.
     fault_plan:
         Optional :class:`~repro.faults.FaultPlan` consulted at the
-        ``archiver.store.*`` and ``archiver.recognize.*`` sites (and
-        threaded into a default-constructed ``archive_index``).
+        ``archiver.store.*``, ``archiver.recognize.*`` and
+        ``compress.decode`` sites (and threaded into a
+        default-constructed ``archive_index``).
+    compression:
+        When true (the default), data pieces are stored as compressed
+        frames (:mod:`repro.compress`): the platter extents, the staging
+        cache, and every byte that leaves this archiver hold *stored*
+        bytes, and :meth:`decode_piece` unwraps them on the open path.
+        When false, the archive is byte-identical to the historical
+        uncompressed format.
+    compression_metrics:
+        Optional :class:`~repro.compress.CompressionMetrics` recording
+        per-codec encode/decode activity (a private one is created if
+        not given).
+    server_metrics:
+        Optional :class:`~repro.server.metrics.ServerMetrics` whose
+        compression counters are advanced alongside the dedicated
+        compression metrics.
     """
 
     def __init__(
@@ -106,11 +129,22 @@ class Archiver:
         archive_index: ArchiveIndex | None = None,
         journal: Journal | None = None,
         fault_plan=None,
+        *,
+        compression: bool = True,
+        compression_metrics: CompressionMetrics | None = None,
+        server_metrics=None,
     ) -> None:
         self._disk = disk or OpticalDisk()
         self._cache = cache
         self._journal = journal if journal is not None else Journal()
         self._fault_plan = fault_plan
+        self._compression = compression
+        self.compression_metrics = (
+            compression_metrics
+            if compression_metrics is not None
+            else CompressionMetrics()
+        )
+        self._server_metrics = server_metrics
         self._records: dict[ObjectId, StoredObjectRecord] = {}
         # One lock serializes record-table mutation and device access:
         # the simulated disk tracks a head position, so concurrent reads
@@ -158,6 +192,11 @@ class Archiver:
     def fault_plan(self):
         """The fault plan threaded through this archiver (or None)."""
         return self._fault_plan
+
+    @property
+    def compression(self) -> bool:
+        """Whether new stores write compressed piece frames."""
+        return self._compression
 
     def _fire(self, site: str) -> None:
         if self._fault_plan is not None:
@@ -215,7 +254,9 @@ class Archiver:
             raise ArchiverError(
                 f"object {obj.object_id} must be archived before storing"
             )
-        formed = ObjectFormatter(shared_archiver_data).form(obj)
+        formed = ObjectFormatter(
+            shared_archiver_data, compression=self._compression
+        ).form(obj)
         descriptor, composition = formed.descriptor, formed.composition
 
         with self._lock:
@@ -272,6 +313,9 @@ class Archiver:
                 self._versions.pop(obj.object_id, None)
                 self._journal_abort(txid)
                 raise
+            # Compression accounting happens only once the store is
+            # durable: an aborted store contributes no media bytes.
+            self._account_compression(formed.pieces)
             # Index publishes happen after the seal: the transaction is
             # already durable, and recovery rebuilds both indexes from
             # the recovered records anyway, so a crash mid-publish
@@ -281,6 +325,49 @@ class Archiver:
                 obj.object_id, archive_postings(obj)
             )
             return record
+
+    def _account_compression(self, pieces) -> None:
+        """Advance compression counters for one durable store."""
+        if not pieces:
+            return
+        stats = getattr(self._disk, "stats", None)
+        for piece in pieces:
+            if stats is not None:
+                stats.media_raw_bytes += piece.raw_len
+                stats.media_stored_bytes += piece.stored_len
+            self.compression_metrics.on_encode(
+                piece.codec, piece.raw_len, piece.stored_len, tag=piece.tag
+            )
+            if self._server_metrics is not None:
+                self._server_metrics.on_compress_encode(
+                    piece.codec, piece.raw_len, piece.stored_len
+                )
+
+    def decode_piece(self, data: bytes) -> bytes:
+        """Decode one stored piece back to raw media bytes.
+
+        Framed pieces are strictly decoded (firing the
+        ``compress.decode`` fault site first); raw pieces — windowed
+        bitmaps and pre-compression archives — pass through untouched.
+
+        Raises
+        ------
+        MediaCodecError
+            If the frame is corrupt or truncated (hard: retries cannot
+            help, the stored bytes themselves are bad).
+        TransientIOError
+            When an armed fault plan injects a transient at the
+            ``compress.decode`` site.
+        """
+        if not is_framed(data):
+            return data
+        self._fire(COMPRESS_DECODE)
+        raw, codec_id = decode_frame(data)
+        name = codec_name(codec_id)
+        self.compression_metrics.on_decode(name, len(raw), len(data))
+        if self._server_metrics is not None:
+            self._server_metrics.on_compress_decode(name)
+        return raw
 
     # ------------------------------------------------------------------
     # recovery
@@ -306,6 +393,8 @@ class Archiver:
         archive_index: ArchiveIndex | None = None,
         fault_plan=None,
         metrics=None,
+        *,
+        compression: bool = True,
     ) -> tuple["Archiver", RecoveryReport]:
         """Re-open an archive after a (simulated) crash.
 
@@ -313,6 +402,8 @@ class Archiver:
         the same objects the crashed archiver held, since a
         :class:`~repro.errors.SimulatedCrash` kills the process, not
         the platter.  Returns the recovered archiver and the report.
+        ``compression`` governs *new* stores only; existing extents are
+        self-describing, so recovery and reads need no setting.
         """
         archiver = cls(
             disk=disk,
@@ -320,6 +411,7 @@ class Archiver:
             archive_index=archive_index,
             journal=journal,
             fault_plan=fault_plan,
+            compression=compression,
         )
         report = archiver.recover(metrics=metrics)
         return archiver, report
@@ -419,7 +511,10 @@ class Archiver:
             return data
 
         obj = rebuild_object(
-            _all_archiver(record.descriptor), b"", archiver_read=archiver_read
+            _all_archiver(record.descriptor),
+            b"",
+            archiver_read=archiver_read,
+            decoder=self.decode_piece,
         )
         if side_table:
             for segment in obj.voice_segments:
@@ -862,7 +957,10 @@ class CachingArchiver:
             return data
 
         obj = rebuild_object(
-            _all_archiver(record.descriptor), b"", archiver_read=archiver_read
+            _all_archiver(record.descriptor),
+            b"",
+            archiver_read=archiver_read,
+            decoder=self._archiver.decode_piece,
         )
         side_table = self._archiver.recognition_for(object_id)
         if side_table:

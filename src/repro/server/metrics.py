@@ -155,6 +155,27 @@ class MetricsSnapshot:
     fault_counts: dict[tuple[str, str], int]
     #: Recovery outcomes by name (``rollforward``, ``rollback``, ...).
     recovery_counts: dict[str, int]
+    #: Raw media bytes archived vs. the stored (framed) bytes they
+    #: became, plus per-codec encode/decode counts — populated when an
+    #: :class:`~repro.server.archiver.Archiver` is wired to these
+    #: metrics via ``server_metrics=``.
+    media_raw_bytes: int = 0
+    media_stored_bytes: int = 0
+    compress_encodes: dict[str, int] = None  # type: ignore[assignment]
+    compress_decodes: dict[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.compress_encodes is None:
+            object.__setattr__(self, "compress_encodes", {})
+        if self.compress_decodes is None:
+            object.__setattr__(self, "compress_decodes", {})
+
+    @property
+    def media_ratio(self) -> float:
+        """Raw/stored media byte ratio (1.0 when nothing was archived)."""
+        if not self.media_stored_bytes:
+            return 1.0
+        return self.media_raw_bytes / self.media_stored_bytes
 
     @property
     def hit_rate(self) -> float:
@@ -194,6 +215,10 @@ class ServerMetrics:
         self._error_kinds: dict[str, int] = {}
         self._fault_counts: dict[tuple[str, str], int] = {}
         self._recovery_counts: dict[str, int] = {}
+        self._media_raw_bytes = 0
+        self._media_stored_bytes = 0
+        self._compress_encodes: dict[str, int] = {}
+        self._compress_decodes: dict[str, int] = {}
         self._lock = threading.Lock()
 
     def on_admit(self, station: str, op: str, depth: int, time_s: float) -> None:
@@ -285,6 +310,22 @@ class ServerMetrics:
                 **detail,
             )
 
+    def on_compress_encode(self, codec: str, raw_len: int, stored_len: int) -> None:
+        """Record one archived piece's raw vs. stored byte counts."""
+        with self._lock:
+            self._media_raw_bytes += raw_len
+            self._media_stored_bytes += stored_len
+            self._compress_encodes[codec] = (
+                self._compress_encodes.get(codec, 0) + 1
+            )
+
+    def on_compress_decode(self, codec: str) -> None:
+        """Record one open-path frame decode."""
+        with self._lock:
+            self._compress_decodes[codec] = (
+                self._compress_decodes.get(codec, 0) + 1
+            )
+
     def snapshot(self) -> MetricsSnapshot:
         """A coherent immutable copy of all counters and histograms."""
         with self._lock:
@@ -301,4 +342,8 @@ class ServerMetrics:
                 error_kinds=dict(self._error_kinds),
                 fault_counts=dict(self._fault_counts),
                 recovery_counts=dict(self._recovery_counts),
+                media_raw_bytes=self._media_raw_bytes,
+                media_stored_bytes=self._media_stored_bytes,
+                compress_encodes=dict(self._compress_encodes),
+                compress_decodes=dict(self._compress_decodes),
             )

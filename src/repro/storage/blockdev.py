@@ -77,6 +77,19 @@ class DiskStats:
     bytes_read: int = 0
     bytes_written: int = 0
     busy_time_s: float = 0.0
+    #: Raw (pre-compression) media bytes archived onto this device, and
+    #: the stored (framed) bytes they became.  Advanced by
+    #: :meth:`repro.server.archiver.Archiver.store`; equal when
+    #: compression is off.
+    media_raw_bytes: int = 0
+    media_stored_bytes: int = 0
+
+    @property
+    def media_ratio(self) -> float:
+        """Raw/stored media byte ratio (1.0 when nothing was archived)."""
+        if not self.media_stored_bytes:
+            return 1.0
+        return self.media_raw_bytes / self.media_stored_bytes
 
 
 class SimulatedDisk:

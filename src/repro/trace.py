@@ -72,6 +72,8 @@ class EventKind(enum.Enum):
     INDEX_COMPACT = "index_compact"
     SEARCH_QUERY = "search_query"
     SEARCH_SHARD = "search_shard"
+    COMPRESS_ENCODE = "compress_encode"
+    COMPRESS_DECODE = "compress_decode"
 
 
 @dataclass(frozen=True, slots=True)

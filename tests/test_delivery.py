@@ -222,12 +222,17 @@ def small_pipeline_run():
     """One deterministic DEADLINE replay over a small library."""
     archiver = Archiver()
     objects = build_object_library(archiver, visual_count=3, audio_count=4)
+    # Page finely: compressed image pieces are ~1.2 KB, and the replay
+    # should still exercise multi-page browsing and prefetch hits.
     scripts = build_streaming_workload(
-        archiver, objects, stations=3, duration_s=10.0, think_s=1.0, seed=7
+        archiver, objects, stations=3, duration_s=10.0, think_s=1.0, seed=7,
+        page_bytes=256,
     )
     metrics = DeliveryMetrics()
     pipeline = DeliveryPipeline(
-        archiver, DeliveryConfig(policy=DeliveryPolicy.DEADLINE), metrics
+        archiver,
+        DeliveryConfig(policy=DeliveryPolicy.DEADLINE, page_bytes=256),
+        metrics,
     )
     report = pipeline.run(scripts)
     return report, metrics, pipeline
@@ -242,9 +247,12 @@ class TestBatchedPrefetch:
         objects = build_object_library(
             archiver, visual_count=3, audio_count=4
         )
+        # Compressed image pieces are ~1.2 KB, so page them finely
+        # enough that each object still spans several pages and the
+        # read-ahead window has something to sweep.
         scripts = build_streaming_workload(
             archiver, objects, stations=3, duration_s=10.0,
-            think_s=1.0, seed=7,
+            think_s=1.0, seed=7, page_bytes=256,
         )
         sweeps = []
         real_raw = archiver.read_scattered_raw
@@ -258,7 +266,8 @@ class TestBatchedPrefetch:
         pipeline = DeliveryPipeline(
             archiver,
             DeliveryConfig(
-                policy=DeliveryPolicy.DEADLINE, prefetch_stagger_s=0.0
+                policy=DeliveryPolicy.DEADLINE, prefetch_stagger_s=0.0,
+                page_bytes=256,
             ),
             metrics,
         )

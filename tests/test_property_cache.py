@@ -211,7 +211,7 @@ def test_prefetched_ranges_hit_in_cache_stats(visual_library):
     caching = CachingArchiver(archiver, cache)
     prefetcher = Prefetcher(caching, cache, depth=2)
     obj = visual[0]
-    extents = page_extents_for(archiver, obj.object_id, 16_000)
+    extents = page_extents_for(archiver, obj.object_id, 256)
     assert len(extents) >= 3
     tasks = prefetcher.observe_view("ws-0", obj.object_id, 0, extents)
     assert [t.page for t in tasks] == [1, 2]
@@ -237,7 +237,7 @@ def test_cancelled_prefetch_never_publishes(visual_library):
     cache = LRUCache(4_000_000)
     prefetcher = Prefetcher(archiver, cache, depth=2)
     obj = visual[1]
-    extents = page_extents_for(archiver, obj.object_id, 16_000)
+    extents = page_extents_for(archiver, obj.object_id, 256)
     tasks = prefetcher.observe_view("ws-0", obj.object_id, 0, extents)
     prefetcher.jump("ws-0")
     for task in tasks:
@@ -260,7 +260,7 @@ def test_jump_during_read_blocks_stale_publish(visual_library):
     cache = LRUCache(4_000_000)
     prefetcher = Prefetcher(archiver, cache, depth=1)
     obj = visual[2]
-    extents = page_extents_for(archiver, obj.object_id, 16_000)
+    extents = page_extents_for(archiver, obj.object_id, 256)
     [task] = prefetcher.observe_view("ws-0", obj.object_id, 0, extents)
 
     real_read = archiver.read_raw
@@ -292,7 +292,7 @@ def test_batch_prefetch_matches_single_execution(visual_library):
     """
     archiver, visual = visual_library
     obj = visual[0]
-    extents = page_extents_for(archiver, obj.object_id, 16_000)
+    extents = page_extents_for(archiver, obj.object_id, 256)
 
     single_cache = LRUCache(4_000_000)
     single = Prefetcher(archiver, single_cache, depth=2)
@@ -322,7 +322,7 @@ def test_batch_prefetch_respects_cancellation_gate(visual_library):
     cache = LRUCache(4_000_000)
     prefetcher = Prefetcher(archiver, cache, depth=2)
     obj = visual[1]
-    extents = page_extents_for(archiver, obj.object_id, 16_000)
+    extents = page_extents_for(archiver, obj.object_id, 256)
     tasks = prefetcher.observe_view("ws-0", obj.object_id, 0, extents)
     assert len(tasks) == 2
 
@@ -353,7 +353,7 @@ def test_batch_prefetch_serves_staged_ranges_from_cache(visual_library):
     cache = LRUCache(4_000_000)
     prefetcher = Prefetcher(archiver, cache, depth=2)
     obj = visual[2]
-    extents = page_extents_for(archiver, obj.object_id, 16_000)
+    extents = page_extents_for(archiver, obj.object_id, 256)
     tasks = prefetcher.observe_view("ws-0", obj.object_id, 0, extents)
     cold, _cold_service = prefetcher.execute_batch(tasks)
     assert all(payload is not None for payload in cold)

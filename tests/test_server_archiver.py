@@ -15,6 +15,7 @@ from repro.objects import (
 )
 from repro.images.bitmap import Bitmap
 from repro.images.image import Image
+from repro.images.miniature import make_miniature
 from repro.server.archiver import Archiver
 from repro.storage.cache import LRUCache
 
@@ -37,6 +38,34 @@ def _simple_object(generator, topic="alpha"):
         bitmap=Bitmap.from_function(40, 30, lambda x, y: (x + 2 * y) % 256),
     )
     obj.add_image(image)
+    obj.presentation = PresentationSpec(
+        items=[TextFlow(segment.segment_id), ImagePage(image.image_id)]
+    )
+    return obj.archive()
+
+
+def _windowed_object(generator, topic="delta"):
+    """Like :func:`_simple_object`, but the image carries a miniature
+    representation, so its bitmap piece is stored raw (byte-offset row
+    addressing for view windows) even with compression on."""
+    obj = MultimediaObject(
+        object_id=generator.object_id(),
+        driving_mode=DrivingMode.VISUAL,
+        attributes=AttributeSet.of(topic=topic),
+    )
+    segment = TextSegment(
+        segment_id=generator.segment_id(),
+        markup=f"@title{{{topic}}}\nThis document discusses {topic} only.",
+    )
+    obj.add_text_segment(segment)
+    image = Image(
+        image_id=generator.image_id(),
+        width=40,
+        height=30,
+        bitmap=Bitmap.from_function(40, 30, lambda x, y: (x + 2 * y) % 256),
+    )
+    obj.add_image(image)
+    obj.add_image(make_miniature(image, 2, generator.image_id()))
     obj.presentation = PresentationSpec(
         items=[TextFlow(segment.segment_id), ImagePage(image.image_id)]
     )
@@ -115,7 +144,7 @@ class TestFetch:
 class TestPartialReads:
     def test_data_extent_and_range(self, generator):
         archiver = Archiver()
-        obj = _simple_object(generator)
+        obj = _windowed_object(generator)
         archiver.store(obj)
         tag = f"image/{obj.images[0].image_id}"
         extent = archiver.data_extent(obj.object_id, tag)
@@ -126,7 +155,7 @@ class TestPartialReads:
 
     def test_range_bounds_checked(self, generator):
         archiver = Archiver()
-        obj = _simple_object(generator)
+        obj = _windowed_object(generator)
         archiver.store(obj)
         tag = f"image/{obj.images[0].image_id}"
         with pytest.raises(ArchiverError):
@@ -134,7 +163,7 @@ class TestPartialReads:
 
     def test_scatter_rows(self, generator):
         archiver = Archiver()
-        obj = _simple_object(generator)
+        obj = _windowed_object(generator)
         archiver.store(obj)
         tag = f"image/{obj.images[0].image_id}"
         pixels = obj.images[0].bitmap.pixels
@@ -146,7 +175,7 @@ class TestPartialReads:
 
     def test_scatter_cheaper_than_separate_seeks(self, generator):
         archiver = Archiver()
-        obj = _simple_object(generator)
+        obj = _windowed_object(generator)
         archiver.store(obj)
         tag = f"image/{obj.images[0].image_id}"
         ranges = [(row * 40, 40) for row in range(20)]

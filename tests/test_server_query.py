@@ -118,7 +118,10 @@ class TestMiniatureStream:
         full = list(interface.full_object_stream(ids))
         card_bytes = sum(c.nbytes for c in cards)
         full_bytes = sum(n for _, n, _ in full)
-        assert card_bytes * 5 < full_bytes
+        # Full objects now ship compressed extents, which narrows the
+        # gap; cards must still cost well under half of shipping whole
+        # objects.
+        assert card_bytes * 2 < full_bytes
 
     def test_first_card_beats_first_full_object(self, library):
         archiver, _ = library
