@@ -34,6 +34,10 @@ from dataclasses import dataclass, field
 from repro.cluster.node import ClusterNode
 from repro.cluster.placement import Placement
 from repro.cluster.router import ClusterRouter
+from repro.obs.context import bind as bind_span
+from repro.obs.context import current as current_span
+from repro.obs.spans import SpanKind as ObsSpanKind
+from repro.obs.spans import SpanStatus as ObsSpanStatus
 from repro.errors import (
     ClusterError,
     NodeDownError,
@@ -291,6 +295,7 @@ class Rebalancer:
         budget = len(self._pending) if max_steps is None else max_steps
         retry: list[MigrationStep] = []
         metrics = self._router.metrics
+        obs = self._router.obs
         while self._pending and budget > 0:
             step = self._pending.pop(0)
             budget -= 1
@@ -302,14 +307,31 @@ class Rebalancer:
             if source is None:
                 self._requeue(step, "source unavailable", retry, report)
                 continue
+            active = None
+            if obs is not None:
+                active = obs.start(
+                    current_span(), "migrate", ObsSpanKind.MIGRATE, now_s,
+                    object=str(step.object_id), source=step.source,
+                    target=step.target,
+                )
             try:
-                obj, _ = source.archiver.fetch_object(step.object_id)
-                record = target.receive_migration(obj)
+                if active is not None:
+                    with bind_span(active.context):
+                        obj, _ = source.archiver.fetch_object(step.object_id)
+                        record = target.receive_migration(obj)
+                else:
+                    obj, _ = source.archiver.fetch_object(step.object_id)
+                    record = target.receive_migration(obj)
             except (TransientIOError, NodeDownError, ObjectNotFoundError) as e:
                 metrics.on_migrate(
                     step.object_id, step.source, step.target, 0, now_s,
                     ok=False,
                 )
+                if active is not None:
+                    active.finish(
+                        now_s, status=ObsSpanStatus.RETRIED,
+                        error=type(e).__name__,
+                    )
                 self._requeue(step, type(e).__name__, retry, report)
                 continue
             report.moved += 1
@@ -318,6 +340,8 @@ class Rebalancer:
                 step.object_id, step.source, step.target,
                 record.extent.length, now_s,
             )
+            if active is not None:
+                active.finish(now_s, bytes=record.extent.length)
         self._pending.extend(retry)
         report.remaining = len(self._pending)
         return report

@@ -41,7 +41,12 @@ from repro.errors import (
     QuorumWriteError,
     TransientIOError,
 )
+from repro.obs.context import bind as bind_span
+from repro.obs.context import current as current_span
+from repro.obs.spans import SpanKind as ObsSpanKind
+from repro.obs.spans import SpanStatus as ObsSpanStatus
 from repro.server.loadgen import LoadRequest
+from repro.server.metrics import percentile as shared_percentile
 from repro.storage.cache import LRUCache
 
 #: Per-replica failures the read path fails over on.  A missing copy is
@@ -128,6 +133,7 @@ class ClusterRouter:
         vnodes: int = 64,
         metrics: ClusterMetrics | None = None,
         hedge_after_s: float | None = None,
+        obs=None,
     ) -> None:
         if not nodes:
             raise ClusterError("a cluster needs at least one node")
@@ -155,6 +161,23 @@ class ClusterRouter:
         #: Nodes whose DOWN state the read path has already reported,
         #: so a long outage is one status event, not one per failover.
         self._seen_down: set[int] = set()
+        self._obs = None
+        if obs is not None:
+            self.obs = obs
+
+    @property
+    def obs(self):
+        """Optional span recorder, shared with every member archiver."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, recorder) -> None:
+        # One recorder spans the whole cluster: member archivers emit
+        # their codec/index leaf spans into it, parented (ambiently) on
+        # whichever replica-attempt span is being served.
+        self._obs = recorder
+        for node in self._nodes.values():
+            node.archiver.obs = recorder
 
     # ------------------------------------------------------------------
     # membership + placement
@@ -192,6 +215,8 @@ class ClusterRouter:
         old = self._placement
         self._placement = old.with_node(node.node_id)
         self._nodes[node.node_id] = node
+        if self._obs is not None:
+            node.archiver.obs = self._obs
         self._refresh_quorum()
         self.metrics.on_node_status(node.node_id, "joined", now_s)
         return old
@@ -222,7 +247,7 @@ class ClusterRouter:
     # ------------------------------------------------------------------
 
     def store(
-        self, obj, shared_archiver_data=None, *, now_s: float = 0.0
+        self, obj, shared_archiver_data=None, *, now_s: float = 0.0, ctx=None
     ) -> StoreOutcome:
         """Fan one store to all replicas; succeed on a write quorum.
 
@@ -235,16 +260,34 @@ class ClusterRouter:
             still lets catch-up repair converge.
         """
         replicas = self._placement.replica_set(obj.object_id)
+        active = None
+        if self._obs is not None:
+            active = self._obs.start(
+                ctx if ctx is not None else current_span(),
+                "cluster:write", ObsSpanKind.CLUSTER, now_s,
+                object=str(obj.object_id), replicas=len(replicas),
+            )
         acked: list[int] = []
         missed: list[int] = []
         ack_times: list[float] = []
         for node_id in replicas:
             node = self._nodes[node_id]
             try:
-                record = node.store(obj, shared_archiver_data)
-            except (TransientIOError, NodeDownError):
+                if active is not None:
+                    with bind_span(active.context):
+                        record = node.store(obj, shared_archiver_data)
+                else:
+                    record = node.store(obj, shared_archiver_data)
+            except (TransientIOError, NodeDownError) as error:
                 missed.append(node_id)
                 self.metrics.on_replica_write(node_id, False)
+                if active is not None:
+                    self._obs.emit(
+                        active.context, f"replica:{node_id}",
+                        ObsSpanKind.CLUSTER, now_s, now_s,
+                        status=ObsSpanStatus.ERROR,
+                        node=node_id, error=type(error).__name__,
+                    )
                 continue
             acked.append(node_id)
             self.metrics.on_replica_write(node_id, True)
@@ -253,7 +296,14 @@ class ClusterRouter:
             # device.  Replicas write in parallel, so the quorum is met
             # when the W-th fastest ack lands.
             geometry = node.archiver.disk.geometry
-            ack_times.append(geometry.access_time(0, record.extent))
+            ack_time = geometry.access_time(0, record.extent)
+            ack_times.append(ack_time)
+            if active is not None:
+                self._obs.emit(
+                    active.context, f"replica:{node_id}",
+                    ObsSpanKind.CLUSTER, now_s, now_s + ack_time,
+                    node=node_id,
+                )
         quorum_met = len(acked) >= self.write_quorum
         if quorum_met:
             quorum_latency = sorted(ack_times)[self.write_quorum - 1]
@@ -263,6 +313,14 @@ class ClusterRouter:
             obj.object_id, len(acked), len(replicas), quorum_latency, now_s,
             quorum_met=quorum_met,
         )
+        if active is not None:
+            active.finish(
+                now_s + quorum_latency,
+                status=(
+                    ObsSpanStatus.OK if quorum_met else ObsSpanStatus.ERROR
+                ),
+                acked=len(acked), quorum=self.write_quorum,
+            )
         for node_id in missed:
             self.under_replicated.append((obj.object_id, node_id))
         if not quorum_met:
@@ -286,9 +344,22 @@ class ClusterRouter:
         return replicas[start:] + replicas[:start]
 
     def request(
-        self, op: str, *params, station: str = "ws-0", arrival_s: float = 0.0
+        self,
+        op: str,
+        *params,
+        station: str = "ws-0",
+        arrival_s: float = 0.0,
+        ctx=None,
     ) -> tuple:
         """Serve one routable read with failover; ``(payload, service_s)``.
+
+        When a span recorder is attached, the whole routed read is one
+        ``route:<op>`` span (the router *is* the frontend protocol for
+        its clients) with one ``cluster:read`` child per replica
+        attempt: failed-over attempts finish ``retried``, hedge losers
+        ``hedged_loser``, and the winning attempt carries the device /
+        cache leaf spans plus whatever the member archiver emitted
+        under it (codec decodes, index shard lookups).
 
         Raises
         ------
@@ -304,14 +375,37 @@ class ClusterRouter:
                 f"routable: {ROUTABLE_OPS}"
             )
         object_id = params[0]
+        route = None
+        if self._obs is not None:
+            route = self._obs.start(
+                ctx if ctx is not None else current_span(),
+                f"route:{op}", ObsSpanKind.SERVER, arrival_s,
+                baggage={"station": station},
+                object=str(object_id), op=op,
+            )
         order = self._read_order(self._placement.replica_set(object_id))
         errors: list[Exception] = []
         for position, node_id in enumerate(order):
             node = self._nodes[node_id]
+            attempt = None
+            if route is not None:
+                attempt = self._obs.start(
+                    route.context, "cluster:read", ObsSpanKind.CLUSTER,
+                    arrival_s, node=node_id, op=op,
+                )
             try:
-                payload, service = node.serve(op, *params)
+                if attempt is not None:
+                    with bind_span(attempt.context):
+                        payload, service = node.serve(op, *params)
+                else:
+                    payload, service = node.serve(op, *params)
             except FAILOVER_ERRORS as error:
                 errors.append(error)
+                if attempt is not None:
+                    attempt.finish(
+                        arrival_s, status=ObsSpanStatus.RETRIED,
+                        error=type(error).__name__,
+                    )
                 if not node.is_up and node_id not in self._seen_down:
                     self._seen_down.add(node_id)
                     self.metrics.on_node_status(node_id, "down", arrival_s)
@@ -323,14 +417,31 @@ class ClusterRouter:
             if node_id in self._seen_down:
                 self._seen_down.discard(node_id)
                 self.metrics.on_node_status(node_id, "up", arrival_s)
+            primary_service = service
             payload, service, served_by = self._maybe_hedge(
-                op, params, order, position, payload, service, arrival_s
+                op, params, order, position, payload, service, arrival_s,
+                parent=route.context if route is not None else None,
             )
             self.metrics.on_read(
                 served_by, station, service, service, arrival_s + service
             )
+            if attempt is not None:
+                if served_by == node_id:
+                    self._attempt_leaf(attempt.context, arrival_s, service)
+                    attempt.finish(arrival_s + service)
+                else:
+                    attempt.finish(
+                        arrival_s + primary_service,
+                        status=ObsSpanStatus.HEDGED_LOSER,
+                    )
+                route.finish(arrival_s + service, served_by=served_by)
             return payload, service
         self.metrics.on_read_failed(station, object_id, arrival_s)
+        if route is not None:
+            route.finish(
+                arrival_s, status=ObsSpanStatus.ERROR,
+                attempts=len(order),
+            )
         transient = [e for e in errors if isinstance(e, TransientIOError)]
         if transient:
             raise TransientIOError(
@@ -342,20 +453,61 @@ class ClusterRouter:
             + "; ".join(type(e).__name__ for e in errors)
         ) from (errors[-1] if errors else None)
 
+    def _attempt_leaf(self, ctx, arrival_s: float, service: float) -> None:
+        """Device/cache attribution under the winning replica attempt."""
+        if service > 0.0:
+            self._obs.emit(
+                ctx, "device", ObsSpanKind.DEVICE,
+                arrival_s, arrival_s + service,
+            )
+        else:
+            self._obs.emit(
+                ctx, "cache", ObsSpanKind.CACHE, arrival_s, arrival_s,
+                hit=True,
+            )
+
     def _maybe_hedge(
-        self, op, params, order, position, payload, service, arrival_s
+        self, op, params, order, position, payload, service, arrival_s,
+        parent=None,
     ):
         """Hedge a slow read on the next replica; fastest response wins."""
         if self.hedge_after_s is None or service <= self.hedge_after_s:
             return payload, service, order[position]
         for hedge_id in order[position + 1:]:
             node = self._nodes[hedge_id]
+            attempt = None
+            if self._obs is not None and parent is not None:
+                attempt = self._obs.start(
+                    parent, "cluster:read", ObsSpanKind.CLUSTER,
+                    arrival_s, node=hedge_id, op=op, hedge=True,
+                )
             try:
-                hedge_payload, hedge_service = node.serve(op, *params)
-            except FAILOVER_ERRORS:
+                if attempt is not None:
+                    with bind_span(attempt.context):
+                        hedge_payload, hedge_service = node.serve(op, *params)
+                else:
+                    hedge_payload, hedge_service = node.serve(op, *params)
+            except FAILOVER_ERRORS as error:
+                if attempt is not None:
+                    attempt.finish(
+                        arrival_s, status=ObsSpanStatus.HEDGED_LOSER,
+                        error=type(error).__name__,
+                    )
                 continue
             won = hedge_service < service
             self.metrics.on_hedge(order[position], hedge_id, won, arrival_s)
+            if attempt is not None:
+                if won:
+                    self._attempt_leaf(
+                        attempt.context, arrival_s, hedge_service
+                    )
+                attempt.finish(
+                    arrival_s + hedge_service,
+                    status=(
+                        ObsSpanStatus.OK if won
+                        else ObsSpanStatus.HEDGED_LOSER
+                    ),
+                )
             if won:
                 return hedge_payload, hedge_service, hedge_id
             return payload, service, order[position]
@@ -386,6 +538,7 @@ class ClusterRouter:
         *params,
         station: str = "ws-0",
         arrival_s: float = 0.0,
+        ctx=None,
     ) -> RouterFuture:
         """Admit one request; returns a resolved :class:`RouterFuture`.
 
@@ -401,7 +554,7 @@ class ClusterRouter:
             )
         try:
             payload, service = self.request(
-                op, *params, station=station, arrival_s=arrival_s
+                op, *params, station=station, arrival_s=arrival_s, ctx=ctx
             )
         except (ClusterError, TransientIOError) as error:
             return RouterFuture(error=error)
@@ -434,9 +587,7 @@ class ClusterLoadReport:
         return len(self.latencies)
 
     def percentile(self, p: float) -> float:
-        if not self.latencies:
-            return 0.0
-        return float(np.percentile(self.latencies, p))
+        return shared_percentile(self.latencies, p)
 
     @property
     def p50_s(self) -> float:

@@ -34,6 +34,11 @@ from repro.images.bitmap import Bitmap
 from repro.images.geometry import Rect
 from repro.objects.model import DrivingMode, MultimediaObject, ObjectState
 from repro.objects.relationships import RelevanceKind, RelevantLink
+from repro.obs.context import bind as bind_span
+from repro.obs.context import current as current_span
+from repro.obs.spans import SpanKind as ObsSpanKind
+from repro.obs.spans import SpanRecorder
+from repro.obs.spans import SpanStatus as ObsSpanStatus
 from repro.server.archiver import Archiver, _all_archiver
 from repro.server.network import NetworkLink
 from repro.server.query import MiniatureCard, QueryInterface
@@ -220,10 +225,21 @@ class PresentationManager:
         *,
         batch_open: bool = True,
         decoded_cache_bytes: int = 8 << 20,
+        obs: SpanRecorder | None = None,
     ) -> None:
         self._store = store
         self._ws = workstation
         self._link = link or NetworkLink()
+        #: Optional span recorder; when set, every user-visible request
+        #: (open / navigate / search) roots one span tree and the store
+        #: layers below nest their spans under it via the ambient
+        #: context (docs/OBSERVABILITY.md).
+        self.obs = obs
+        if obs is not None:
+            if obs.clock is None:
+                obs.clock = lambda: self._ws.clock.now
+            if hasattr(self._store, "obs"):
+                self._store.obs = obs
         self._stack: list[_StackEntry] = []
         self._deferred: dict[ObjectId, dict[ImageId, _DeferredImage]] = {}
         self.bytes_shipped = 0
@@ -255,7 +271,28 @@ class PresentationManager:
 
     def open(self, object_id: ObjectId) -> Session:
         """Open an object as the root browsing session and display it."""
-        session = self._make_session(object_id)
+        if self.obs is not None:
+            active = self.obs.start(
+                None, "open", ObsSpanKind.REQUEST, self._ws.clock.now,
+                baggage={
+                    "station": self._ws.name, "object": str(object_id),
+                },
+            )
+            try:
+                with bind_span(active.context):
+                    session = self._make_session(object_id)
+            except Exception as exc:
+                active.finish(
+                    self._ws.clock.now, status=ObsSpanStatus.ERROR,
+                    error=type(exc).__name__,
+                )
+                raise
+            active.finish(
+                active.start_s + session.open_cost_s,
+                open_cost_s=round(session.open_cost_s, 9),
+            )
+        else:
+            session = self._make_session(object_id)
         self._stack = [_StackEntry(session=session)]
         session.open()
         # The menu options "are presented in the form of menu options"
@@ -298,6 +335,12 @@ class PresentationManager:
         if cached is not None:
             # Warm open: the decoded object is already at the
             # workstation — no server requests, zero bytes shipped.
+            if self.obs is not None:
+                now = self._ws.clock.now
+                self.obs.emit(
+                    current_span(), "decoded_cache", ObsSpanKind.CACHE,
+                    now, now, hit=True, object=str(object_id),
+                )
             self._ws.trace.record(
                 self._ws.clock.now,
                 EventKind.TRANSFER,
@@ -390,6 +433,18 @@ class PresentationManager:
             if not recording.is_materialized and recording.on_decode is None:
                 recording.on_decode = self._decode_tracer(segment.segment_id)
         network = self._link.transfer_time(shipped)
+        if self.obs is not None:
+            t0 = self._ws.clock.now
+            parent = current_span()
+            self.obs.emit(
+                parent, "archiver_read", ObsSpanKind.DEVICE,
+                t0, t0 + total_cost, bytes=shipped,
+                object=str(object_id),
+            )
+            self.obs.emit(
+                parent, "ship", ObsSpanKind.NETWORK,
+                t0 + total_cost, t0 + total_cost + network, bytes=shipped,
+            )
         self._ws.clock.advance(total_cost + network)
         self._ws.trace.record(
             self._ws.clock.now,
@@ -495,7 +550,30 @@ class PresentationManager:
             raise BrowsingError("only the current session can branch")
         link = self._find_visible_link(session, indicator)
         parent_composite = self._ws.screen.composite
-        child = self._make_session(link.target_object_id)
+        if self.obs is not None:
+            active = self.obs.start(
+                None, "navigate", ObsSpanKind.REQUEST, self._ws.clock.now,
+                baggage={
+                    "station": self._ws.name,
+                    "object": str(link.target_object_id),
+                },
+                indicator=indicator, depth=len(self._stack),
+            )
+            try:
+                with bind_span(active.context):
+                    child = self._make_session(link.target_object_id)
+            except Exception as exc:
+                active.finish(
+                    self._ws.clock.now, status=ObsSpanStatus.ERROR,
+                    error=type(exc).__name__,
+                )
+                raise
+            active.finish(
+                active.start_s + child.open_cost_s,
+                open_cost_s=round(child.open_cost_s, 9),
+            )
+        else:
+            child = self._make_session(link.target_object_id)
         self._materialize_relevances(child, link)
         if isinstance(child, VisualSession) and parent_composite is not None:
             child.inherited_base = parent_composite
@@ -596,7 +674,17 @@ class PresentationManager:
         if not isinstance(self._store, Archiver):
             raise BrowsingError("content queries need an archiver store")
         interface = QueryInterface(self._store, link=self._link)
-        object_ids = interface.select(terms=terms, **criteria)
+        if self.obs is not None:
+            active = self.obs.start(
+                None, "search", ObsSpanKind.REQUEST, self._ws.clock.now,
+                baggage={"station": self._ws.name},
+                terms=list(terms) if terms else [],
+            )
+            with bind_span(active.context):
+                object_ids = interface.select(terms=terms, **criteria)
+            active.finish(self._ws.clock.now, results=len(object_ids))
+        else:
+            object_ids = interface.select(terms=terms, **criteria)
         for card in interface.miniature_stream(object_ids):
             self._ws.clock.advance_to(card.available_at_s)
             self._ws.trace.record(

@@ -55,8 +55,14 @@ from repro.errors import (
 )
 from repro.ids import ObjectId
 from repro.objects.model import DrivingMode, MultimediaObject
+from repro.obs.context import bind as bind_span
+from repro.obs.context import current as current_span
+from repro.obs.spans import SpanContext, SpanKind as ObsSpanKind
+from repro.obs.spans import SpanRecorder
+from repro.obs.spans import SpanStatus as ObsSpanStatus
 from repro.server.archiver import Archiver, CachingArchiver
 from repro.server.frontend import ServerFrontend
+from repro.server.metrics import percentile as shared_percentile
 from repro.server.network import NetworkLink
 from repro.storage.blockdev import Extent
 from repro.storage.cache import LRUCache
@@ -157,9 +163,7 @@ class DeliveryReport:
 
     def page_latency_percentile(self, p: float) -> float:
         """Percentile of page-turn latency over all turns (0.0 if none)."""
-        if not self.page_latencies:
-            return 0.0
-        return float(np.percentile(self.page_latencies, p))
+        return shared_percentile(self.page_latencies, p)
 
     @property
     def median_page_latency_s(self) -> float:
@@ -310,6 +314,8 @@ class DeliveryPipeline:
         archiver: Archiver | CachingArchiver,
         config: DeliveryConfig | None = None,
         metrics: DeliveryMetrics | None = None,
+        *,
+        obs: SpanRecorder | None = None,
     ) -> None:
         self.config = config or DeliveryConfig()
         self._archiver = (
@@ -340,6 +346,14 @@ class DeliveryPipeline:
         self._pending_pages: dict[tuple[str, str, int], list] = {}
         self._pending_prefetch: dict[tuple[str, int, str, int], int] = {}
         self._page_extents: dict[str, list[tuple[str, int, int]]] = {}
+        #: Optional span recorder: page turns, streams, prefetches and
+        #: underruns become DELIVERY spans on the replay's simulated
+        #: clock (docs/OBSERVABILITY.md).
+        self.obs = obs
+        self._page_spans: dict[tuple[str, str, int], object] = {}
+        self._prefetch_spans: dict[tuple[str, int, str, int], object] = {}
+        self._stream_spans: dict[str, object] = {}
+        self._stream_ctx: dict[str, SpanContext] = {}
 
     @property
     def prefetcher(self) -> Prefetcher:
@@ -374,13 +388,30 @@ class DeliveryPipeline:
             time_s, _, kind, payload = heapq.heappop(self._events)
             self._now = max(self._now, time_s)
             getattr(self, f"_on_{kind}")(payload)
-        for session in self._sessions.values():
+        for station, session in self._sessions.items():
             report.underruns += len(session.underruns)
             report.stall_s += session.total_stall_s
             if session.startup_latency_s is not None:
                 report.startup_latencies.append(session.startup_latency_s)
             if session.complete:
                 report.streams_completed += 1
+            active = self._stream_spans.pop(station, None)
+            if active is not None:
+                status = (
+                    ObsSpanStatus.ERROR if session.underruns
+                    else ObsSpanStatus.OK
+                )
+                active.finish(
+                    self._now, status=status,
+                    underruns=len(session.underruns),
+                    stall_s=round(session.total_stall_s, 9),
+                    complete=session.complete,
+                )
+        # Prefetches revoked by a jump never see their final chunk
+        # delivered; close their spans as CANCELLED.
+        for active in self._prefetch_spans.values():
+            active.finish(self._now, status=ObsSpanStatus.CANCELLED)
+        self._prefetch_spans.clear()
         report.device_busy_s = self._device_busy
         report.link_busy_s = self.link.stats.busy_s
         report.link_wait_s = self.link.stats.contention_wait_s
@@ -411,6 +442,14 @@ class DeliveryPipeline:
             request_s=self._now,
         )
         self._sessions[script.station] = session
+        if self.obs is not None:
+            active = self.obs.start(
+                None, "stream", ObsSpanKind.DELIVERY, self._now,
+                baggage={"station": script.station},
+                object=str(intent.object_id), tag=intent.tag,
+            )
+            self._stream_spans[script.station] = active
+            self._stream_ctx[script.station] = active.context
         if self.config.policy is DeliveryPolicy.DEADLINE:
             # Plan every batch up front: fetch lookahead_s before the
             # batch's first deadline, never before the stream starts.
@@ -440,7 +479,8 @@ class DeliveryPipeline:
         start_byte = chunks[0].offset
         length = chunks[-1].offset + chunks[-1].length - start_byte
         ready = self._device_read(
-            Extent(base.offset + start_byte, length)
+            Extent(base.offset + start_byte, length),
+            parent=self._stream_ctx.get(station),
         )
         for chunk in chunks:
             self._enqueue_at(
@@ -461,7 +501,8 @@ class DeliveryPipeline:
         chunk = session.chunk(seq)
         base = self._archiver.data_extent(session.object_id, session.tag)
         ready = self._device_read(
-            Extent(base.offset + chunk.offset, chunk.length)
+            Extent(base.offset + chunk.offset, chunk.length),
+            parent=self._stream_ctx.get(station),
         )
         self._enqueue_at(
             ready,
@@ -505,9 +546,30 @@ class DeliveryPipeline:
             self._report.page_latencies.append(0.0)
             if prefetched:
                 self._report.prefetched_page_hits += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    None, "page_turn", ObsSpanKind.DELIVERY,
+                    self._now, self._now,
+                    baggage={"station": station},
+                    object=str(view.object_id), page=view.page,
+                    source=self._page_store[key], latency_s=0.0,
+                )
         elif key not in self._pending_pages:
             tag, start, length = extents[view.page]
-            ready = self._fetch_cached(view.object_id, tag, start, length)
+            if self.obs is not None:
+                active = self.obs.start(
+                    None, "page_turn", ObsSpanKind.DELIVERY, self._now,
+                    baggage={"station": station},
+                    object=str(view.object_id), page=view.page,
+                    source="demand",
+                )
+                self._page_spans[key] = active
+                with bind_span(active.context):
+                    ready = self._fetch_cached(
+                        view.object_id, tag, start, length
+                    )
+            else:
+                ready = self._fetch_cached(view.object_id, tag, start, length)
             total = self._split_bulk(
                 station, length, ready,
                 {"kind": "page", "page_key": key},
@@ -566,6 +628,7 @@ class DeliveryPipeline:
                 task.station, task.generation, str(task.object_id), task.page
             )
             self.metrics.on_prefetch(task.station, task.page, self._now)
+            self._start_prefetch_span(task, pending)
             total = self._split_bulk(
                 task.station, task.length, ready,
                 {
@@ -600,6 +663,7 @@ class DeliveryPipeline:
                 self._now, self._key_ready.get(task.cache_key(), self._now)
             )
         self.metrics.on_prefetch(task.station, task.page, self._now)
+        self._start_prefetch_span(task, pending)
         total = self._split_bulk(
             task.station, task.length, ready,
             {
@@ -610,6 +674,16 @@ class DeliveryPipeline:
             },
         )
         self._pending_prefetch[pending] = total
+
+    def _start_prefetch_span(self, task, pending) -> None:
+        if self.obs is None:
+            return
+        self._prefetch_spans[pending] = self.obs.start(
+            None, "prefetch", ObsSpanKind.DELIVERY, self._now,
+            baggage={"station": task.station},
+            object=str(task.object_id), page=task.page,
+            generation=task.generation,
+        )
 
     def _on_enqueue(self, chunk: ChunkRequest) -> None:
         self._sched.add(chunk)
@@ -649,6 +723,13 @@ class DeliveryPipeline:
             self.metrics.on_underrun(
                 station, event.seq, event.stall_s, self._now
             )
+            if self.obs is not None:
+                self.obs.emit(
+                    self._stream_ctx.get(station), "underrun",
+                    ObsSpanKind.DELIVERY, self._now, self._now,
+                    status=ObsSpanStatus.ERROR,
+                    seq=event.seq, stall_s=round(event.stall_s, 9),
+                )
         self.metrics.on_buffer_level(session.buffered_s(self._now))
         if self.config.policy is DeliveryPolicy.ON_DEMAND:
             next_seq = self._next_audio_seq.get(station, len(session))
@@ -671,6 +752,9 @@ class DeliveryPipeline:
             self._report.page_turns += 1
             self._report.page_latencies.append(latency)
             self._report.cold_page_latencies.append(latency)
+            active = self._page_spans.pop(key, None)
+            if active is not None:
+                active.finish(self._now, latency_s=round(latency, 9))
 
     def _deliver_prefetch_chunk(self, chunk: ChunkRequest) -> None:
         pending = chunk.meta["pending_key"]
@@ -682,10 +766,20 @@ class DeliveryPipeline:
             return
         del self._pending_prefetch[pending]
         station = chunk.station
-        if chunk.meta["generation"] == self._prefetcher.generation(station):
+        wasted = chunk.meta["generation"] != self._prefetcher.generation(station)
+        if not wasted:
             self._page_store.setdefault(chunk.meta["page_key"], "prefetch")
         else:
             self._report.wasted_prefetches += 1
+        active = self._prefetch_spans.pop(pending, None)
+        if active is not None:
+            active.finish(
+                self._now,
+                status=(
+                    ObsSpanStatus.CANCELLED if wasted else ObsSpanStatus.OK
+                ),
+                wasted=wasted,
+            )
 
     # ------------------------------------------------------------------
     # resources
@@ -699,13 +793,21 @@ class DeliveryPipeline:
             )
         return self._page_extents[key]
 
-    def _device_read(self, extent: Extent) -> float:
+    def _device_read(
+        self, extent: Extent, *, parent: SpanContext | None = None
+    ) -> float:
         """FIFO device read; returns the simulated completion time."""
         start = max(self._device_free, self._now)
         _, service = self._archiver.read_raw(extent)
         ready = start + service
         self._device_free = ready
         self._device_busy += service
+        if self.obs is not None:
+            self.obs.emit(
+                parent if parent is not None else current_span(),
+                "device_read", ObsSpanKind.DEVICE, start, ready,
+                bytes=extent.length,
+            )
         return ready
 
     def _fetch_cached(
@@ -720,7 +822,13 @@ class DeliveryPipeline:
         key = piece_range_key(object_id, tag, start, length)
         cached = self.cache.get(key)
         if cached is not None:
-            return max(self._now, self._key_ready.get(key, self._now))
+            ready = max(self._now, self._key_ready.get(key, self._now))
+            if self.obs is not None:
+                self.obs.emit(
+                    current_span(), "staging_cache", ObsSpanKind.CACHE,
+                    self._now, ready, hit=True, key=key,
+                )
+            return ready
         base = self._archiver.data_extent(object_id, tag)
         if start < 0 or start + length > base.length:
             raise DeliveryError(
@@ -736,6 +844,11 @@ class DeliveryPipeline:
         self._device_busy += service
         self.cache.put(key, data)
         self._key_ready[key] = ready
+        if self.obs is not None:
+            self.obs.emit(
+                current_span(), "device_read", ObsSpanKind.DEVICE,
+                data_start, ready, bytes=length,
+            )
         return ready
 
     def _split_bulk(

@@ -40,6 +40,9 @@ from repro.index.planner import (
 )
 from repro.index.postings import BOTH, VOICE, Posting, validate_channel
 from repro.index.sharding import HashRing
+from repro.obs.context import bind as bind_span
+from repro.obs.context import current as current_span
+from repro.obs.spans import SpanKind as ObsSpanKind
 
 RawPosting = tuple[str, str, float, int]  # (term, channel, position, ordinal)
 
@@ -86,6 +89,10 @@ class ArchiveIndex:
         }
         self._parallel = parallel_lookup
         self._executor: ThreadPoolExecutor | None = None
+        #: Optional span recorder (set by the owning archiver/frontend):
+        #: queries emit an ``index:query`` span with one ``index:shard``
+        #: child per term lookup, fanned out across executor threads.
+        self.obs = None
         # Object tables: storage ordinal (insertion order, which is
         # storage order on the append-only platter) and the latest
         # voice-channel indexing version per object.
@@ -193,24 +200,37 @@ class ArchiveIndex:
     # ------------------------------------------------------------------
 
     def lookup(self, terms: set[str]) -> dict[str, list[Posting]]:
-        """Live postings of every term, looked up shard-parallel."""
+        """Live postings of every term, looked up shard-parallel.
+
+        The ambient span context is captured *here*, on the submitting
+        thread, and handed to each shard lookup explicitly — executor
+        threads have their own (empty) ambient context, so the fan-out
+        would otherwise orphan the per-shard spans.
+        """
         term_list = sorted(terms)
+        parent = current_span()
         if self._parallel and len(term_list) > 1:
             executor = self._ensure_executor()
             futures = {
-                term: executor.submit(self._lookup_one, term)
+                term: executor.submit(self._lookup_one, term, parent)
                 for term in term_list
             }
             return {term: future.result() for term, future in futures.items()}
-        return {term: self._lookup_one(term) for term in term_list}
+        return {term: self._lookup_one(term, parent) for term in term_list}
 
-    def _lookup_one(self, term: str) -> list[Posting]:
+    def _lookup_one(self, term: str, span_parent=None) -> list[Posting]:
         shard_id = self._ring.shard_for(term)
         start = time.perf_counter()
         postings = self._shards[shard_id].postings(term, live=self._live)
-        self.metrics.on_shard_lookup(
-            shard_id, term, time.perf_counter() - start
-        )
+        elapsed = time.perf_counter() - start
+        self.metrics.on_shard_lookup(shard_id, term, elapsed)
+        if self.obs is not None:
+            now = self.obs.now()
+            self.obs.emit(
+                span_parent, "index:shard", ObsSpanKind.INDEX,
+                now, now + elapsed, shard=shard_id, term=term,
+                postings=len(postings),
+            )
         return postings
 
     def _ensure_executor(self) -> ThreadPoolExecutor:
@@ -235,15 +255,24 @@ class ArchiveIndex:
         """
         validate_channel(channel)
         node = parse_query(query) if isinstance(query, str) else query
+        text = query if isinstance(query, str) else repr(node)
+        active = None
+        if self.obs is not None:
+            active = self.obs.start(
+                current_span(), "index:query", ObsSpanKind.INDEX,
+                self.obs.now(), query=text, channel=channel,
+            )
         start = time.perf_counter()
-        matched = self._evaluate(node, channel)
+        if active is not None:
+            with bind_span(active.context):
+                matched = self._evaluate(node, channel)
+        else:
+            matched = self._evaluate(node, channel)
         ordered = self.in_storage_order(matched)
-        self.metrics.on_query(
-            query if isinstance(query, str) else repr(node),
-            channel,
-            len(ordered),
-            time.perf_counter() - start,
-        )
+        elapsed = time.perf_counter() - start
+        self.metrics.on_query(text, channel, len(ordered), elapsed)
+        if active is not None:
+            active.finish(active.start_s + elapsed, results=len(ordered))
         return ordered
 
     def search_terms(
@@ -257,12 +286,24 @@ class ArchiveIndex:
             If no terms are given.
         """
         validate_channel(channel)
+        active = None
+        if self.obs is not None:
+            active = self.obs.start(
+                current_span(), "index:query", ObsSpanKind.INDEX,
+                self.obs.now(), query=" AND ".join(terms), channel=channel,
+            )
         start = time.perf_counter()
-        matched = self._evaluate(terms_query(terms), channel)
+        if active is not None:
+            with bind_span(active.context):
+                matched = self._evaluate(terms_query(terms), channel)
+        else:
+            matched = self._evaluate(terms_query(terms), channel)
+        elapsed = time.perf_counter() - start
         self.metrics.on_query(
-            " AND ".join(terms), channel, len(matched),
-            time.perf_counter() - start,
+            " AND ".join(terms), channel, len(matched), elapsed
         )
+        if active is not None:
+            active.finish(active.start_s + elapsed, results=len(matched))
         return matched
 
     def _evaluate(self, node: Node, channel: str) -> set[ObjectId]:

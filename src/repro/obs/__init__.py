@@ -1,0 +1,62 @@
+"""Causal tracing, critical-path analysis, and SLO monitoring.
+
+``repro.trace.Trace`` is the paper's observable surface: a flat,
+time-stamped event log of what reached the screen and speaker.  The
+system around it has grown into a multi-workstation, replicated,
+compressed, deadline-scheduled stack, and a flat log cannot answer
+"why was this page turn 114ms?".  ``repro.obs`` layers *causal*
+structure on top:
+
+* :class:`SpanContext` — immutable (trace id, span id, parent id,
+  baggage) token propagated through every layer boundary, either
+  explicitly (``ctx=`` keyword) or ambiently (:func:`bind` /
+  :func:`current`).
+* :class:`Span` / :class:`SpanRecorder` — typed, statused intervals
+  collected thread-safely into one span tree per user-visible request.
+* :class:`CriticalPath` — longest blocking chain, per-layer self-time,
+  "where did the time go" reports.
+* :mod:`repro.obs.export` — Chrome-trace-format JSON (load in
+  ``chrome://tracing`` / Perfetto) and a deterministic text renderer.
+* :class:`SLOMonitor` — declarative objectives with error-budget burn,
+  evaluated identically over DES replays and real-thread runs.
+
+See docs/OBSERVABILITY.md for the span model and propagation rules.
+"""
+
+from repro.obs.context import bind, current
+from repro.obs.critical_path import CriticalPath, LayerTime
+from repro.obs.export import (
+    from_chrome_trace,
+    render_text,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.slo import SLO, SLOMonitor, SLOResult
+from repro.obs.spans import (
+    ActiveSpan,
+    Span,
+    SpanContext,
+    SpanKind,
+    SpanRecorder,
+    SpanStatus,
+)
+
+__all__ = [
+    "ActiveSpan",
+    "CriticalPath",
+    "LayerTime",
+    "SLO",
+    "SLOMonitor",
+    "SLOResult",
+    "Span",
+    "SpanContext",
+    "SpanKind",
+    "SpanRecorder",
+    "SpanStatus",
+    "bind",
+    "current",
+    "from_chrome_trace",
+    "render_text",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

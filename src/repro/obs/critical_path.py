@@ -1,0 +1,186 @@
+"""Critical-path analysis over one span tree.
+
+Answers "where did the 114ms go": walks a request's span tree to find
+the longest blocking chain, computes per-span *self time* (duration
+minus the union of child intervals — the time a layer spent that no
+deeper layer accounts for), and aggregates self time by layer.
+
+Hedged losers and cancelled work ran in parallel with the winner and
+never gated the request, so they are excluded from the blocking chain
+and from attribution; everything else (including failed attempts the
+request retried past, which *did* delay it) counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.spans import Span, SpanKind, SpanRecorder, SpanStatus
+
+#: Statuses that ran in parallel without gating request completion.
+_NON_BLOCKING = (SpanStatus.HEDGED_LOSER, SpanStatus.CANCELLED)
+
+
+@dataclass(frozen=True, slots=True)
+class LayerTime:
+    """Self time attributed to one span kind within a trace."""
+
+    kind: SpanKind
+    seconds: float
+    fraction: float
+
+
+def _union_length(
+    intervals: list[tuple[float, float]], lo: float, hi: float
+) -> float:
+    """Total length of ``intervals`` clipped to ``[lo, hi]``."""
+    clipped = sorted(
+        (max(start, lo), min(end, hi))
+        for start, end in intervals
+        if min(end, hi) > max(start, lo)
+    )
+    total = 0.0
+    cursor = lo
+    for start, end in clipped:
+        start = max(start, cursor)
+        if end > start:
+            total += end - start
+            cursor = end
+    return total
+
+
+class CriticalPath:
+    """Analyzer for the span tree of a single trace."""
+
+    def __init__(self, spans: list[Span], trace_id: int | None = None):
+        if trace_id is None:
+            roots = [s for s in spans if s.parent_id is None]
+            if not roots:
+                raise ValueError("no root span in trace")
+            trace_id = min(root.trace_id for root in roots)
+        self.trace_id = trace_id
+        self.spans = [s for s in spans if s.trace_id == trace_id]
+        if not self.spans:
+            raise ValueError(f"trace {trace_id} has no spans")
+        self._by_id = {s.span_id: s for s in self.spans}
+        self._children: dict[int, list[Span]] = {}
+        for span in self.spans:
+            if span.parent_id is not None and span.parent_id in self._by_id:
+                self._children.setdefault(span.parent_id, []).append(span)
+        for children in self._children.values():
+            children.sort(key=lambda s: (s.start_s, s.span_id))
+        roots = [s for s in self.spans if s.parent_id is None]
+        if not roots:
+            raise ValueError(f"trace {trace_id} has no root span")
+        roots.sort(key=lambda s: (s.start_s, s.span_id))
+        self.root = roots[0]
+
+    @classmethod
+    def from_recorder(
+        cls, recorder: SpanRecorder, trace_id: int | None = None
+    ) -> "CriticalPath":
+        return cls(recorder.spans(), trace_id)
+
+    @property
+    def end_to_end_s(self) -> float:
+        """The request's latency as seen by the user: the root span."""
+        return self.root.duration_s
+
+    def children(self, span: Span) -> list[Span]:
+        return self._children.get(span.span_id, [])
+
+    def _blocking_children(self, span: Span) -> list[Span]:
+        return [
+            child
+            for child in self.children(span)
+            if child.status not in _NON_BLOCKING
+        ]
+
+    def chain(self) -> list[Span]:
+        """Longest blocking chain: root down through last-finishing kids."""
+        chain = [self.root]
+        node = self.root
+        while True:
+            blocking = self._blocking_children(node)
+            if not blocking:
+                return chain
+            # The child that finishes last gates the parent's completion;
+            # ties resolve to the later start, then the higher span id,
+            # so seeded replays pick the same chain every run.
+            node = max(
+                blocking, key=lambda s: (s.end_s, s.start_s, s.span_id)
+            )
+            chain.append(node)
+
+    def self_time_s(self, span: Span) -> float:
+        """Span duration not covered by any blocking child interval."""
+        intervals = [
+            (child.start_s, child.end_s)
+            for child in self._blocking_children(span)
+        ]
+        covered = _union_length(intervals, span.start_s, span.end_s)
+        return max(span.duration_s - covered, 0.0)
+
+    @property
+    def attributed_fraction(self) -> float:
+        """Fraction of the root window covered by deeper spans.
+
+        1.0 means every instant of user-visible latency is explained by
+        some child layer; the remainder is root self time (workstation
+        work the instrumentation does not break down further).
+        """
+        if self.root.duration_s <= 0.0:
+            return 1.0
+        descendants: list[tuple[float, float]] = []
+        stack = list(self._blocking_children(self.root))
+        while stack:
+            span = stack.pop()
+            descendants.append((span.start_s, span.end_s))
+            stack.extend(self._blocking_children(span))
+        covered = _union_length(
+            descendants, self.root.start_s, self.root.end_s
+        )
+        return covered / self.root.duration_s
+
+    def layer_breakdown(self) -> list[LayerTime]:
+        """Self time per span kind, largest share first."""
+        totals: dict[SpanKind, float] = {}
+        for span in self.spans:
+            if span.status in _NON_BLOCKING:
+                continue
+            totals[span.kind] = totals.get(span.kind, 0.0) + (
+                self.self_time_s(span)
+            )
+        grand = sum(totals.values())
+        return sorted(
+            (
+                LayerTime(
+                    kind, seconds, seconds / grand if grand > 0 else 0.0
+                )
+                for kind, seconds in totals.items()
+            ),
+            key=lambda item: (-item.seconds, item.kind.value),
+        )
+
+    def report(self) -> str:
+        """Deterministic "where did the time go" text report."""
+        lines = [
+            f"trace {self.trace_id}: {self.root.name} "
+            f"end-to-end {self.end_to_end_s * 1000:.2f}ms "
+            f"(attributed {self.attributed_fraction:.0%})",
+            "critical path:",
+        ]
+        for depth, span in enumerate(self.chain()):
+            lines.append(
+                f"{'  ' * (depth + 1)}{span.name} [{span.kind.value}] "
+                f"{span.duration_s * 1000:.2f}ms "
+                f"(self {self.self_time_s(span) * 1000:.2f}ms, "
+                f"{span.status.value})"
+            )
+        lines.append("by layer (self time):")
+        for item in self.layer_breakdown():
+            lines.append(
+                f"  {item.kind.value:<10} {item.seconds * 1000:9.2f}ms "
+                f"{item.fraction:6.1%}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Span exporters: Chrome trace format JSON and deterministic text.
+
+:func:`to_chrome_trace` emits the Trace Event Format consumed by
+``chrome://tracing`` and Perfetto — "X" (complete) events with
+microsecond ``ts``/``dur``, one ``pid`` per trace id and one ``tid``
+per station, so concurrent stations render as parallel rows.  The
+``args`` payload carries every span field verbatim (raw seconds
+included), which is what makes :func:`from_chrome_trace` an exact
+inverse: round-tripping through ``json.dumps``/``loads`` reproduces
+the span list bit-for-bit.
+
+:func:`render_text` is the diff-friendly renderer tests assert on.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.obs.spans import Span, SpanContext, SpanKind, SpanStatus
+
+
+def _tid(span: Span) -> str:
+    return span.context.item("station", "main") or "main"
+
+
+def to_chrome_trace(spans: list[Span]) -> dict:
+    """Spans as a Chrome-trace-format object (JSON-serialisable)."""
+    events = []
+    for span in sorted(spans, key=lambda s: (s.trace_id, s.span_id)):
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind.value,
+                "ph": "X",
+                "ts": span.start_s * 1e6,
+                "dur": span.duration_s * 1e6,
+                "pid": span.trace_id,
+                "tid": _tid(span),
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "trace_id": span.trace_id,
+                    "status": span.status.value,
+                    "kind": span.kind.value,
+                    "start_s": span.start_s,
+                    "end_s": span.end_s,
+                    "links": list(span.links),
+                    "baggage": [list(pair) for pair in span.context.baggage],
+                    "attrs": dict(span.attrs),
+                },
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def from_chrome_trace(payload: dict) -> list[Span]:
+    """Exact inverse of :func:`to_chrome_trace`."""
+    spans = []
+    for event in payload["traceEvents"]:
+        args = event["args"]
+        context = SpanContext(
+            trace_id=args["trace_id"],
+            span_id=args["span_id"],
+            parent_id=args["parent_id"],
+            baggage=tuple(
+                (key, value) for key, value in args["baggage"]
+            ),
+        )
+        spans.append(
+            Span(
+                context=context,
+                name=event["name"],
+                kind=SpanKind(args["kind"]),
+                start_s=args["start_s"],
+                end_s=args["end_s"],
+                status=SpanStatus(args["status"]),
+                attrs=dict(args["attrs"]),
+                links=tuple(args["links"]),
+            )
+        )
+    return spans
+
+
+def write_chrome_trace(path: str | pathlib.Path, spans: list[Span]) -> None:
+    payload = to_chrome_trace(spans)
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def render_text(spans: list[Span]) -> str:
+    """Deterministic indented tree, one trace after another."""
+    by_trace: dict[int, list[Span]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    lines: list[str] = []
+    for trace_id in sorted(by_trace):
+        members = by_trace[trace_id]
+        by_id = {span.span_id: span for span in members}
+        children: dict[int | None, list[Span]] = {}
+        for span in members:
+            parent = (
+                span.parent_id if span.parent_id in by_id else None
+            )
+            children.setdefault(parent, []).append(span)
+        for siblings in children.values():
+            siblings.sort(key=lambda s: (s.start_s, s.span_id))
+        lines.append(f"trace {trace_id}")
+
+        def walk(span: Span, depth: int) -> None:
+            extra = ""
+            if span.links:
+                extra = " ->" + ",".join(str(link) for link in span.links)
+            lines.append(
+                f"{'  ' * depth}- {span.name} [{span.kind.value}] "
+                f"{span.start_s * 1000:.3f}..{span.end_s * 1000:.3f}ms "
+                f"{span.status.value}{extra}"
+            )
+            for child in children.get(span.span_id, []):
+                walk(child, depth + 1)
+
+        for root in children.get(None, []):
+            walk(root, 1)
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Declarative service-level objectives evaluated over span streams.
+
+An :class:`SLO` states an objective over a named span population —
+either a latency bound ("p95 of ``page_turn`` spans <= 120ms") or a
+count bound ("0 ``underrun`` spans").  The :class:`SLOMonitor`
+consumes finished spans — streamed live via
+``SpanRecorder.add_listener`` or fed in bulk after a run — and
+evaluates every objective plus its *error-budget burn*: the fraction
+of the allowed badness already spent (1.0 = budget exactly exhausted,
+>1.0 = objective violated).
+
+The same monitor works over DES replays (simulated seconds) and
+real-thread runs (wall seconds) because spans carry whichever clock
+their layer runs on; objectives never read a clock themselves.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+from repro.obs.spans import Span, SpanKind, SpanStatus
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One objective over spans named ``span_name``.
+
+    Exactly one objective form must be set:
+
+    * latency — ``percentile`` + ``threshold_s``: the p-th percentile
+      of matching span durations must not exceed the threshold.  The
+      implied error budget is the ``(100 - percentile) / 100`` slowest
+      fraction; burn is the observed over-threshold fraction divided
+      by that allowance.
+    * count — ``max_count`` (optionally with ``statuses`` to count
+      only, say, errors): at most ``max_count`` matching spans.  Burn
+      is ``count / max_count``; with ``max_count == 0`` any hit burns
+      infinitely.
+    """
+
+    name: str
+    span_name: str
+    percentile: float | None = None
+    threshold_s: float | None = None
+    max_count: int | None = None
+    statuses: tuple[SpanStatus, ...] | None = None
+    kind: SpanKind | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        latency = self.percentile is not None or self.threshold_s is not None
+        count = self.max_count is not None
+        if latency and count:
+            raise ValueError(f"SLO {self.name!r}: choose latency OR count")
+        if latency and (self.percentile is None or self.threshold_s is None):
+            raise ValueError(
+                f"SLO {self.name!r}: latency objectives need both "
+                "percentile and threshold_s"
+            )
+        if not latency and not count:
+            raise ValueError(f"SLO {self.name!r}: no objective set")
+        if self.percentile is not None and not 0 < self.percentile < 100:
+            raise ValueError(f"SLO {self.name!r}: percentile out of (0,100)")
+
+    def matches(self, span: Span) -> bool:
+        if span.name != self.span_name:
+            return False
+        if self.kind is not None and span.kind is not self.kind:
+            return False
+        if self.statuses is not None and span.status not in self.statuses:
+            return False
+        return True
+
+    def evaluate(self, samples: list[Span]) -> "SLOResult":
+        if self.max_count is not None:
+            count = len(samples)
+            if self.max_count > 0:
+                burn = count / self.max_count
+            else:
+                burn = 0.0 if count == 0 else math.inf
+            return SLOResult(
+                slo=self,
+                ok=count <= self.max_count,
+                measured=float(count),
+                sample_count=count,
+                burn_rate=burn,
+            )
+        from repro.server.metrics import percentile as _percentile
+
+        durations = [span.duration_s for span in samples]
+        assert self.percentile is not None and self.threshold_s is not None
+        if not durations:
+            return SLOResult(self, True, 0.0, 0, 0.0)
+        measured = _percentile(durations, self.percentile)
+        allowed_fraction = (100.0 - self.percentile) / 100.0
+        over = sum(1 for d in durations if d > self.threshold_s)
+        over_fraction = over / len(durations)
+        if allowed_fraction > 0:
+            burn = over_fraction / allowed_fraction
+        else:
+            burn = 0.0 if over == 0 else math.inf
+        return SLOResult(
+            slo=self,
+            ok=measured <= self.threshold_s,
+            measured=measured,
+            sample_count=len(durations),
+            burn_rate=burn,
+        )
+
+
+@dataclass(frozen=True)
+class SLOResult:
+    slo: SLO
+    ok: bool
+    measured: float
+    sample_count: int
+    burn_rate: float
+
+    def line(self) -> str:
+        if self.slo.max_count is not None:
+            body = (
+                f"count {self.measured:.0f} <= {self.slo.max_count}"
+            )
+        else:
+            body = (
+                f"p{self.slo.percentile:g} "
+                f"{self.measured * 1000:.2f}ms <= "
+                f"{self.slo.threshold_s * 1000:.2f}ms"
+            )
+        verdict = "OK " if self.ok else "MISS"
+        return (
+            f"{verdict} {self.slo.name}: {body} "
+            f"({self.sample_count} samples, burn {self.burn_rate:.2f})"
+        )
+
+
+class SLOMonitor:
+    """Collects matching spans and evaluates every objective."""
+
+    def __init__(self, slos: list[SLO]) -> None:
+        names = [slo.name for slo in slos]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate SLO names")
+        self.slos = list(slos)
+        self._lock = threading.Lock()
+        self._samples: dict[str, list[Span]] = {
+            slo.name: [] for slo in self.slos
+        }
+
+    def observe(self, span: Span) -> None:
+        """Feed one finished span (safe from any thread)."""
+        with self._lock:
+            for slo in self.slos:
+                if slo.matches(span):
+                    self._samples[slo.name].append(span)
+
+    def attach(self, recorder) -> "SLOMonitor":
+        """Stream every span the recorder finishes from now on."""
+        recorder.add_listener(self.observe)
+        return self
+
+    def consume(self, spans) -> "SLOMonitor":
+        """Feed an iterable of spans (e.g. ``recorder.spans()``)."""
+        for span in spans:
+            self.observe(span)
+        return self
+
+    def evaluate(self) -> list[SLOResult]:
+        with self._lock:
+            samples = {
+                name: list(spans) for name, spans in self._samples.items()
+            }
+        return [slo.evaluate(samples[slo.name]) for slo in self.slos]
+
+    @property
+    def healthy(self) -> bool:
+        return all(result.ok for result in self.evaluate())
+
+    def report(self) -> str:
+        return "\n".join(result.line() for result in self.evaluate())

@@ -48,6 +48,8 @@ from repro.ids import ObjectId
 from repro.index import VOICE, ArchiveIndex
 from repro.objects.descriptor import DataLocation, DataSource, Descriptor
 from repro.objects.model import MultimediaObject, ObjectState
+from repro.obs.context import current as current_span
+from repro.obs.spans import SpanKind as ObsSpanKind
 from repro.server.access import ContentIndex
 from repro.server.recovery import (
     RecoveryReport,
@@ -172,6 +174,17 @@ class Archiver:
         # Round-trip accounting: one increment per public read request,
         # so benchmarks can compare batched vs piecewise open paths.
         self.op_counts: Counter[str] = Counter()
+        self._obs = None
+
+    @property
+    def obs(self):
+        """Optional span recorder for codec/index leaf spans."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, recorder) -> None:
+        self._obs = recorder
+        self.archive_index.obs = recorder
 
     @property
     def disk(self) -> SimulatedDisk:
@@ -342,6 +355,17 @@ class Archiver:
                 self._server_metrics.on_compress_encode(
                     piece.codec, piece.raw_len, piece.stored_len
                 )
+        if self._obs is not None:
+            # One instant marker per store: encode cost is not part of
+            # the simulated device model, so the span carries byte
+            # accounting rather than duration.
+            now = self._obs.now()
+            self._obs.emit(
+                current_span(), "encode", ObsSpanKind.COMPRESS, now, now,
+                pieces=len(pieces),
+                raw_len=sum(p.raw_len for p in pieces),
+                stored_len=sum(p.stored_len for p in pieces),
+            )
 
     def decode_piece(self, data: bytes) -> bytes:
         """Decode one stored piece back to raw media bytes.
@@ -367,6 +391,12 @@ class Archiver:
         self.compression_metrics.on_decode(name, len(raw), len(data))
         if self._server_metrics is not None:
             self._server_metrics.on_compress_decode(name)
+        if self._obs is not None:
+            now = self._obs.now()
+            self._obs.emit(
+                current_span(), f"decode:{name}", ObsSpanKind.COMPRESS,
+                now, now, raw_len=len(raw), stored_len=len(data),
+            )
         return raw
 
     # ------------------------------------------------------------------
@@ -787,16 +817,20 @@ class _Flight:
     """State of one in-progress device fetch (single-flight).
 
     ``data`` holds bytes for single-extent flights and a list of
-    payloads for scatter-gather batch flights.
+    payloads for scatter-gather batch flights.  ``span_id`` is the
+    leader's flight span: set before the completion event so joiners
+    can link their piggyback spans to the read that actually served
+    them (it may belong to a *different* request's trace).
     """
 
-    __slots__ = ("event", "data", "service_time_s", "error")
+    __slots__ = ("event", "data", "service_time_s", "error", "span_id")
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.data: bytes | list[bytes] | None = None
         self.service_time_s = 0.0
         self.error: BaseException | None = None
+        self.span_id: int | None = None
 
 
 @dataclass
@@ -842,6 +876,31 @@ class CachingArchiver:
     def archiver(self) -> Archiver:
         """The wrapped archiver."""
         return self._archiver
+
+    @property
+    def obs(self):
+        """Span recorder, shared with the wrapped archiver."""
+        return self._archiver.obs
+
+    @obs.setter
+    def obs(self, recorder) -> None:
+        self._archiver.obs = recorder
+
+    def _flight_span(self, name, *, links=(), **attrs):
+        """Instant marker span for single-flight bookkeeping.
+
+        Parented on the ambient context (the worker's ``server`` span)
+        and stamped with the recorder's clock; returns ``None`` with no
+        recorder attached.
+        """
+        obs = self._archiver.obs
+        if obs is None:
+            return None
+        now = obs.now()
+        return obs.emit(
+            current_span(), name, ObsSpanKind.CACHE, now, now,
+            links=links, **attrs,
+        )
 
     @property
     def index(self) -> ContentIndex:
@@ -1061,6 +1120,10 @@ class CachingArchiver:
             with self.flight_stats._lock:
                 self.flight_stats.piggybacks += 1
             assert flight.data is not None
+            self._flight_span(
+                "flight:join", key=key,
+                links=(flight.span_id,) if flight.span_id else (),
+            )
             return flight.data, 0.0
         try:
             data, service = self._archiver.read_raw(extent)
@@ -1076,6 +1139,11 @@ class CachingArchiver:
         self._cache.put(key, data)
         flight.data = data
         flight.service_time_s = service
+        lead = self._flight_span(
+            "flight:lead", key=key, service_s=round(service, 9)
+        )
+        if lead is not None:
+            flight.span_id = lead.span_id
         with self._lock:
             self._flights.pop(key, None)
         with self.flight_stats._lock:
@@ -1115,6 +1183,10 @@ class CachingArchiver:
             with self.flight_stats._lock:
                 self.flight_stats.piggybacks += 1
             assert isinstance(flight.data, list)
+            self._flight_span(
+                "flight:join", key=key, ranges=len(ranges),
+                links=(flight.span_id,) if flight.span_id else (),
+            )
             return list(flight.data), 0.0
         try:
             payloads, service = self._archiver.read_scattered_raw(ranges)
@@ -1128,6 +1200,12 @@ class CachingArchiver:
             self._cache.put(f"abs/{offset}/{length}", data)
         flight.data = payloads
         flight.service_time_s = service
+        lead = self._flight_span(
+            "flight:lead", key=key, ranges=len(ranges),
+            service_s=round(service, 9),
+        )
+        if lead is not None:
+            flight.span_id = lead.span_id
         with self._lock:
             self._flights.pop(key, None)
         with self.flight_stats._lock:

@@ -30,6 +30,8 @@ from typing import Any, Callable
 
 from repro.errors import ArchiverError, RequestTimeoutError, ServerBusyError
 from repro.ids import ObjectId
+from repro.obs.context import bind, current
+from repro.obs.spans import SpanContext, SpanKind, SpanRecorder, SpanStatus
 from repro.server.archiver import Archiver, CachingArchiver
 from repro.server.metrics import ServerMetrics
 from repro.trace import Trace
@@ -46,6 +48,9 @@ class ServerRequest:
     op: str
     params: tuple
     arrival_s: float = 0.0
+    #: Span context of the caller (e.g. a workstation ``open`` span);
+    #: the worker parents this request's ``server`` span on it.
+    ctx: SpanContext | None = None
 
 
 class ServerFuture:
@@ -146,6 +151,7 @@ class ServerFrontend:
         queue_depth: int = 32,
         metrics: ServerMetrics | None = None,
         trace: Trace | None = None,
+        obs: SpanRecorder | None = None,
     ) -> None:
         if workers <= 0:
             raise ArchiverError(f"worker pool must be positive: {workers}")
@@ -155,6 +161,17 @@ class ServerFrontend:
         self._workers_n = workers
         self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
         self.metrics = metrics if metrics is not None else ServerMetrics(trace)
+        self.obs = obs
+        if obs is not None:
+            # One timeline for the whole serving stack: spans emitted by
+            # leaf sites without a clock of their own (codec decode,
+            # single-flight markers) land on the frontend's simulated
+            # clock.  The archiver picks the recorder up so those sites
+            # can find it ambiently.
+            if obs.clock is None:
+                obs.clock = lambda: self.sim_time_s
+            if hasattr(self._archiver, "obs"):
+                self._archiver.obs = obs
         self._ids = itertools.count()
         self._threads: list[threading.Thread] = []
         self._sim_lock = threading.Lock()
@@ -217,8 +234,14 @@ class ServerFrontend:
         *params,
         station: str = "ws-0",
         arrival_s: float = 0.0,
+        ctx: SpanContext | None = None,
     ) -> ServerFuture:
         """Admit a request; returns a future.
+
+        ``ctx`` parents this request's server span on the caller's
+        span; when omitted, the ambient context (if any) is captured
+        here — *before* the worker thread takes over — so causality
+        survives the thread hop.
 
         Raises
         ------
@@ -231,16 +254,27 @@ class ServerFrontend:
             raise ArchiverError("frontend is not started")
         if op not in self._OPS:
             raise ArchiverError(f"unknown server operation {op!r}")
+        if ctx is None:
+            ctx = current()
         request = ServerRequest(
             request_id=next(self._ids), station=station, op=op,
-            params=params, arrival_s=arrival_s,
+            params=params, arrival_s=arrival_s, ctx=ctx,
         )
         future = ServerFuture(request)
         depth = self._queue.qsize()
         try:
             self._queue.put_nowait(future)
         except queue.Full:
-            self.metrics.on_reject(station, op, depth, self.sim_time_s)
+            now = self.sim_time_s
+            self.metrics.on_reject(station, op, depth, now)
+            if self.obs is not None:
+                self.obs.emit(
+                    ctx, f"server:{op}", SpanKind.SERVER, now, now,
+                    status=SpanStatus.ERROR,
+                    baggage={"station": station},
+                    request_id=request.request_id, error="ServerBusyError",
+                    queue_depth=depth,
+                )
             raise ServerBusyError(
                 f"admission queue full ({depth} waiting); request "
                 f"{request.request_id} ({op}) rejected"
@@ -252,6 +286,18 @@ class ServerFrontend:
         """Blocking convenience: fetch an object's stored form."""
         payload, _ = self.submit("fetch", object_id, station=station).result()
         return payload
+
+    def fetch_object(
+        self, object_id: ObjectId, *, station: str = "ws-0"
+    ) -> tuple[Any, float]:
+        """Blocking convenience: rebuild a whole object.
+
+        Returns ``(object, service_time_s)``, which makes a started
+        frontend a valid :class:`~repro.core.manager.ObjectStore` — a
+        workstation manager can sit directly on the worker pool and its
+        traced opens then cross the workstation/server boundary.
+        """
+        return self.submit("fetch_object", object_id, station=station).result()
 
     def read_piece_range(
         self, object_id: ObjectId, tag: str, start: int, length: int,
@@ -296,10 +342,31 @@ class ServerFrontend:
                 return
             future: ServerFuture = item
             request = future.request
+            active = None
+            if self.obs is not None:
+                active = self.obs.start(
+                    request.ctx,
+                    f"server:{request.op}",
+                    SpanKind.SERVER,
+                    request.arrival_s,
+                    baggage={"station": request.station},
+                    request_id=request.request_id,
+                    op=request.op,
+                )
             try:
-                payload, service = self._execute(request)
+                if active is not None:
+                    with bind(active.context):
+                        payload, service = self._execute(request)
+                else:
+                    payload, service = self._execute(request)
             except Exception as exc:  # typed errors flow to the caller
                 self.metrics.on_error(request.station, request.op, exc)
+                if active is not None:
+                    active.finish(
+                        self.sim_time_s,
+                        status=SpanStatus.ERROR,
+                        error=type(exc).__name__,
+                    )
                 future._fail(exc)
                 continue
             with self._sim_lock:
@@ -310,10 +377,34 @@ class ServerFrontend:
             # arrival and its completion, bounded below by its own
             # service time.
             latency = max(now - request.arrival_s, service)
+            cache_hit = service == 0.0
             self.metrics.on_complete(
                 request.station, request.op, latency, service, now,
-                cache_hit=(service == 0.0),
+                cache_hit=cache_hit,
             )
+            if active is not None:
+                start = now - latency
+                if latency > service:
+                    self.obs.emit(
+                        active.context, "queue", SpanKind.QUEUE,
+                        start, now - service,
+                    )
+                if cache_hit:
+                    self.obs.emit(
+                        active.context, "cache", SpanKind.CACHE, now, now,
+                        hit=True,
+                    )
+                else:
+                    self.obs.emit(
+                        active.context, "device", SpanKind.DEVICE,
+                        now - service, now,
+                    )
+                active.finish(
+                    now, start_s=start,
+                    latency_s=round(latency, 9),
+                    service_s=round(service, 9),
+                    cache_hit=cache_hit,
+                )
             future._complete(payload, service)
 
     def _execute(self, request: ServerRequest) -> tuple[Any, float]:

@@ -35,6 +35,7 @@ from repro.ids import ObjectId
 from repro.server.archiver import Archiver, CachingArchiver
 from repro.server.frontend import ServerFrontend
 from repro.server.metrics import ServerMetrics
+from repro.server.metrics import percentile as shared_percentile
 from repro.storage.cache import LRUCache
 
 
@@ -66,9 +67,7 @@ class LoadReport:
 
     def percentile(self, p: float) -> float:
         """Latency percentile in simulated seconds (0.0 if empty)."""
-        if not self.latencies:
-            return 0.0
-        return float(np.percentile(self.latencies, p))
+        return shared_percentile(self.latencies, p)
 
     @property
     def p50_s(self) -> float:

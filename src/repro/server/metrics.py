@@ -18,8 +18,27 @@ from __future__ import annotations
 import math
 import threading
 from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
 
 from repro.trace import EventKind, Trace
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """The ``p``-th percentile of raw samples, linearly interpolated.
+
+    The one quantile definition shared by every report in the repo —
+    ``LoadReport`` (server), ``ClusterLoadReport`` (cluster),
+    ``DeliveryReport`` (delivery) and the SLO monitor all call this,
+    so "p95" means the same thing in every benchmark table.  ``p`` is
+    in [0, 100]; an empty sample set reads as 0.0.
+    """
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile out of range: {p}")
+    if len(values) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=float), p))
 
 
 @dataclass(frozen=True)

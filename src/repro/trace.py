@@ -12,6 +12,7 @@ benchmarks derive timing series from it.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator
 
@@ -101,52 +102,67 @@ class TraceEvent:
 
 
 class Trace:
-    """Append-only log of :class:`TraceEvent` records."""
+    """Append-only log of :class:`TraceEvent` records.
+
+    ``record`` is thread-safe: frontend workers, cluster nodes and the
+    workstation all append to shared traces concurrently, and readers
+    (``of_kind``, ``last``, iteration) always see a coherent snapshot.
+    """
 
     def __init__(self) -> None:
         self._events: list[TraceEvent] = []
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        return iter(self._events)
+        return iter(self._snapshot())
 
     def __getitem__(self, index: int) -> TraceEvent:
-        return self._events[index]
+        with self._lock:
+            return self._events[index]
+
+    def _snapshot(self) -> list[TraceEvent]:
+        with self._lock:
+            return list(self._events)
 
     def record(self, time: float, kind: EventKind, **detail: Any) -> TraceEvent:
         """Append an event and return it."""
         event = TraceEvent(time=time, kind=kind, detail=detail)
-        self._events.append(event)
+        with self._lock:
+            self._events.append(event)
         return event
 
     def of_kind(self, *kinds: EventKind) -> list[TraceEvent]:
         """Return all events whose kind is one of ``kinds``, in order."""
         wanted = set(kinds)
-        return [e for e in self._events if e.kind in wanted]
+        return [e for e in self._snapshot() if e.kind in wanted]
 
     def last(self, kind: EventKind | None = None) -> TraceEvent | None:
         """Return the most recent event, optionally of a given kind."""
+        events = self._snapshot()
         if kind is None:
-            return self._events[-1] if self._events else None
-        for event in reversed(self._events):
+            return events[-1] if events else None
+        for event in reversed(events):
             if event.kind is kind:
                 return event
         return None
 
     def where(self, predicate: Callable[[TraceEvent], bool]) -> list[TraceEvent]:
         """Return all events satisfying ``predicate``, in order."""
-        return [e for e in self._events if predicate(e)]
+        return [e for e in self._snapshot() if predicate(e)]
 
     def since(self, time: float) -> list[TraceEvent]:
         """Return all events at or after simulated ``time``."""
-        return [e for e in self._events if e.time >= time]
+        return [e for e in self._snapshot() if e.time >= time]
 
     def clear(self) -> None:
         """Drop all recorded events."""
-        self._events.clear()
+        with self._lock:
+            self._events.clear()
 
     def dump(self) -> str:
         """Render the whole trace as one string, one event per line."""
-        return "\n".join(str(e) for e in self._events)
+        return "\n".join(str(e) for e in self._snapshot())

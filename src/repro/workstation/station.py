@@ -21,7 +21,12 @@ class Workstation:
         text_lines: int = 40,
         pixel_width: int = 1024,
         pixel_height: int = 800,
+        *,
+        name: str = "ws-0",
     ) -> None:
+        #: Station identity; rides as span baggage so multi-station
+        #: traces stay attributable (docs/OBSERVABILITY.md).
+        self.name = name
         self.clock = SimClock()
         self.trace = Trace()
         self.screen = Screen(

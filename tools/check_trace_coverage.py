@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""CI gate: every trace event kind is emitted and documented.
+
+:class:`repro.trace.EventKind` is the vocabulary of the workstation /
+server timeline.  Two drift modes this script catches:
+
+* *dead kinds* — an ``EventKind`` member that no production module
+  under ``src/`` ever emits (``EventKind.<NAME>`` never appears
+  outside ``trace.py``): either the emitting code was removed without
+  retiring the kind, or the kind was added before its emitter landed.
+* *undocumented kinds* — a member missing from the event table in
+  ``docs/OBSERVABILITY.md``, so the observability docs no longer
+  describe the full vocabulary.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_trace_coverage.py
+
+Exits non-zero listing any unemitted or undocumented kinds.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+DOCS_TABLE = REPO / "docs" / "OBSERVABILITY.md"
+
+
+def emitted_kind_names() -> set[str]:
+    """``EventKind.<NAME>`` references in src/, excluding the enum itself."""
+    pattern = re.compile(r"EventKind\.([A-Z_]+)")
+    names: set[str] = set()
+    for path in SRC.rglob("*.py"):
+        if path.name == "trace.py":
+            continue
+        names.update(pattern.findall(path.read_text()))
+    return names
+
+
+def documented_kind_names() -> set[str]:
+    """Kinds listed in the docs/OBSERVABILITY.md event table."""
+    if not DOCS_TABLE.exists():
+        sys.exit(f"missing {DOCS_TABLE.relative_to(REPO)}")
+    pattern = re.compile(r"`([A-Z_]+)`")
+    return set(pattern.findall(DOCS_TABLE.read_text()))
+
+
+def main() -> int:
+    from repro.trace import EventKind
+
+    kinds = [kind.name for kind in EventKind]
+    emitted = emitted_kind_names()
+    documented = documented_kind_names()
+    failed = False
+
+    unemitted = [name for name in kinds if name not in emitted]
+    if unemitted:
+        failed = True
+        print("EventKind members never emitted from src/:")
+        for name in unemitted:
+            print(f"  - {name}")
+        print(
+            "emit the kind from the owning layer or retire it from "
+            "repro/trace.py."
+        )
+
+    undocumented = [name for name in kinds if name not in documented]
+    if undocumented:
+        failed = True
+        print("EventKind members missing from docs/OBSERVABILITY.md:")
+        for name in undocumented:
+            print(f"  - {name}")
+        print("add them to the event-kind table in docs/OBSERVABILITY.md.")
+
+    if failed:
+        return 1
+    print(
+        f"ok: {len(kinds)} event kinds all emitted in src/ and "
+        "documented in docs/OBSERVABILITY.md"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
