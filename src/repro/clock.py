@@ -47,6 +47,17 @@ class SimClock:
         self._advances += 1
         return self._now
 
+    def reset(self) -> None:
+        """Return the clock to time zero for a fresh scenario.
+
+        The one sanctioned way *backwards*: a simulation harness that
+        replays many seeded scenarios (``repro.sim``) reuses one clock
+        object across runs, and each run must start from the same
+        origin for its timeline to be comparable with a replay's.
+        """
+        self._now = 0.0
+        self._advances = 0
+
     def advance_to(self, target: float) -> float:
         """Advance the clock to ``target`` if it lies in the future.
 

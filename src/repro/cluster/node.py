@@ -160,6 +160,17 @@ class ClusterNode:
             raise ClusterError(f"node {self.node_id} is down; cannot drain")
         self._status = NodeStatus.DRAINING
 
+    def crash(self) -> None:
+        """Kill the node's process between requests.
+
+        The scheduled analogue of an armed ``cluster.node_crash``
+        fault: volatile state is gone, the platter and journal survive,
+        and the node serves nothing until :meth:`recover`.  Chaos
+        schedules use this to crash a node *deterministically at a
+        step boundary* rather than at the N-th serve arrival.
+        """
+        self._status = NodeStatus.DOWN
+
     def mark_down(self) -> None:
         """Administratively take the node out of service."""
         self._status = NodeStatus.DOWN
@@ -194,6 +205,22 @@ class ClusterNode:
     # ------------------------------------------------------------------
     # the serve guard
     # ------------------------------------------------------------------
+
+    def _died(self, doing: str) -> NodeDownError:
+        """Mark the node dead and build the routable error.
+
+        A :class:`SimulatedCrash` can surface *inside* the wrapped
+        archiver (mid commit protocol: an armed ``archiver.store.*`` or
+        journal-site crash), not only at the ``cluster.*`` sites.  The
+        translation rule is the same wherever the process dies: one
+        replica's death is not the client's death, so the boundary
+        converts it into :class:`NodeDownError` and the router fails
+        over or records the missed write.  The devices survive;
+        :meth:`recover` replays the journal evidence exactly as for a
+        single-node crash.
+        """
+        self._status = NodeStatus.DOWN
+        return NodeDownError(f"node {self.node_id} crashed {doing}")
 
     def _guard(self) -> None:
         """Admission check + the ``cluster.node_crash`` site.
@@ -231,6 +258,8 @@ class ClusterNode:
             self.inflight += 1
         try:
             result = getattr(self._archiver, op)(*params)
+        except SimulatedCrash as crash:
+            raise self._died("serving a read") from crash
         finally:
             with self._lock:
                 self.inflight -= 1
@@ -271,7 +300,38 @@ class ClusterNode:
             ) from crash
         with self._lock:
             self.served += 1
-        return self._archiver.store(obj, shared_archiver_data)
+        try:
+            return self._archiver.store(obj, shared_archiver_data)
+        except SimulatedCrash as crash:
+            raise self._died("mid store commit") from crash
+
+    def attach_recognition(self, object_id, side_table) -> None:
+        """Accept one replica's share of a fanned-out recognition.
+
+        Recognition results follow the same replica-write discipline as
+        :meth:`store`: the ``cluster.replica_write`` site fires first
+        (a transient there means this replica missed the recognition
+        and owes a catch-up sync), then the single-node commit protocol
+        of :meth:`Archiver.attach_recognition` runs.
+        """
+        if self._status is not NodeStatus.UP:
+            raise NodeDownError(
+                f"node {self.node_id} is {self._status.value}; "
+                "not accepting writes"
+            )
+        try:
+            fire(self._fault_plan, CLUSTER_REPLICA_WRITE)
+        except SimulatedCrash as crash:
+            self._status = NodeStatus.DOWN
+            raise NodeDownError(
+                f"node {self.node_id} crashed accepting a recognition"
+            ) from crash
+        with self._lock:
+            self.served += 1
+        try:
+            self._archiver.attach_recognition(object_id, side_table)
+        except SimulatedCrash as crash:
+            raise self._died("mid recognition commit") from crash
 
     def receive_migration(self, obj):
         """Accept an object copy moved here by the rebalancer.
@@ -295,4 +355,22 @@ class ClusterNode:
             ) from crash
         with self._lock:
             self.served += 1
-        return self._archiver.store(obj)
+        try:
+            result = self._archiver.store(obj)
+            # A migrated copy of a recognized object carries its
+            # utterances baked into the rebuilt voice segments.
+            # Materialize them as a first-class side table (full
+            # journal-backed attach protocol) so this copy is
+            # indistinguishable from one recognized here directly:
+            # ``recognition_for`` stays truthful, and repair source
+            # ranking never mistakes this copy for an unrecognized one.
+            side_table = {
+                segment.segment_id: list(segment.utterances)
+                for segment in obj.voice_segments
+                if segment.utterances
+            }
+            if side_table:
+                self._archiver.attach_recognition(obj.object_id, side_table)
+            return result
+        except SimulatedCrash as crash:
+            raise self._died("mid migration commit") from crash

@@ -42,7 +42,20 @@ from repro.errors import (
     ClusterError,
     NodeDownError,
     ObjectNotFoundError,
+    TornWriteError,
     TransientIOError,
+)
+
+#: Per-step failures a rebalance pass absorbs by re-queuing the step.
+#: A torn write on the target belongs here for the same reason it is a
+#: missed replica write at the router: the target's own commit
+#: protocol already rolled the partial copy back, so the step simply
+#: has not happened yet.
+STEP_RETRY_ERRORS = (
+    TransientIOError,
+    TornWriteError,
+    NodeDownError,
+    ObjectNotFoundError,
 )
 
 
@@ -62,6 +75,10 @@ class RebalanceReport:
     moved: int = 0
     bytes_moved: int = 0
     skipped: int = 0
+    #: Steps whose target already held the copy and only needed the
+    #: recognition side table brought up to date (catch-up repair of a
+    #: missed ``attach_recognition``).
+    synced: int = 0
     failed: int = 0
     #: Steps still queued after the pass (failures re-queue here).
     remaining: int = 0
@@ -72,6 +89,8 @@ def plan_migrations(
     old: Placement,
     new: Placement,
     holdings: dict[int, set],
+    *,
+    source_key=None,
 ) -> list[MigrationStep]:
     """Diff two rings into the minimal list of copy steps.
 
@@ -82,6 +101,19 @@ def plan_migrations(
     sources stay valid if a pass is interrupted).  Objects whose new
     replica set is already satisfied produce no steps — that is the
     minimal-movement property, inherited directly from the ring.
+
+    ``source_key`` optionally ranks candidate sources: a callable
+    ``(node_id, object_id) -> comparable`` of which the maximum wins,
+    with remain-owner status and node id breaking ties.  The
+    rebalancer ranks by recognition richness: copies of a recognized
+    object are not interchangeable — one replica may have missed the
+    (write-quorum-1) ``attach_recognition`` — and migrating from the
+    poorest holder while a richer one exists would silently shed the
+    recognition from the serving set.  Richness *dominates* the
+    remain-owner preference for the same reason: a stale-but-staying
+    source loses data, a rich-but-leaving source merely needs its
+    drain gated on the queue (which :meth:`Rebalancer.finish_leave`
+    already enforces).
     """
     steps: list[MigrationStep] = []
     every_object = sorted(
@@ -92,8 +124,16 @@ def plan_migrations(
         if not holders:  # pragma: no cover - every_object came from holdings
             continue
         new_set = new.replica_set(object_id)
-        preferred = [nid for nid in new_set if nid in holders] or holders
-        source = preferred[0]
+        if source_key is None:
+            preferred = [nid for nid in new_set if nid in holders] or holders
+            source = preferred[0]
+        else:
+            source = max(
+                holders,
+                key=lambda nid: (
+                    source_key(nid, object_id), nid in new_set, -nid
+                ),
+            )
         for target in new_set:
             if target not in holders:
                 steps.append(
@@ -157,7 +197,10 @@ class Rebalancer:
         holdings = self._holdings()
         holdings.setdefault(node.node_id, set(node.object_ids()))
         old = self._router.add_node(node, now_s=now_s)
-        steps = plan_migrations(old, self._router.placement, holdings)
+        steps = plan_migrations(
+            old, self._router.placement, holdings,
+            source_key=self._source_rank,
+        )
         return self._enqueue(steps)
 
     def leave(self, node_id: int, *, now_s: float = 0.0) -> int:
@@ -173,7 +216,10 @@ class Rebalancer:
         node.drain()
         old = self._router.remove_node(node_id, now_s=now_s)
         self._detached[node_id] = node
-        steps = plan_migrations(old, self._router.placement, holdings)
+        steps = plan_migrations(
+            old, self._router.placement, holdings,
+            source_key=self._source_rank,
+        )
         return self._enqueue(steps)
 
     def finish_leave(self, node_id: int) -> None:
@@ -233,7 +279,10 @@ class Rebalancer:
         holdings.pop(node_id, None)  # a DOWN node sources nothing
         old = self._router.remove_node(node_id, now_s=now_s)
         self._detached[node_id] = node
-        steps = plan_migrations(old, self._router.placement, holdings)
+        steps = plan_migrations(
+            old, self._router.placement, holdings,
+            source_key=self._source_rank,
+        )
         return self._enqueue(steps)
 
     # ------------------------------------------------------------------
@@ -246,7 +295,13 @@ class Rebalancer:
         Drains the router's under-replicated list into migration
         steps (sourced from any live holder) and returns how many
         were queued; stale entries for nodes that have since left are
-        dropped.
+        dropped.  A debt entry whose target already holds the object
+        is a missed *recognition*, not a missed store — it still
+        queues a step, and :meth:`run` resolves it by syncing the
+        recognition side table instead of copying bytes.  Among the
+        candidate sources the holder with the richest recognition
+        table wins, so a sync step always reads from a replica that
+        actually has the terms to offer.
         """
         debt = self._router.under_replicated
         self._router.under_replicated = []
@@ -254,8 +309,6 @@ class Rebalancer:
         steps: list[MigrationStep] = []
         for object_id, node_id in debt:
             if node_id not in self._router.nodes:
-                continue
-            if object_id in holdings.get(node_id, set()):
                 continue
             holders = [
                 nid for nid, held in holdings.items()
@@ -265,12 +318,28 @@ class Rebalancer:
                 # No surviving copy: leave the debt recorded.
                 self._router.under_replicated.append((object_id, node_id))
                 continue
+            source = max(
+                holders,
+                key=lambda nid: (self._recognition_size(nid, object_id), -nid),
+            )
             steps.append(
                 MigrationStep(
-                    object_id=object_id, source=holders[0], target=node_id
+                    object_id=object_id, source=source, target=node_id
                 )
             )
         return self._enqueue(steps)
+
+    def _source_rank(self, node_id: int, object_id) -> int:
+        """Source-preference key: richest recognition table wins."""
+        return self._recognition_size(node_id, object_id)
+
+    def _recognition_size(self, node_id: int, object_id) -> int:
+        """Utterances a node's copy carries (source-preference key)."""
+        node = self._router.nodes.get(node_id) or self._detached.get(node_id)
+        if node is None:
+            return 0
+        table = node.archiver.recognition_for(object_id)
+        return sum(len(utterances) for utterances in table.values())
 
     def _source_node(self, node_id: int) -> ClusterNode | None:
         node = self._router.nodes.get(node_id)
@@ -285,11 +354,13 @@ class Rebalancer:
     ) -> RebalanceReport:
         """Perform up to ``max_steps`` queued migrations (all if None).
 
-        A step whose target already holds the copy is skipped; a step
-        that fails transiently (or whose source is momentarily
-        unusable) is re-queued for the next pass and counted in
-        ``failed``.  Each successful move records a ``CLUSTER_MIGRATE``
-        event with the bytes that crossed.
+        A step whose target already holds the copy carries no bytes:
+        if a live source has a richer recognition side table the step
+        *syncs* it across (counted in ``synced``), otherwise it is
+        skipped.  A step that fails transiently (or whose source is
+        momentarily unusable) is re-queued for the next pass and
+        counted in ``failed``.  Each successful move records a
+        ``CLUSTER_MIGRATE`` event with the bytes that crossed.
         """
         report = RebalanceReport()
         budget = len(self._pending) if max_steps is None else max_steps
@@ -300,8 +371,11 @@ class Rebalancer:
             step = self._pending.pop(0)
             budget -= 1
             target = self._router.nodes.get(step.target)
-            if target is None or step.object_id in target:
+            if target is None:
                 report.skipped += 1
+                continue
+            if step.object_id in target:
+                self._sync_recognition(step, target, retry, report)
                 continue
             source = self._source_node(step.source)
             if source is None:
@@ -314,15 +388,21 @@ class Rebalancer:
                     object=str(step.object_id), source=step.source,
                     target=step.target,
                 )
+            # The source read goes through the node's serve guard, not
+            # the bare archiver: if the source process dies mid-read
+            # (an armed crash deep in its stack), the boundary
+            # translates it into NodeDownError and the step re-queues
+            # against a surviving holder instead of killing the
+            # rebalancer.
             try:
                 if active is not None:
                     with bind_span(active.context):
-                        obj, _ = source.archiver.fetch_object(step.object_id)
+                        obj, _ = source.serve("fetch_object", step.object_id)
                         record = target.receive_migration(obj)
                 else:
-                    obj, _ = source.archiver.fetch_object(step.object_id)
+                    obj, _ = source.serve("fetch_object", step.object_id)
                     record = target.receive_migration(obj)
-            except (TransientIOError, NodeDownError, ObjectNotFoundError) as e:
+            except STEP_RETRY_ERRORS as e:
                 metrics.on_migrate(
                     step.object_id, step.source, step.target, 0, now_s,
                     ok=False,
@@ -345,6 +425,43 @@ class Rebalancer:
         self._pending.extend(retry)
         report.remaining = len(self._pending)
         return report
+
+    def _sync_recognition(
+        self,
+        step: MigrationStep,
+        target: ClusterNode,
+        retry: list[MigrationStep],
+        report: RebalanceReport,
+    ) -> None:
+        """Resolve a step whose target already holds the object.
+
+        The copy is there; what may be missing is the recognition side
+        table (the target missed an ``attach_recognition`` fan-out, or
+        received its copy by migration before the source was
+        recognized).  If the pinned source offers segments the target's
+        table does not already agree on, attach them through the
+        target's replica-write path — the same guarded, journaled
+        commit a client fan-out uses — otherwise the step is a no-op
+        skip.
+        """
+        source = self._source_node(step.source)
+        if source is None:
+            self._requeue(step, "source unavailable", retry, report)
+            return
+        table = source.archiver.recognition_for(step.object_id)
+        current = target.archiver.recognition_for(step.object_id)
+        if not table or all(
+            current.get(segment_id) == utterances
+            for segment_id, utterances in table.items()
+        ):
+            report.skipped += 1
+            return
+        try:
+            target.attach_recognition(step.object_id, table)
+        except STEP_RETRY_ERRORS as e:
+            self._requeue(step, type(e).__name__, retry, report)
+            return
+        report.synced += 1
 
     def _requeue(
         self,

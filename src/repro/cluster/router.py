@@ -39,6 +39,7 @@ from repro.errors import (
     NodeDownError,
     ObjectNotFoundError,
     QuorumWriteError,
+    TornWriteError,
     TransientIOError,
 )
 from repro.obs.context import bind as bind_span
@@ -54,6 +55,19 @@ from repro.storage.cache import LRUCache
 #: *yet*, and during catch-up repair it may not hold it *anymore* —
 #: another replica does.
 FAILOVER_ERRORS = (TransientIOError, NodeDownError, ObjectNotFoundError)
+
+#: Per-replica failures the write fan-out absorbs as a missed replica.
+#: A torn replica write belongs here: the replica's own commit
+#: protocol already rolled the partial write back (dead extent, journal
+#: abort), so from the cluster's point of view that replica simply
+#: missed the write — the quorum decides the store's fate and catch-up
+#: repair re-copies it, exactly as for a transient miss.
+MISSED_WRITE_ERRORS = (TransientIOError, TornWriteError, NodeDownError)
+
+#: A recognition can additionally miss a replica that does not hold the
+#: copy yet (mid-rebalance): the later full-object copy bakes the
+#: recognition in, so the miss is repairable the same way.
+MISSED_RECOGNITION_ERRORS = MISSED_WRITE_ERRORS + (ObjectNotFoundError,)
 
 #: Operations the router can place: the first parameter must be the
 #: object id.  (Absolute/extent reads are node-relative coordinates —
@@ -91,6 +105,20 @@ class RouterFuture:
 @dataclass
 class StoreOutcome:
     """What happened to one fanned-out store."""
+
+    object_id: object
+    replicas: list[int]
+    acked: list[int]
+    missed: list[int]
+
+    @property
+    def fully_replicated(self) -> bool:
+        return not self.missed
+
+
+@dataclass
+class RecognitionOutcome:
+    """What happened to one fanned-out ``attach_recognition``."""
 
     object_id: object
     replicas: list[int]
@@ -278,7 +306,7 @@ class ClusterRouter:
                         record = node.store(obj, shared_archiver_data)
                 else:
                     record = node.store(obj, shared_archiver_data)
-            except (TransientIOError, NodeDownError) as error:
+            except MISSED_WRITE_ERRORS as error:
                 missed.append(node_id)
                 self.metrics.on_replica_write(node_id, False)
                 if active is not None:
@@ -331,6 +359,84 @@ class ClusterRouter:
         return StoreOutcome(
             object_id=obj.object_id, replicas=replicas, acked=acked,
             missed=missed,
+        )
+
+    def attach_recognition(
+        self, object_id, side_table, *, now_s: float = 0.0, ctx=None
+    ) -> RecognitionOutcome:
+        """Fan one recognition to all replicas; succeed on any ack.
+
+        Recognition is derived data — recomputable from the archived
+        media — so its write quorum is 1: a single durably journaled
+        application is enough for the result to survive, and every
+        replica that missed it (transient, torn, down, or simply not
+        holding the copy yet mid-rebalance) is recorded as
+        under-replicated so the rebalancer's catch-up pass syncs the
+        side table (or copies the whole object, which bakes the
+        recognition in).
+
+        Raises
+        ------
+        QuorumWriteError
+            If no replica applied the recognition.  The misses stay
+            recorded, but with zero durable applications there is
+            nothing for catch-up to sync *from*, so the caller must
+            retry the recognition itself.
+        """
+        replicas = self._placement.replica_set(object_id)
+        active = None
+        if self._obs is not None:
+            active = self._obs.start(
+                ctx if ctx is not None else current_span(),
+                "cluster:recognize", ObsSpanKind.CLUSTER, now_s,
+                object=str(object_id), replicas=len(replicas),
+            )
+        acked: list[int] = []
+        missed: list[int] = []
+        for node_id in replicas:
+            node = self._nodes[node_id]
+            try:
+                if active is not None:
+                    with bind_span(active.context):
+                        node.attach_recognition(object_id, side_table)
+                else:
+                    node.attach_recognition(object_id, side_table)
+            except MISSED_RECOGNITION_ERRORS as error:
+                missed.append(node_id)
+                self.metrics.on_replica_write(node_id, False)
+                if active is not None:
+                    self._obs.emit(
+                        active.context, f"replica:{node_id}",
+                        ObsSpanKind.CLUSTER, now_s, now_s,
+                        status=ObsSpanStatus.ERROR,
+                        node=node_id, error=type(error).__name__,
+                    )
+                continue
+            acked.append(node_id)
+            self.metrics.on_replica_write(node_id, True)
+            if active is not None:
+                self._obs.emit(
+                    active.context, f"replica:{node_id}",
+                    ObsSpanKind.CLUSTER, now_s, now_s,
+                    node=node_id,
+                )
+        if active is not None:
+            active.finish(
+                now_s,
+                status=ObsSpanStatus.OK if acked else ObsSpanStatus.ERROR,
+                acked=len(acked),
+            )
+        if acked:
+            # Misses become repair debt only once one copy is durable.
+            for node_id in missed:
+                self.under_replicated.append((object_id, node_id))
+            return RecognitionOutcome(
+                object_id=object_id, replicas=replicas, acked=acked,
+                missed=missed,
+            )
+        raise QuorumWriteError(
+            f"recognition of {object_id} applied by no replica "
+            f"(of {len(replicas)})"
         )
 
     # ------------------------------------------------------------------

@@ -209,6 +209,26 @@ class FaultPlan:
         """The armed faults (a copy)."""
         return list(self._specs)
 
+    def disarm(self, site: str | None = None) -> int:
+        """Remove armed specs (all of them, or just one site's).
+
+        Arrival counters and the event log are kept — only *future*
+        injections are cancelled.  Returns the number of specs removed.
+        The simulation harness uses this at quiescent points: chaos
+        stops, outstanding faults are disarmed, and the invariant
+        checker then observes the system without new injections firing
+        mid-check.
+        """
+        with self._lock:
+            if site is None:
+                removed = len(self._specs)
+                self._specs = []
+            else:
+                kept = [spec for spec in self._specs if spec.site != site]
+                removed = len(self._specs) - len(kept)
+                self._specs = kept
+        return removed
+
     # ------------------------------------------------------------------
     # firing
     # ------------------------------------------------------------------

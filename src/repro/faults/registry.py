@@ -8,7 +8,7 @@ centrally so that
 
 * :meth:`FaultPlan.arm` can reject typos at plan-construction time, and
 * CI can enforce that every registered site has a covering test
-  (``tools/check_fault_coverage.py``).
+  (``tools/check_coverage.py``).
 
 The production code paths fire sites by string name and pay nothing
 when no plan is attached.

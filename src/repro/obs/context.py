@@ -33,6 +33,17 @@ def current() -> SpanContext | None:
     return _CURRENT.get()
 
 
+def reset() -> None:
+    """Clear the ambient binding unconditionally (test isolation).
+
+    :class:`bind` restores the previous binding on exit, so production
+    code never needs this — but a test that crashes mid-``bind`` (or a
+    suite that drives spans without the context manager) would leak its
+    context into the next test.  Fixtures call this between tests.
+    """
+    _CURRENT.set(None)
+
+
 class bind:
     """Bind ``ctx`` as the ambient context for the enclosed block.
 

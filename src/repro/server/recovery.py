@@ -106,6 +106,72 @@ def _emit(metrics: "ServerMetrics | None", outcome: str, **detail) -> None:
         metrics.on_recovery(outcome, **detail)
 
 
+def _merge(intervals: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Coalesce half-open ``(start, end)`` intervals into a sorted union."""
+    merged: list[tuple[int, int]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def dead_extent_union(
+    candidates: list[Extent], owned: list[Extent]
+) -> list[Extent]:
+    """Candidate dead extents, unioned and with owned bytes carved out.
+
+    The result is a disjoint, sorted list of extents covering exactly
+    the bytes that some failed intent claims and no live record owns —
+    the space an allocator may reclaim.
+    """
+    dead = _merge([(e.offset, e.end) for e in candidates])
+    walls = _merge([(e.offset, e.end) for e in owned])
+    result: list[Extent] = []
+    for start, end in dead:
+        cursor = start
+        for w_start, w_end in walls:
+            if w_end <= cursor or w_start >= end:
+                continue
+            if w_start > cursor:
+                result.append(Extent(cursor, w_start - cursor))
+            cursor = max(cursor, w_end)
+            if cursor >= end:
+                break
+        if cursor < end:
+            result.append(Extent(cursor, end - cursor))
+    return result
+
+
+def tiling_gap(archiver: "Archiver") -> int:
+    """Allocated platter bytes with no journal evidence (0 when healthy).
+
+    The read-only, any-time form of the recovery tiling check: every
+    allocated byte must be owned by a live record or covered by some
+    journaled store intent (a failed store's reclaimable remainder).  A
+    positive gap means bytes reached the platter that no recovery could
+    ever account for — a write-ahead violation (data appended without
+    its journal intent), exactly the class of commit-protocol bug the
+    simulation harness exists to catch.  Quiesce-time checkers call
+    this on live nodes without disturbing them.
+    """
+    with archiver._lock:
+        used = archiver._disk.used_bytes
+        owned = [record.extent for record in archiver._records.values()]
+        candidates: list[Extent] = []
+        for entry in archiver._journal.replay().entries:
+            if entry.kind != "store":
+                continue
+            offset = entry.payload["offset"]
+            end = min(offset + entry.payload["length"], used)
+            if end > offset:
+                candidates.append(Extent(offset, end - offset))
+        dead = dead_extent_union(candidates, owned)
+        owned_total = sum(extent.length for extent in owned)
+        return used - owned_total - sum(extent.length for extent in dead)
+
+
 def recover_archiver(
     archiver: "Archiver", metrics: "ServerMetrics | None" = None
 ) -> RecoveryReport:
@@ -264,11 +330,19 @@ def recover_archiver(
         # --------------------------------------------------------------
         # 4. Tiling check: every allocated platter byte is owned by a
         #    recovered object or accounted as dead (reclaimable).
+        #    Candidate dead extents are *intents*, and an intent may
+        #    overstate what was written: a store that aborted before
+        #    (or partway through) its platter append journals a full
+        #    extent whose offsets a later successful store legitimately
+        #    reuses.  Dead space is therefore the interval union of the
+        #    candidates minus the owned extents — never bytes a live
+        #    record owns, and never double-counted.
         # --------------------------------------------------------------
-        owned = sum(
-            record.extent.length for record in archiver._records.values()
-        )
-        report.dead_extents = dead
+        owned_extents = [
+            record.extent for record in archiver._records.values()
+        ]
+        owned = sum(extent.length for extent in owned_extents)
+        report.dead_extents = dead_extent_union(dead, owned_extents)
         report.unaccounted_bytes = used - owned - report.dead_bytes
 
     _emit(

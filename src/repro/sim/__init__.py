@@ -1,0 +1,72 @@
+"""Deterministic whole-system simulation of the MINOS cluster.
+
+The simulator composes the pieces the rest of the repository already
+tests in isolation — virtual clock, fault plans, replicated cluster,
+rebalancer, span recorder — into one seeded world, drives it with a
+generated :class:`ChaosSchedule` of client operations interleaved with
+crashes, torn writes, transient faults and topology changes, and
+checks it against a pure-Python :class:`ModelArchive` oracle at every
+quiescent point.  Failing seeds shrink to minimal replayable repro
+files.
+
+Typical use::
+
+    from repro.sim import ChaosSchedule, SimConfig, run_sim, shrink
+
+    schedule = ChaosSchedule.generate(seed=7, n_steps=40)
+    result = run_sim(schedule, SimConfig(seed=7))
+    if not result.ok:
+        minimal = shrink(schedule.steps, SimConfig(seed=7))
+
+``tools/run_sim_sweep.py`` wraps exactly this loop for CI sweeps.
+"""
+
+from repro.sim.harness import (
+    EXPECTED_CLIENT_ERRORS,
+    SimConfig,
+    SimResult,
+    SimWorld,
+    run_sim,
+)
+from repro.sim.model import ModelArchive, ObjectSpec, Violation
+from repro.sim.schedule import (
+    CRASH_SITES,
+    REPRO_FORMAT,
+    TRANSIENT_SITES,
+    ChaosSchedule,
+    SimStep,
+    load_repro,
+    save_repro,
+)
+from repro.sim.shrink import ShrinkResult, shrink
+from repro.sim.workload import QUERY_BATTERY, WORDS, make_object
+
+__all__ = [
+    "CRASH_SITES",
+    "ChaosSchedule",
+    "EXPECTED_CLIENT_ERRORS",
+    "ModelArchive",
+    "ObjectSpec",
+    "QUERY_BATTERY",
+    "REPRO_FORMAT",
+    "ShrinkResult",
+    "SimConfig",
+    "SimResult",
+    "SimStep",
+    "SimWorld",
+    "TRANSIENT_SITES",
+    "Violation",
+    "WORDS",
+    "load_repro",
+    "make_object",
+    "replay_repro",
+    "run_sim",
+    "save_repro",
+    "shrink",
+]
+
+
+def replay_repro(path) -> SimResult:
+    """Re-run a repro file exactly as recorded."""
+    config, schedule, _ = load_repro(path)
+    return run_sim(schedule, SimConfig.from_dict(config))

@@ -1,0 +1,168 @@
+"""The pure-Python model oracle the simulated cluster is checked against.
+
+The :class:`ModelArchive` is deliberately trivial: dictionaries and
+sets updated at the harness's step boundaries, with no storage, no
+placement and no failure modes of its own.  It records the
+*acknowledged history* — what the cluster told its clients — plus the
+*attempted history*, and the checker holds the real system to the
+sandwich invariant::
+
+    acknowledged  ⊆  actual state  ⊆  attempted
+
+Acknowledged work must survive anything (durability, replication
+factor, recognition terms); actual state beyond the acknowledged part
+is legitimate residue of failed-but-partially-applied operations, but
+must never exceed what was attempted (no phantom objects, no invented
+terms).  The model also carries per-node watermarks for the two
+monotone resources: WORM platter growth (append-only bytes, verified
+by prefix checksum) and version tokens per held copy.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ObjectSpec:
+    """What a stored object is supposed to contain."""
+
+    media: str  # "text" | "voice"
+    units: tuple[tuple[str, ...], ...]
+
+    @classmethod
+    def make(cls, media: str, units: list[list[str]]) -> "ObjectSpec":
+        return cls(media=media, units=tuple(tuple(u) for u in units))
+
+    @property
+    def terms(self) -> set[str]:
+        return {word for unit in self.units for word in unit}
+
+
+@dataclass
+class Violation:
+    """One invariant the real system broke, attributed to a step."""
+
+    invariant: str
+    detail: str
+    step_index: int
+    node_id: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "step_index": self.step_index,
+            "node_id": self.node_id,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        where = f" node={self.node_id}" if self.node_id is not None else ""
+        return (
+            f"[{self.invariant}] step {self.step_index}{where}: {self.detail}"
+        )
+
+
+class ModelArchive:
+    """Acknowledged + attempted history, and the monotone watermarks."""
+
+    def __init__(self) -> None:
+        #: Every store the client *initiated*, acked or not.
+        self.attempted: dict[object, ObjectSpec] = {}
+        #: Stores the cluster acknowledged (quorum met), in ack order.
+        self.acked: list[object] = []
+        self._acked_set: set[object] = set()
+        #: Voice objects whose recognition was attempted / acknowledged.
+        self.attempted_recognitions: set[object] = set()
+        self.acked_recognitions: set[object] = set()
+        #: node id → (used_bytes, crc32 of the first used_bytes) at the
+        #: last quiescent point — the WORM append-only watermark.
+        self.worm: dict[int, tuple[int, int]] = {}
+        #: (node id, object id) → highest version token observed.
+        self.versions: dict[tuple[int, object], int] = {}
+
+    # ------------------------------------------------------------------
+    # history updates (called by the harness at step boundaries)
+    # ------------------------------------------------------------------
+
+    def on_store_attempt(self, object_id, spec: ObjectSpec) -> None:
+        self.attempted[object_id] = spec
+
+    def on_store_ack(self, object_id) -> None:
+        if object_id not in self._acked_set:
+            self._acked_set.add(object_id)
+            self.acked.append(object_id)
+
+    def on_recognition_attempt(self, object_id) -> None:
+        self.attempted_recognitions.add(object_id)
+
+    def on_recognition_ack(self, object_id) -> None:
+        self.acked_recognitions.add(object_id)
+
+    # ------------------------------------------------------------------
+    # queries the checker asks
+    # ------------------------------------------------------------------
+
+    def is_acked(self, object_id) -> bool:
+        return object_id in self._acked_set
+
+    def acked_voice_ids(self) -> list[object]:
+        """Acked voice objects, in ack order (recognition candidates)."""
+        return [
+            object_id
+            for object_id in self.acked
+            if self.attempted[object_id].media == "voice"
+        ]
+
+    def expected_channel_terms(self, object_id) -> dict[str, set[str]]:
+        """Per-channel term sets a *complete* copy of the object serves.
+
+        The voice entry assumes the copy carries its recognition; a
+        copy without recognition legitimately serves the empty set —
+        the checker enforces the all-or-nothing rule itself.
+        """
+        spec = self.attempted[object_id]
+        if spec.media == "text":
+            return {"text": spec.terms, "voice": set()}
+        return {"text": set(), "voice": spec.terms}
+
+    # ------------------------------------------------------------------
+    # monotone watermarks
+    # ------------------------------------------------------------------
+
+    def check_worm(self, node_id: int, data: bytes) -> str | None:
+        """Verify and advance one node's append-only platter watermark.
+
+        ``data`` is the node's full allocated platter prefix.  Returns
+        an error string if previously-observed bytes shrank or changed
+        — the two things a WORM platter cannot do — else records the
+        new watermark and returns None.
+        """
+        used = len(data)
+        previous = self.worm.get(node_id)
+        if previous is not None:
+            prev_used, prev_crc = previous
+            if used < prev_used:
+                return (
+                    f"platter shrank from {prev_used} to {used} bytes"
+                )
+            if zlib.crc32(data[:prev_used]) != prev_crc:
+                return (
+                    f"first {prev_used} platter bytes changed since the "
+                    "last quiescent point"
+                )
+        self.worm[node_id] = (used, zlib.crc32(data))
+        return None
+
+    def check_version(self, node_id: int, object_id, version: int) -> str | None:
+        """Verify and advance one copy's version-token watermark."""
+        key = (node_id, object_id)
+        previous = self.versions.get(key, 0)
+        if version < previous:
+            return (
+                f"version token of {object_id} went backwards: "
+                f"{previous} -> {version}"
+            )
+        self.versions[key] = version
+        return None

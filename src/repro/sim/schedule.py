@@ -1,0 +1,266 @@
+"""Seeded chaos schedules and the replayable repro-file format.
+
+A :class:`ChaosSchedule` is a flat list of :class:`SimStep` s — client
+operations interleaved with fault arming, node lifecycle events, and
+quiescent points — generated deterministically from a seed.  Two
+properties matter more than realism:
+
+* **Replayability.**  Every random choice is materialized into the
+  step's ``params`` at generation time (the token units of a store,
+  the tear fraction of a torn write).  Replaying a schedule never
+  consults a random source, so a repro file is bit-for-bit faithful.
+* **Shrink stability.**  Steps reference their operands by a ``pick``
+  index resolved against the *live candidate list at execution time*
+  (``pick % len(candidates)``), not by absolute ids.  Dropping an
+  earlier step changes the world, but a surviving step still resolves
+  to *some* valid operand, so the greedy shrinker can delete steps
+  freely without turning the rest of the schedule into no-ops.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.sim.workload import WORDS
+
+#: Format tag written into every repro file.
+REPRO_FORMAT = "repro.sim/1"
+
+#: Sites a ``transient`` chaos step may arm.  Device sites exercise the
+#: read/write paths; ``archiver.store.*`` sites abort the commit
+#: protocol at each of its phases (the torn-abort interval accounting
+#: only shows up when stores fail *between* journal intent and seal);
+#: recognition and cluster sites fail the corresponding fan-outs.
+TRANSIENT_SITES = [
+    "device.read",
+    "device.write",
+    "archiver.store.journal",
+    "archiver.store.data",
+    "archiver.store.descriptor",
+    "archiver.store.seal",
+    "archiver.recognize.journal",
+    "archiver.recognize.apply",
+    "archiver.recognize.seal",
+    "cluster.node_crash",
+    "cluster.replica_write",
+    "cluster.migrate",
+    "compress.decode",
+]
+
+#: Sites a ``crash_site`` chaos step may arm.  These kill the node's
+#: process *deep inside* a commit protocol; the node boundary must
+#: translate the death into a routable error and recovery must replay
+#: the journal evidence.
+CRASH_SITES = [
+    "archiver.store.journal",
+    "archiver.store.data",
+    "archiver.store.descriptor",
+    "archiver.store.seal",
+    "archiver.recognize.journal",
+    "archiver.recognize.apply",
+    "archiver.recognize.seal",
+    "cluster.node_crash",
+    "cluster.replica_write",
+    "cluster.migrate",
+]
+
+#: Step kinds in generation-weight order: (kind, weight).
+_WEIGHTS = [
+    ("store", 18),
+    ("open", 13),
+    ("search", 12),
+    ("recognize", 9),
+    ("browse", 7),
+    ("transient", 8),
+    ("torn_write", 5),
+    ("crash_site", 5),
+    ("crash_node", 6),
+    ("recover_node", 4),
+    ("join_node", 3),
+    ("leave_node", 2),
+    ("catch_up", 4),
+    ("rebalance", 4),
+    ("quiesce", 5),
+]
+
+
+@dataclass(frozen=True)
+class SimStep:
+    """One schedule entry: a client op, a chaos event, or a quiesce."""
+
+    kind: str
+    params: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimStep":
+        return cls(kind=data["kind"], params=dict(data.get("params", {})))
+
+
+def _units(rng: random.Random) -> list[list[str]]:
+    """Token units for one stored object (1-2 segments, 1-3 words each)."""
+    return [
+        [rng.choice(WORDS) for _ in range(rng.randint(1, 3))]
+        for _ in range(rng.randint(1, 2))
+    ]
+
+
+def _step(rng: random.Random, kind: str) -> SimStep:
+    """Materialize one step of ``kind`` with all randomness resolved."""
+    if kind == "store":
+        media = "voice" if rng.random() < 0.4 else "text"
+        return SimStep(kind, {"media": media, "units": _units(rng)})
+    if kind == "recognize":
+        return SimStep(kind, {"pick": rng.randrange(64)})
+    if kind == "open":
+        return SimStep(
+            kind, {"pick": rng.randrange(64), "station": rng.randrange(4)}
+        )
+    if kind == "search":
+        return SimStep(
+            kind,
+            {
+                "pick": rng.randrange(64),
+                "term": rng.choice(WORDS),
+                "channel": rng.choice(["both", "text", "voice"]),
+            },
+        )
+    if kind == "browse":
+        return SimStep(
+            kind, {"pick": rng.randrange(64), "station": rng.randrange(4)}
+        )
+    if kind == "crash_node":
+        return SimStep(kind, {"pick": rng.randrange(64)})
+    if kind == "recover_node":
+        return SimStep(kind, {"pick": rng.randrange(64)})
+    if kind == "join_node":
+        return SimStep(kind, {})
+    if kind == "leave_node":
+        return SimStep(kind, {"pick": rng.randrange(64)})
+    if kind == "torn_write":
+        return SimStep(
+            kind,
+            {
+                "pick": rng.randrange(64),
+                "tear_fraction": round(rng.uniform(0.0, 0.9), 3),
+                "then_crash": rng.random() < 0.3,
+                "delay": rng.randrange(3),
+            },
+        )
+    if kind == "transient":
+        return SimStep(
+            kind,
+            {
+                "pick": rng.randrange(64),
+                "site": rng.choice(TRANSIENT_SITES),
+                "count": rng.randint(1, 2),
+                "delay": rng.randrange(3),
+            },
+        )
+    if kind == "crash_site":
+        return SimStep(
+            kind,
+            {
+                "pick": rng.randrange(64),
+                "site": rng.choice(CRASH_SITES),
+                "delay": rng.randrange(3),
+            },
+        )
+    if kind == "rebalance":
+        return SimStep(kind, {"max_steps": rng.randint(1, 4)})
+    if kind in ("catch_up", "quiesce"):
+        return SimStep(kind, {})
+    raise ValueError(f"unknown step kind {kind!r}")
+
+
+class ChaosSchedule:
+    """A seeded, replayable interleaving of client ops and chaos."""
+
+    def __init__(self, seed: int, steps: list[SimStep]) -> None:
+        self.seed = seed
+        self.steps = list(steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    @classmethod
+    def generate(cls, seed: int, *, n_steps: int = 40) -> "ChaosSchedule":
+        """The canonical schedule for ``seed``: same seed, same steps.
+
+        The first two steps always store one text and one voice object
+        so that opens, searches and recognitions drawn later have live
+        operands; the harness appends an implicit final quiesce, so a
+        schedule needs no trailing one.
+        """
+        rng = random.Random(seed)
+        kinds = [kind for kind, _ in _WEIGHTS]
+        weights = [weight for _, weight in _WEIGHTS]
+        steps = [
+            SimStep("store", {"media": "text", "units": _units(rng)}),
+            SimStep("store", {"media": "voice", "units": _units(rng)}),
+        ]
+        while len(steps) < n_steps:
+            kind = rng.choices(kinds, weights=weights, k=1)[0]
+            steps.append(_step(rng, kind))
+        return cls(seed, steps)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "steps": [step.to_dict() for step in self.steps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosSchedule":
+        return cls(
+            seed=int(data.get("seed", 0)),
+            steps=[SimStep.from_dict(item) for item in data["steps"]],
+        )
+
+
+# ----------------------------------------------------------------------
+# repro files
+# ----------------------------------------------------------------------
+
+
+def save_repro(
+    path: str | Path,
+    *,
+    config: dict,
+    schedule: ChaosSchedule,
+    violation: dict | None = None,
+) -> Path:
+    """Write a replayable repro file for a (usually shrunk) schedule."""
+    path = Path(path)
+    payload = {
+        "format": REPRO_FORMAT,
+        "config": dict(config),
+        "schedule": schedule.to_dict(),
+    }
+    if violation is not None:
+        payload["violation"] = dict(violation)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_repro(path: str | Path) -> tuple[dict, ChaosSchedule, dict | None]:
+    """Read a repro file back: ``(config, schedule, violation)``."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != REPRO_FORMAT:
+        raise ValueError(
+            f"{path}: not a {REPRO_FORMAT} repro file "
+            f"(format={payload.get('format')!r})"
+        )
+    return (
+        dict(payload["config"]),
+        ChaosSchedule.from_dict(payload["schedule"]),
+        payload.get("violation"),
+    )

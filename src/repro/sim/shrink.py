@@ -1,0 +1,98 @@
+"""Greedy chaos-schedule shrinking.
+
+A failing 40-step chaos schedule is a terrible bug report: most of its
+steps are irrelevant to the violation.  :func:`shrink` reduces it to a
+(locally) minimal schedule that still fails with the *same invariant*
+— keying on the invariant label, not the full violation text, because
+step indices and node ids legitimately drift as steps are removed.
+
+The algorithm is classic chunked delta debugging: first truncate to
+the violating step (everything after it never ran), then repeatedly
+try deleting chunks, halving the chunk size from ``len/2`` down to
+single steps, restarting at the largest chunk size after any
+successful deletion.  Each candidate costs one full simulated run, so
+the total is bounded by ``max_runs``; schedules here are forty-ish
+steps and a run is a fraction of a second, so the cap is generous.
+
+Shrinking relies on the schedule format's shrink stability (see
+:mod:`repro.sim.schedule`): operand ``pick`` s are modular indices
+into live candidate lists, so deleting a step never strands a later
+one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.harness import SimConfig, run_sim
+from repro.sim.model import Violation
+from repro.sim.schedule import SimStep
+
+
+@dataclass
+class ShrinkResult:
+    """A minimized failing schedule and the violation it reproduces."""
+
+    steps: list[SimStep]
+    violation: Violation
+    #: Simulated runs spent (baseline + every candidate tried).
+    runs: int
+
+
+def shrink(
+    steps: list[SimStep],
+    config: SimConfig | None = None,
+    *,
+    max_runs: int = 200,
+) -> ShrinkResult | None:
+    """Minimize a failing schedule; None if it does not fail at all."""
+    if config is None:
+        config = SimConfig()
+    steps = list(steps)
+    runs = 1
+    baseline = run_sim(steps, config).violation
+    if baseline is None:
+        return None
+    target = baseline.invariant
+
+    def still_fails(candidate: list[SimStep]) -> Violation | None:
+        nonlocal runs
+        runs += 1
+        violation = run_sim(candidate, config).violation
+        if violation is not None and violation.invariant == target:
+            return violation
+        return None
+
+    current = steps
+    best = baseline
+    # Steps past the violating one never executed; drop them first.
+    # (A violation at the implicit final quiesce has step_index ==
+    # len(steps), so the slice is a no-op there.)
+    if baseline.step_index + 1 < len(current):
+        truncated = current[: baseline.step_index + 1]
+        violation = still_fails(truncated)
+        if violation is not None:
+            current, best = truncated, violation
+
+    chunk = max(len(current) // 2, 1)
+    while chunk >= 1 and runs < max_runs:
+        removed_any = False
+        index = 0
+        while index < len(current) and runs < max_runs:
+            candidate = current[:index] + current[index + chunk:]
+            if not candidate:
+                index += chunk
+                continue
+            violation = still_fails(candidate)
+            if violation is not None:
+                current, best = candidate, violation
+                removed_any = True
+                # The list shifted left; retry the same index.
+            else:
+                index += chunk
+        if removed_any and chunk > 1:
+            # A deletion may have unlocked larger removals; restart big.
+            chunk = max(len(current) // 2, 1)
+        else:
+            chunk //= 2
+    return ShrinkResult(steps=current, violation=best, runs=runs)

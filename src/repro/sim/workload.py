@@ -1,0 +1,98 @@
+"""Client-side object builders for the whole-system simulator.
+
+The simulated clients speak the same tiny vocabulary as the
+fault-matrix harness (``tests/fault_workload.py``): five words is
+enough for every query shape — single terms, conjunctions, negations,
+phrases — to have dense, overlapping answers, which is what makes the
+index ≡ scan-oracle comparison discriminating.
+
+Voice objects are built at a deliberately low sample rate: the
+simulator stores hundreds of objects per sweep and cares about commit
+protocols and replica placement, not codec fidelity, so each second of
+"speech" costs 1000 samples instead of 8000.  The recognition side
+table for a voice object is derived from the same unit spec, so the
+model oracle knows exactly which voice terms an acknowledged
+recognition must make searchable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.audio.recognition import RecognizedUtterance
+from repro.audio.signal import Recording, TimedWord
+from repro.ids import IdGenerator
+from repro.objects import DrivingMode, MultimediaObject, PresentationSpec
+from repro.objects.parts import TextSegment, VoiceSegment
+from repro.objects.presentation import TextFlow
+
+#: The shared vocabulary; identical to the fault harness so oracle
+#: queries port across both.
+WORDS = ["alpha", "beta", "gamma", "delta", "epsilon"]
+
+#: Query shapes every quiescent check evaluates per node and channel.
+QUERY_BATTERY = WORDS + [
+    "alpha AND beta",
+    "alpha OR gamma",
+    "delta NOT (beta OR gamma)",
+    '"alpha beta"',
+]
+
+#: Samples per simulated second of speech (8× cheaper than the
+#: recognition suite's 8 kHz; the simulator never decodes audio).
+SAMPLE_RATE = 1000
+
+
+def make_object(
+    generator: IdGenerator, media: str, units: list[list[str]]
+) -> tuple[MultimediaObject, dict]:
+    """Build and archive one client object; ``(object, side_table)``.
+
+    ``media`` is ``"text"`` or ``"voice"``; ``units`` is one token list
+    per segment.  For voice objects the returned side table maps each
+    segment id to the recognized utterances an ``attach_recognition``
+    would produce — the exact terms the model oracle expects the voice
+    channel to serve once the recognition is acknowledged.  Text
+    objects return an empty side table.
+    """
+    if media == "text":
+        obj = MultimediaObject(
+            object_id=generator.object_id(), driving_mode=DrivingMode.VISUAL
+        )
+        flows = []
+        for unit in units:
+            segment = TextSegment(
+                segment_id=generator.segment_id(), markup=" ".join(unit)
+            )
+            obj.add_text_segment(segment)
+            flows.append(TextFlow(segment.segment_id))
+        obj.presentation = PresentationSpec(items=flows)
+        return obj.archive(), {}
+    if media != "voice":
+        raise ValueError(f"unknown media kind {media!r}")
+    obj = MultimediaObject(
+        object_id=generator.object_id(), driving_mode=DrivingMode.AUDIO
+    )
+    order = []
+    side_table: dict = {}
+    for unit in units:
+        timed = [
+            TimedWord(word, float(i), float(i) + 0.5)
+            for i, word in enumerate(unit)
+        ]
+        recording = Recording(
+            samples=np.zeros(SAMPLE_RATE * len(unit), dtype=np.float32),
+            sample_rate=SAMPLE_RATE,
+            words=timed,
+        )
+        segment = VoiceSegment(
+            segment_id=generator.segment_id(), recording=recording
+        )
+        obj.add_voice_segment(segment)
+        order.append(segment.segment_id)
+        side_table[segment.segment_id] = [
+            RecognizedUtterance(term=word, time=float(i))
+            for i, word in enumerate(unit)
+        ]
+    obj.presentation = PresentationSpec(audio_order=order)
+    return obj.archive(), side_table

@@ -1,12 +1,41 @@
-"""Shared fixtures."""
+"""Shared fixtures and test-session configuration."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.audio.signal import SpeakerProfile, synthesize_speech
 from repro.ids import IdGenerator
+from repro.obs import context as obs_context
 from repro.workstation.station import Workstation
+
+# Hypothesis profiles: `dev` (the default) keeps the library defaults
+# for fast local iteration; `ci` removes the per-example deadline
+# (shared runners have noisy clocks), derandomizes so a red build is
+# reproducible from the log alone, and prints the @reproduce_failure
+# blob for any counterexample.  Select with HYPOTHESIS_PROFILE=ci.
+settings.register_profile(
+    "ci", deadline=None, derandomize=True, print_blob=True
+)
+settings.register_profile("dev", settings.default)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+@pytest.fixture(autouse=True)
+def _reset_ambient_span_context():
+    """Clear the ambient obs binding around every test.
+
+    The span-context contextvar survives across tests in the same
+    thread; a test that exercises an obs-instrumented path after an
+    earlier test leaked a binding would silently parent its spans on a
+    foreign trace.  Reset on both sides so neither direction leaks.
+    """
+    obs_context.reset()
+    yield
+    obs_context.reset()
 
 
 @pytest.fixture

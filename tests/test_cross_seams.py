@@ -1,0 +1,303 @@
+"""Cross-subsystem seams the unit suites cover only from one side.
+
+Compression meets the cluster (mixed raw/framed archives behind one
+router, read through failover), the delivery retry loop meets
+:class:`RouterFuture` (the timeout protocol is spoken but never
+waited on), and the seams the simulation harness leans on — torn
+replica writes absorbed by the quorum, deep crashes translated at the
+node boundary, recognition fan-out debt repaired by the rebalancer,
+and the journal/extent tiling probe.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.node import ClusterNode, NodeStatus
+from repro.cluster.rebalance import Rebalancer
+from repro.cluster.router import ClusterRouter, RouterFuture
+from repro.delivery.pipeline import fetch_with_retry
+from repro.errors import (
+    ClusterError,
+    NodeDownError,
+    QuorumWriteError,
+    TransientIOError,
+)
+from repro.faults import FaultPlan, FaultyDevice
+from repro.ids import IdGenerator
+from repro.index import VOICE
+from repro.server import Archiver, QueryInterface
+from repro.server.recovery import dead_extent_union, tiling_gap
+from repro.sim.workload import make_object
+from repro.storage.blockdev import Extent
+from repro.storage.optical import OpticalDisk
+
+pytestmark = pytest.mark.faults
+
+
+def _node(node_id: int, *, compression: bool = True) -> ClusterNode:
+    plan = FaultPlan()
+    archiver = Archiver(
+        disk=FaultyDevice(OpticalDisk(), plan),
+        fault_plan=plan,
+        compression=compression,
+    )
+    return ClusterNode(node_id, archiver, fault_plan=plan)
+
+
+@pytest.fixture
+def mixed_cluster(generator):
+    """Two replicas of every object: one raw archive, one compressed."""
+    nodes = [_node(0, compression=False), _node(1, compression=True)]
+    router = ClusterRouter(nodes, replication=2, write_quorum=2)
+    return router, nodes
+
+
+# ----------------------------------------------------------------------
+# maybe_decode across cluster failover
+# ----------------------------------------------------------------------
+
+
+class TestMixedCompressionFailover:
+    """The open path's ``maybe_decode`` is lenient: raw pieces pass
+    through, framed pieces decode.  A cluster whose replicas disagree
+    about compression therefore serves identical objects from either —
+    including across failover, where one read may hit the raw copy and
+    the retry the framed one."""
+
+    def test_each_replica_serves_the_same_object(
+        self, mixed_cluster, generator
+    ):
+        router, nodes = mixed_cluster
+        obj, _ = make_object(generator, "text", [["alpha", "beta"]])
+        outcome = router.store(obj)
+        assert outcome.fully_replicated
+        # The replicas' platters really did diverge: the framing
+        # prefix differs even though the logical object is identical.
+        raw = nodes[0].archiver
+        framed = nodes[1].archiver
+        assert (
+            raw.read_raw(raw.record(obj.object_id).extent)[0]
+            != framed.read_raw(framed.record(obj.object_id).extent)[0]
+        )
+        for down, _serving in ((nodes[0], nodes[1]), (nodes[1], nodes[0])):
+            down.crash()
+            fetched, _ = router.fetch_object(obj.object_id)
+            assert fetched.object_id == obj.object_id
+            assert [s.markup for s in fetched.text_segments] == ["alpha beta"]
+            down.recover()
+
+    def test_retry_loop_rides_through_mid_read_failover(
+        self, mixed_cluster, generator
+    ):
+        router, nodes = mixed_cluster
+        obj, _ = make_object(generator, "text", [["gamma"]])
+        router.store(obj)
+        # Both replicas fail transiently once; the router exhausts the
+        # replica set (surfacing a retryable error), and the delivery
+        # retry loop's second attempt succeeds.
+        for node in nodes:
+            node.fault_plan.arm("device.read", "transient", hit=1, count=1)
+        payload, _ = fetch_with_retry(
+            router, "fetch_object", obj.object_id, attempts=3
+        )
+        assert payload.object_id == obj.object_id
+
+
+# ----------------------------------------------------------------------
+# RouterFuture timeout protocol
+# ----------------------------------------------------------------------
+
+
+class TestRouterFutureSemantics:
+    def test_submit_returns_resolved_future(self, mixed_cluster, generator):
+        router, _ = mixed_cluster
+        obj, _ = make_object(generator, "text", [["alpha"]])
+        router.store(obj)
+        future = router.submit("fetch_object", obj.object_id)
+        assert future.done()
+        # The timeout is protocol compatibility, not a wait: a
+        # zero-second deadline cannot expire an already-served result.
+        payload, service = future.result(timeout=0.0)
+        assert payload.object_id == obj.object_id
+        assert service >= 0.0
+
+    def test_error_future_reraises_on_every_call(self):
+        future = RouterFuture(error=TransientIOError("injected"))
+        assert future.done()
+        for _ in range(2):
+            with pytest.raises(TransientIOError):
+                future.result(timeout=None)
+
+    def test_unroutable_op_raises_at_submit(self, mixed_cluster):
+        router, _ = mixed_cluster
+        # Absolute reads are node-relative coordinates; rejecting them
+        # at admission mirrors ServerFrontend's unknown-op behaviour.
+        with pytest.raises(ClusterError, match="not routable"):
+            router.submit("read_absolute", Extent(0, 1))
+
+    def test_every_replica_down_is_a_hard_error(
+        self, mixed_cluster, generator
+    ):
+        router, nodes = mixed_cluster
+        obj, _ = make_object(generator, "text", [["beta"]])
+        router.store(obj)
+        for node in nodes:
+            node.crash()
+        future = router.submit("fetch_object", obj.object_id)
+        with pytest.raises(ClusterError):
+            future.result()
+
+
+# ----------------------------------------------------------------------
+# node-boundary and fan-out seams the simulator leans on
+# ----------------------------------------------------------------------
+
+
+class TestWriteFaultSeams:
+    def test_torn_replica_write_is_a_missed_replica(
+        self, mixed_cluster, generator
+    ):
+        router, nodes = mixed_cluster
+        router.write_quorum = 1
+        nodes[1].fault_plan.arm(
+            "device.write", "torn_write", hit=1, tear_fraction=0.5
+        )
+        obj, _ = make_object(generator, "text", [["alpha"]])
+        outcome = router.store(obj)  # no TornWriteError escapes
+        assert outcome.acked == [0]
+        assert outcome.missed == [1]
+        assert (obj.object_id, 1) in router.under_replicated
+        # The torn replica rolled its partial write back.
+        assert obj.object_id not in nodes[1]
+
+    def test_deep_crash_translates_to_node_down(
+        self, mixed_cluster, generator
+    ):
+        router, nodes = mixed_cluster
+        router.write_quorum = 1
+        # Crash node 0's process deep inside the store commit protocol
+        # — past the journal intent, while writing object data.
+        nodes[0].fault_plan.arm("archiver.store.data", "crash", hit=1)
+        obj, _ = make_object(generator, "text", [["beta"]])
+        outcome = router.store(obj)  # SimulatedCrash must not escape
+        assert outcome.missed == [0]
+        assert nodes[0].status is NodeStatus.DOWN
+
+    def test_recognition_quorum_is_one_and_misses_become_debt(
+        self, mixed_cluster, generator
+    ):
+        router, nodes = mixed_cluster
+        obj, side_table = make_object(generator, "voice", [["alpha", "beta"]])
+        router.store(obj)
+        plan = nodes[0].fault_plan
+        plan.arm(
+            "cluster.replica_write", "transient",
+            hit=plan.arrivals("cluster.replica_write") + 1,
+        )
+        outcome = router.attach_recognition(obj.object_id, side_table)
+        assert outcome.acked == [1]
+        assert outcome.missed == [0]
+        assert (obj.object_id, 0) in router.under_replicated
+
+    def test_recognition_with_zero_acks_raises(
+        self, mixed_cluster, generator
+    ):
+        router, nodes = mixed_cluster
+        obj, side_table = make_object(generator, "voice", [["gamma"]])
+        router.store(obj)
+        for node in nodes:
+            plan = node.fault_plan
+            plan.arm(
+                "cluster.replica_write", "transient",
+                hit=plan.arrivals("cluster.replica_write") + 1,
+            )
+        with pytest.raises(QuorumWriteError, match="no replica"):
+            router.attach_recognition(obj.object_id, side_table)
+
+    def test_catch_up_syncs_a_missed_recognition(self, generator):
+        nodes = [_node(0), _node(1), _node(2)]
+        router = ClusterRouter(nodes, replication=2, write_quorum=2)
+        rebalancer = Rebalancer(router)
+        obj, side_table = make_object(generator, "voice", [["alpha", "beta"]])
+        outcome = router.store(obj)
+        missed_id = outcome.replicas[0]
+        plan = router.nodes[missed_id].fault_plan
+        plan.arm(
+            "cluster.replica_write", "transient",
+            hit=plan.arrivals("cluster.replica_write") + 1,
+        )
+        router.attach_recognition(obj.object_id, side_table)
+        missed = router.nodes[missed_id]
+        assert missed.archiver.recognition_for(obj.object_id) == {}
+        assert rebalancer.catch_up() == 1
+        report = rebalancer.run()
+        assert report.synced == 1 and report.remaining == 0
+        table = missed.archiver.recognition_for(obj.object_id)
+        assert {u.term for us in table.values() for u in us} == {
+            "alpha", "beta"
+        }
+        assert QueryInterface(missed.archiver).search(
+            "alpha AND beta", channel=VOICE
+        ) == [obj.object_id]
+
+    def test_migration_carries_recognition_to_the_new_copy(self, generator):
+        nodes = [_node(0), _node(1)]
+        router = ClusterRouter(nodes, replication=2, write_quorum=2)
+        rebalancer = Rebalancer(router)
+        obj, side_table = make_object(generator, "voice", [["delta"]])
+        router.store(obj)
+        router.attach_recognition(obj.object_id, side_table)
+        joiner = _node(2)
+        rebalancer.join(joiner)
+        rebalancer.run()
+        if obj.object_id in joiner:
+            # The migrated copy materialized the recognition as its
+            # own side table — indistinguishable from a direct attach.
+            table = joiner.archiver.recognition_for(obj.object_id)
+            assert {u.term for us in table.values() for u in us} == {"delta"}
+
+
+# ----------------------------------------------------------------------
+# the tiling probe the simulator's checker runs per node
+# ----------------------------------------------------------------------
+
+
+class TestTilingProbe:
+    def test_clean_archive_has_zero_gap(self, generator):
+        archiver = Archiver()
+        obj, _ = make_object(generator, "text", [["alpha"]])
+        archiver.store(obj)
+        assert tiling_gap(archiver) == 0
+
+    def test_unjournaled_bytes_show_as_positive_gap(self, generator):
+        archiver = Archiver()
+        obj, _ = make_object(generator, "text", [["alpha"]])
+        archiver.store(obj)
+        # Bytes that reach the platter with no journal intent and no
+        # owning record are exactly what the probe exists to expose.
+        archiver.disk.append(b"x" * 64)
+        assert tiling_gap(archiver) == 64
+
+    def test_dead_extent_union_subtracts_owned_overlap(self):
+        dead = dead_extent_union(
+            [Extent(0, 100), Extent(90, 20)], [Extent(40, 30)]
+        )
+        assert [(e.offset, e.length) for e in dead] == [(0, 40), (70, 40)]
+        assert sum(e.length for e in dead) == 80
+
+
+class TestFaultPlanDisarm:
+    def test_disarm_cancels_future_injections_only(self):
+        plan = FaultPlan()
+        plan.arm("device.read", "transient", hit=1, count=5)
+        device = FaultyDevice(OpticalDisk(), plan)
+        extent, _ = device.append(b"hello")
+        with pytest.raises(TransientIOError):
+            device.read(extent)
+        assert plan.disarm() == 1
+        data, _ = device.read(extent)  # no longer armed
+        assert data == b"hello"
+        # History is preserved: the fired event and arrival counts stay.
+        assert plan.fired("device.read") == 1
+        assert plan.arrivals("device.read") == 2
